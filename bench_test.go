@@ -1,0 +1,307 @@
+// Package tracenet's repository-level benchmarks regenerate every table and
+// figure of the paper's evaluation, one benchmark per artifact, and report
+// the headline numbers as custom metrics:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute values come from the simulated substrate, not the authors'
+// testbed; EXPERIMENTS.md records the paper-vs-measured comparison.
+package tracenet
+
+import (
+	"testing"
+
+	"tracenet/internal/core"
+	"tracenet/internal/experiments"
+	"tracenet/internal/ipv4"
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/topo"
+)
+
+// BenchmarkTable1_Internet2 regenerates Table 1: tracenet over the
+// Internet2-like network, reporting the §4.1 exact-match and similarity
+// headline numbers.
+func BenchmarkTable1_Internet2(b *testing.B) {
+	var res *experiments.ResearchResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Table1Internet2(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.ExactRate, "exact-%")
+	b.ReportMetric(100*res.ExactRateResponsive, "exact-resp-%")
+	b.ReportMetric(res.PrefixSimilarity, "prefix-sim")
+	b.ReportMetric(res.SizeSimilarity, "size-sim")
+	b.ReportMetric(float64(res.Probes), "probes")
+}
+
+// BenchmarkTable2_GEANT regenerates Table 2.
+func BenchmarkTable2_GEANT(b *testing.B) {
+	var res *experiments.ResearchResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Table2GEANT(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.ExactRate, "exact-%")
+	b.ReportMetric(100*res.ExactRateResponsive, "exact-resp-%")
+	b.ReportMetric(res.PrefixSimilarityResponsive, "prefix-sim-resp")
+	b.ReportMetric(res.SizeSimilarityResponsive, "size-sim-resp")
+	b.ReportMetric(float64(res.Probes), "probes")
+}
+
+// BenchmarkTable3_Protocols regenerates Table 3 (ICMP vs UDP vs TCP).
+func BenchmarkTable3_Protocols(b *testing.B) {
+	var rows []experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table3(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	icmp, udp, tcp := 0, 0, 0
+	for _, r := range rows {
+		icmp += r.ICMP
+		udp += r.UDP
+		tcp += r.TCP
+	}
+	b.ReportMetric(float64(icmp), "icmp-subnets")
+	b.ReportMetric(float64(udp), "udp-subnets")
+	b.ReportMetric(float64(tcp), "tcp-subnets")
+}
+
+// benchISP runs the shared three-vantage campaign once per benchmark
+// iteration.
+func benchISP(b *testing.B) *experiments.ISPResult {
+	b.Helper()
+	var res *experiments.ISPResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunISP(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// BenchmarkFigure6_Venn regenerates the cross-vantage agreement figure.
+func BenchmarkFigure6_Venn(b *testing.B) {
+	res := benchISP(b)
+	v := res.Figure6()
+	fa, _, _ := v.AgreementAll()
+	ga, _, _ := v.AgreementAny()
+	b.ReportMetric(100*fa, "all-three-%")
+	b.ReportMetric(100*ga, "any-other-%")
+	b.ReportMetric(float64(v.ABC), "abc-subnets")
+}
+
+// BenchmarkFigure7_IPDistribution regenerates the per-ISP IP address
+// distribution panels.
+func BenchmarkFigure7_IPDistribution(b *testing.B) {
+	res := benchISP(b)
+	rows := res.Figure7(0)
+	for _, d := range rows {
+		if d.ISP == "SprintLink" {
+			b.ReportMetric(float64(d.Unsubnetized), "sprint-unsub")
+		}
+		if d.ISP == "NTTAmerica" {
+			b.ReportMetric(float64(d.Subnetized), "ntt-sub")
+		}
+	}
+}
+
+// BenchmarkFigure8_SubnetPerISP regenerates the subnet-per-ISP counts.
+func BenchmarkFigure8_SubnetPerISP(b *testing.B) {
+	res := benchISP(b)
+	counts := res.Figure8(0)
+	b.ReportMetric(float64(counts["SprintLink"]), "sprint")
+	b.ReportMetric(float64(counts["NTTAmerica"]), "ntt")
+	b.ReportMetric(float64(counts["Level3"]), "level3")
+	b.ReportMetric(float64(counts["AboveNet"]), "abovenet")
+}
+
+// BenchmarkFigure9_PrefixDistribution regenerates the prefix-length
+// frequency series.
+func BenchmarkFigure9_PrefixDistribution(b *testing.B) {
+	res := benchISP(b)
+	h := res.Figure9(0)
+	b.ReportMetric(float64(h[31]), "slash31")
+	b.ReportMetric(float64(h[30]), "slash30")
+	b.ReportMetric(float64(h[29]), "slash29")
+	b.ReportMetric(float64(h[28]), "slash28")
+}
+
+// BenchmarkOverheadModel validates the §3.6 probing-cost model.
+func BenchmarkOverheadModel(b *testing.B) {
+	var points []experiments.OverheadPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.Overhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var maxRatio float64
+	for _, p := range points {
+		if p.PointToPoint {
+			continue
+		}
+		if r := float64(p.Probes) / float64(p.PaperUpperBound); r > maxRatio {
+			maxRatio = r
+		}
+	}
+	b.ReportMetric(maxRatio, "max-cost/paper-bound")
+}
+
+// BenchmarkAblationBottomUp compares bottom-up growth with the §3.8
+// top-down strawman.
+func BenchmarkAblationBottomUp(b *testing.B) {
+	var res experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.AblationBottomUp()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Baseline, "bottom-up-probes")
+	b.ReportMetric(res.Ablated, "top-down-probes")
+}
+
+// BenchmarkAblationHalfFill measures the half-fill stopping rule's savings.
+func BenchmarkAblationHalfFill(b *testing.B) {
+	var res experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.AblationHalfFill()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Baseline, "guarded-probes")
+	b.ReportMetric(res.Ablated, "unguarded-probes")
+}
+
+// BenchmarkAblationFluctuation measures the §3.7 two-ingress H6 tolerance
+// under load balancing.
+func BenchmarkAblationFluctuation(b *testing.B) {
+	var res experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.AblationTwoIngress()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Baseline, "two-ingress-members")
+	b.ReportMetric(res.Ablated, "single-ingress-members")
+}
+
+// BenchmarkAblationRetry measures the §3.8 re-probe-on-silence choice.
+func BenchmarkAblationRetry(b *testing.B) {
+	var res experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.AblationRetry()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Baseline, "with-retry-subnets")
+	b.ReportMetric(res.Ablated, "no-retry-subnets")
+}
+
+// BenchmarkCoverage compares traceroute and tracenet discovery yield
+// (the Figure 1 motivation).
+func BenchmarkCoverage(b *testing.B) {
+	var res *experiments.CoverageResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Coverage(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.TracerouteAddrs), "traceroute-addrs")
+	b.ReportMetric(float64(res.DiscarteAddrs), "discarte-addrs")
+	b.ReportMetric(float64(res.TracenetAddrs), "tracenet-addrs")
+	b.ReportMetric(float64(res.Subnets), "subnets")
+}
+
+// BenchmarkSingleTrace measures the latency and probe cost of one tracenet
+// session over the Figure 3 micro-topology (the library's hot path).
+func BenchmarkSingleTrace(b *testing.B) {
+	top := topo.Figure3()
+	dst := ipv4.MustParseAddr("10.0.5.2")
+	b.ResetTimer()
+	var probes uint64
+	for i := 0; i < b.N; i++ {
+		n := netsim.New(top, netsim.Config{})
+		port, err := n.PortFor("vantage")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+		if _, err := core.Trace(pr, dst, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+		probes = pr.Stats().Sent
+	}
+	b.ReportMetric(float64(probes), "probes/trace")
+}
+
+// BenchmarkProbeExchange measures the simulator's raw packet path: encode,
+// walk, reply, decode.
+func BenchmarkProbeExchange(b *testing.B) {
+	n := netsim.New(topo.Figure3(), netsim.Config{})
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := probe.New(port, port.LocalAddr(), probe.Options{NoRetry: true})
+	dst := ipv4.MustParseAddr("10.0.5.2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.Probe(dst, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineVsOffline compares tracenet with the offline
+// subnet-inference baseline [7].
+func BenchmarkOnlineVsOffline(b *testing.B) {
+	var res *experiments.OnlineVsOfflineResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.OnlineVsOffline(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.OfflineExact, "offline-exact-%")
+	b.ReportMetric(100*res.OnlineExact, "online-exact-%")
+}
+
+// BenchmarkRouterMap runs the tracenet + alias-resolution pipeline.
+func BenchmarkRouterMap(b *testing.B) {
+	var res *experiments.RouterMapResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RouterMap(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Precision, "precision")
+	b.ReportMetric(res.Recall, "recall")
+	b.ReportMetric(float64(res.ProbesWithConstraint), "probes-constrained")
+	b.ReportMetric(float64(res.ProbesWithout), "probes-unconstrained")
+}

@@ -1,0 +1,161 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§4) plus the §3.6 overhead model and the DESIGN.md ablations,
+// printing the same rows and series the paper reports.
+//
+// Usage:
+//
+//	experiments [-run what] [-seed n]
+//
+// what: all (default), table1, table2, table3, fig6, fig7, fig8, fig9,
+// overhead, ablations, coverage, offline, routermap.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tracenet/internal/experiments"
+	"tracenet/internal/report"
+)
+
+func main() {
+	var (
+		what = flag.String("run", "all", "experiment: all, table1, table2, table3, fig6, fig7, fig8, fig9, overhead, ablations, coverage, offline, routermap, heuristics, ingress")
+		seed = flag.Int64("seed", 7, "experiment seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, strings.ToLower(*what), *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, what string, seed int64) error {
+	all := what == "all"
+	sep := func() { fmt.Fprintln(w, strings.Repeat("-", 72)) }
+
+	var isp *experiments.ISPResult
+	needISP := all || strings.HasPrefix(what, "fig")
+	if needISP {
+		var err error
+		isp, err = experiments.RunISP(seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	if all || what == "table1" {
+		res, err := experiments.Table1Internet2(seed)
+		if err != nil {
+			return err
+		}
+		report.ResearchTable(w, res)
+		sep()
+	}
+	if all || what == "table2" {
+		res, err := experiments.Table2GEANT(seed)
+		if err != nil {
+			return err
+		}
+		report.ResearchTable(w, res)
+		sep()
+	}
+	if all || what == "fig6" {
+		report.Venn(w, isp)
+		sep()
+	}
+	if all || what == "fig7" {
+		report.IPDistribution(w, isp)
+		sep()
+	}
+	if all || what == "fig8" {
+		report.SubnetPerISP(w, isp)
+		sep()
+	}
+	if all || what == "fig9" {
+		report.PrefixDistribution(w, isp)
+		sep()
+	}
+	if all || what == "table3" {
+		rows, err := experiments.Table3(seed)
+		if err != nil {
+			return err
+		}
+		report.ProtocolTable(w, rows)
+		sep()
+	}
+	if all || what == "overhead" {
+		points, err := experiments.Overhead()
+		if err != nil {
+			return err
+		}
+		report.OverheadTable(w, points)
+		sep()
+	}
+	if all || what == "ablations" {
+		var results []experiments.AblationResult
+		for _, f := range []func() (experiments.AblationResult, error){
+			experiments.AblationBottomUp,
+			experiments.AblationHalfFill,
+			experiments.AblationTwoIngress,
+			experiments.AblationRetry,
+		} {
+			r, err := f()
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		report.Ablations(w, results)
+		sep()
+	}
+	if all || what == "coverage" {
+		c, err := experiments.Coverage(seed)
+		if err != nil {
+			return err
+		}
+		report.Coverage(w, c)
+		sep()
+	}
+	if all || what == "offline" {
+		r, err := experiments.OnlineVsOffline(seed)
+		if err != nil {
+			return err
+		}
+		report.OnlineVsOffline(w, r)
+		sep()
+	}
+	if all || what == "routermap" {
+		r, err := experiments.RouterMap(seed)
+		if err != nil {
+			return err
+		}
+		report.RouterMap(w, r)
+		sep()
+	}
+	if all || what == "heuristics" {
+		stats, err := experiments.HeuristicStats(seed)
+		if err != nil {
+			return err
+		}
+		report.HeuristicStats(w, stats)
+		sep()
+	}
+	if all || what == "ingress" {
+		frac, err := experiments.EntryLimitation()
+		if err != nil {
+			return err
+		}
+		report.EntryLimitation(w, frac)
+		sep()
+	}
+
+	switch what {
+	case "all", "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "overhead", "ablations", "coverage", "offline", "routermap", "heuristics", "ingress":
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", what)
+}

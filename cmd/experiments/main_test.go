@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	cases := map[string][]string{
+		"table1":     {"Internet2", "exact match rate"},
+		"table2":     {"GEANT"},
+		"overhead":   {"7|S|+7"},
+		"heuristics": {"Stop-reason"},
+		"routermap":  {"precision/recall"},
+	}
+	for what, wants := range cases {
+		var b strings.Builder
+		if err := run(&b, what, 1); err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		for _, want := range wants {
+			if !strings.Contains(b.String(), want) {
+				t.Errorf("%s output lacks %q", what, want)
+			}
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "nonsense", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

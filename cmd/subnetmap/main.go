@@ -1,0 +1,122 @@
+// Command subnetmap runs the full mapping pipeline over a simulated network:
+// tracenet sessions toward a target set, assembly of the collected subnets
+// into a subnet-level topology map, and (optionally) Ally-style alias
+// resolution to group the interfaces into routers — the router-level map the
+// paper positions tracenet as the collector for.
+//
+// Usage:
+//
+//	subnetmap [flags] [destination...]
+//
+//	-topo name|file   built-in topology or topology JSON (default figure3)
+//	-vantage host     vantage host name
+//	-seed n           simulation seed
+//	-routers          also resolve aliases and print the router-level view
+//	-adj              print subnet adjacencies (the map's links)
+//
+// Without destinations, the topology's suggested targets are traced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tracenet/internal/alias"
+	"tracenet/internal/cli"
+	"tracenet/internal/core"
+	"tracenet/internal/ipv4"
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/topomap"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "figure3", "built-in topology name or JSON file")
+		vantage  = flag.String("vantage", "", "vantage host name")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		routers  = flag.Bool("routers", false, "resolve aliases and print the router-level view")
+		adj      = flag.Bool("adj", false, "print subnet adjacencies")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *topoName, *vantage, *seed, *routers, *adj, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "subnetmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, topoName, vantage string, seed int64, routers, adj bool, args []string) error {
+	sc, err := cli.Load(topoName, seed)
+	if err != nil {
+		return err
+	}
+	if vantage == "" {
+		vantage = sc.Vantage
+	}
+	dests := sc.Destinations
+	if len(args) > 0 {
+		dests = dests[:0]
+		for _, a := range args {
+			d, err := ipv4.ParseAddr(a)
+			if err != nil {
+				return err
+			}
+			dests = append(dests, d)
+		}
+	}
+	if len(dests) == 0 {
+		return fmt.Errorf("no destinations: pass one or more addresses")
+	}
+
+	net := netsim.New(sc.Topo, netsim.Config{Seed: seed})
+	port, err := net.PortFor(vantage)
+	if err != nil {
+		return err
+	}
+	pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+	sess := core.NewSession(pr, core.Config{})
+	m := topomap.New()
+	for _, dst := range dests {
+		res, err := sess.Trace(dst)
+		if err != nil {
+			return err
+		}
+		m.AddSession(res)
+	}
+	fmt.Fprintf(w, "mapped %s from %s with %d probes\n\n", sc.Description, vantage, pr.Stats().Sent)
+	fmt.Fprint(w, m)
+
+	if adj {
+		fmt.Fprintln(w, "\nsubnet adjacencies:")
+		for _, pair := range m.AdjacentSubnets() {
+			fmt.Fprintf(w, "  %v -- %v\n", pair[0].Prefix, pair[1].Prefix)
+		}
+	}
+
+	if routers {
+		var subnets [][]ipv4.Addr
+		var addrs []ipv4.Addr
+		seen := map[ipv4.Addr]bool{}
+		for _, e := range m.Subnets() {
+			subnets = append(subnets, e.Addrs)
+			for _, a := range e.Addrs {
+				if !seen[a] {
+					seen[a] = true
+					addrs = append(addrs, a)
+				}
+			}
+		}
+		rv := alias.NewResolver(port, port.LocalAddr())
+		groups, err := rv.Resolve(addrs, alias.SameSubnetConstraint(subnets))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nrouter-level view (%d routers, %d alias probes):\n", len(groups), rv.Probes())
+		for i, g := range groups {
+			fmt.Fprintf(w, "  router %d: %v\n", i+1, g)
+		}
+	}
+	return nil
+}

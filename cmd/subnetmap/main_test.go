@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunMapWithRoutersAndAdjacencies(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "figure3", "", 1, true, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"subnet map:", "10.0.2.0/29", "subnet adjacencies:",
+		"router-level view", "router 1:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBadVantage(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "figure3", "ghost", 1, false, false, nil); err == nil {
+		t.Error("bad vantage accepted")
+	}
+}

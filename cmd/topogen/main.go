@@ -1,0 +1,58 @@
+// Command topogen generates simulated topologies and writes them as JSON for
+// use with cmd/tracenet and cmd/traceroute.
+//
+// Usage:
+//
+//	topogen [-kind name] [-seed n] [-o file]
+//
+// Kinds: figure3 (default), figure2, chain, internet2, geant, isps, random.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tracenet/internal/cli"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "figure3", "topology kind: "+strings.Join(cli.BuiltinNames(), ", "))
+		seed = flag.Int64("seed", 1, "generator seed")
+		out  = flag.String("o", "-", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*kind, *seed, *out, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, seed int64, out string, errW io.Writer) error {
+	sc, err := cli.Load(kind, seed)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := sc.Topo.WriteJSON(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(errW, "topogen: %s: %d routers, %d subnets, %d hosts\n",
+		sc.Description, len(sc.Topo.Routers), len(sc.Topo.Subnets), len(sc.Topo.Hosts))
+	if len(sc.Destinations) > 0 {
+		fmt.Fprintf(errW, "topogen: %d suggested targets, first %v; vantage %q\n",
+			len(sc.Destinations), sc.Destinations[0], sc.Vantage)
+	}
+	return nil
+}

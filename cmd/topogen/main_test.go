@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tracenet/internal/netsim"
+)
+
+func TestRunWritesLoadableJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var info strings.Builder
+	if err := run("figure2", 1, path, &info); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info.String(), "routers") {
+		t.Errorf("info line missing: %q", info.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	topo, err := netsim.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Hosts) != 4 {
+		t.Fatalf("figure2 hosts = %d, want 4", len(topo.Hosts))
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	var info strings.Builder
+	if err := run("marsnet", 1, filepath.Join(t.TempDir(), "x.json"), &info); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,117 @@
+// Command tracenet runs a tracenet session against a simulated network: a
+// path trace that collects, at every hop, the complete subnet accommodating
+// the responding interface (Tozal & Sarac, IMC 2010).
+//
+// Usage:
+//
+//	tracenet [flags] [destination...]
+//
+//	-topo name|file   built-in topology (figure3, figure2, chain, internet2,
+//	                  geant, isps, random) or a topology JSON file; default figure3
+//	-vantage host     vantage host name (default: the topology's default)
+//	-proto p          probe protocol: icmp (default), udp, tcp
+//	-maxttl n         maximum trace length (default 30)
+//	-seed n           simulation seed
+//	-subnets          print the collected subnet inventory after the trace
+//	-debug            log every probe exchange to stderr
+//
+// Without destinations, the topology's suggested targets are traced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tracenet/internal/cli"
+	"tracenet/internal/core"
+	"tracenet/internal/ipv4"
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "figure3", "built-in topology name or JSON file")
+		vantage  = flag.String("vantage", "", "vantage host name")
+		protoStr = flag.String("proto", "icmp", "probe protocol: icmp, udp, tcp")
+		maxTTL   = flag.Int("maxttl", 30, "maximum trace length")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		subnets  = flag.Bool("subnets", false, "print the collected subnet inventory")
+		debug    = flag.Bool("debug", false, "log every probe exchange to stderr")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *topoName, *vantage, *protoStr, *maxTTL, *seed, *subnets, *debug, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "tracenet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, topoName, vantage, protoStr string, maxTTL int, seed int64, printSubnets, debug bool, args []string) error {
+	sc, err := cli.Load(topoName, seed)
+	if err != nil {
+		return err
+	}
+	if vantage == "" {
+		vantage = sc.Vantage
+	}
+	var proto probe.Protocol
+	switch protoStr {
+	case "icmp":
+		proto = probe.ICMP
+	case "udp":
+		proto = probe.UDP
+	case "tcp":
+		proto = probe.TCP
+	default:
+		return fmt.Errorf("unknown protocol %q", protoStr)
+	}
+
+	dests := sc.Destinations
+	if len(args) > 0 {
+		dests = dests[:0]
+		for _, a := range args {
+			d, err := ipv4.ParseAddr(a)
+			if err != nil {
+				return err
+			}
+			dests = append(dests, d)
+		}
+	}
+	if len(dests) == 0 {
+		return fmt.Errorf("no destinations: pass one or more addresses")
+	}
+
+	net := netsim.New(sc.Topo, netsim.Config{Seed: seed})
+	port, err := net.PortFor(vantage)
+	if err != nil {
+		return err
+	}
+	var tr probe.Transport = port
+	if debug {
+		tr = probe.LoggingTransport{Inner: port, W: os.Stderr}
+	}
+	pr := probe.New(tr, port.LocalAddr(), probe.Options{Protocol: proto, Cache: true})
+	sess := core.NewSession(pr, core.Config{MaxTTL: maxTTL})
+
+	fmt.Fprintf(w, "tracenet over %s, vantage %s (%v), %s probes\n",
+		sc.Description, vantage, port.LocalAddr(), proto)
+	for _, dst := range dests {
+		res, err := sess.Trace(dst)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res)
+	}
+	if printSubnets {
+		fmt.Fprintf(w, "\ncollected subnets (%d):\n", len(sess.Subnets()))
+		for _, s := range sess.Subnets() {
+			fmt.Fprintln(w, " ", s)
+		}
+	}
+	st := pr.Stats()
+	fmt.Fprintf(w, "\nprobes sent %d, answered %d, retried %d, served from cache %d\n",
+		st.Sent, st.Answered, st.Retries, st.Cached)
+	return nil
+}

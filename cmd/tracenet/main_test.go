@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultScenario(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "figure3", "", "icmp", 30, 1, true, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"tracenet to 10.0.5.2", "reached=true",
+		"subnet 10.0.2.0/29", "collected subnets (4)", "probes sent"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExplicitDestination(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "chain", "", "udp", 30, 1, false, false, []string{"10.9.255.2"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "reached=true") {
+		t.Fatalf("chain trace failed:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "figure3", "", "bogus", 30, 1, false, false, nil); err == nil {
+		t.Error("bad protocol accepted")
+	}
+	if err := run(&b, "no-such-topo", "", "icmp", 30, 1, false, false, nil); err == nil {
+		t.Error("bad topology accepted")
+	}
+	if err := run(&b, "figure3", "nobody", "icmp", 30, 1, false, false, nil); err == nil {
+		t.Error("bad vantage accepted")
+	}
+	if err := run(&b, "figure3", "", "icmp", 30, 1, false, false, []string{"not-an-ip"}); err == nil {
+		t.Error("bad destination accepted")
+	}
+}

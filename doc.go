@@ -1,0 +1,13 @@
+// Package tracenet is a from-scratch Go reproduction of "TraceNET: An
+// Internet Topology Data Collector" (Tozal & Sarac, ACM IMC 2010): a
+// network-layer topology collector that returns, at every hop of a path
+// trace, the complete subnet accommodating the responding interface.
+//
+// The repository root holds the benchmark harness (one benchmark per table
+// and figure of the paper's evaluation, see bench_test.go); the library
+// lives under internal/ — start with internal/core (the algorithm),
+// internal/netsim (the simulated Internet substrate), and internal/topo
+// (the evaluation topologies). DESIGN.md maps every paper artifact to the
+// module and benchmark that reproduces it; EXPERIMENTS.md records
+// paper-vs-measured values.
+package tracenet

@@ -1,0 +1,57 @@
+// Protocols: the Table 3 methodology. The same tracenet session is run with
+// ICMP, UDP, and TCP probe packets against one ISP core; the number of
+// collected subnets per protocol reproduces the paper's finding that ICMP
+// clearly outperforms UDP, and TCP is negligible.
+//
+//	go run ./examples/protocols
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tracenet/internal/core"
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/topo"
+)
+
+func main() {
+	const seed = 7
+	for _, proto := range []probe.Protocol{probe.ICMP, probe.UDP, probe.TCP} {
+		// A fresh but identical network per protocol run.
+		sc := topo.ISPCores(seed, seed+1000)
+		network := netsim.New(sc.Topo, netsim.Config{Seed: seed})
+		port, err := network.PortFor(topo.VantageNames[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true, Protocol: proto})
+		sess := core.NewSession(pr, core.Config{})
+		for _, target := range sc.TargetsFor() {
+			if _, err := sess.Trace(target); err != nil {
+				log.Fatal(err)
+			}
+		}
+		perISP := map[string]int{}
+		total := 0
+		for _, s := range sess.Subnets() {
+			if s.Prefix.Bits() >= 32 {
+				continue
+			}
+			if p := sc.ISPOf(s.Prefix.Base()); p != nil {
+				perISP[p.Name]++
+				total++
+			}
+		}
+		fmt.Printf("%-5s -> %4d subnets (", proto, total)
+		for i, p := range sc.Profiles {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s %d", p.Name, perISP[p.Name])
+		}
+		fmt.Printf("), %d probes\n", pr.Stats().Sent)
+	}
+	fmt.Println("\npaper Table 3 totals: ICMP 11995, UDP 3779, TCP 68 (scaled ~1:10 here)")
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a small simulated network, run traceroute and tracenet
+// toward the same destination, and compare what each sees.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tracenet/internal/core"
+	"tracenet/internal/ipv4"
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/topo"
+	"tracenet/internal/trace"
+)
+
+func main() {
+	// The paper's Figure 3 scene: a multi-access subnet S with four routers
+	// between the vantage point and the destination.
+	topology := topo.Figure3()
+	network := netsim.New(topology, netsim.Config{})
+
+	port, err := network.PortFor("vantage")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst := ipv4.MustParseAddr("10.0.5.2")
+
+	// 1. Classic traceroute: one address per hop.
+	prober := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+	route, err := trace.Run(prober, dst, trace.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("traceroute view:")
+	fmt.Print(route)
+	fmt.Printf("-> %d addresses, %d probes\n\n", len(route.Addrs()), prober.Stats().Sent)
+
+	// 2. tracenet: the complete subnet at every hop.
+	prober2 := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+	res, err := core.Trace(prober2, dst, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tracenet view:")
+	fmt.Print(res)
+	fmt.Println("\ncollected subnets:")
+	for _, s := range res.Subnets {
+		kind := "multi-access LAN"
+		if s.PointToPoint() {
+			kind = "point-to-point"
+		}
+		fmt.Printf("  %v  (%s, %d interfaces)\n", s, kind, len(s.Addrs))
+	}
+	fmt.Printf("-> %d addresses, %d probes\n", res.AddrCount(), prober2.Stats().Sent)
+}

@@ -1,0 +1,3 @@
+module tracenet
+
+go 1.22

@@ -1,0 +1,184 @@
+package alias
+
+import (
+	"testing"
+
+	"tracenet/internal/core"
+	"tracenet/internal/ipv4"
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/topo"
+)
+
+func addr(s string) ipv4.Addr { return ipv4.MustParseAddr(s) }
+
+func resolver(t *testing.T, topol *netsim.Topology) (*Resolver, *netsim.Network) {
+	t.Helper()
+	n := netsim.New(topol, netsim.Config{})
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewResolver(port, port.LocalAddr()), n
+}
+
+func TestSameRouterPositive(t *testing.T) {
+	r, _ := resolver(t, topo.Figure3())
+	// R4 hosts 10.0.2.3, 10.0.4.0, and 10.0.5.1.
+	for _, pair := range [][2]string{
+		{"10.0.2.3", "10.0.4.0"},
+		{"10.0.2.3", "10.0.5.1"},
+		{"10.0.0.2", "10.0.1.0"}, // R1's two interfaces
+	} {
+		same, err := r.SameRouter(addr(pair[0]), addr(pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same {
+			t.Errorf("%s and %s are aliases but Ally said no", pair[0], pair[1])
+		}
+	}
+}
+
+func TestSameRouterNegative(t *testing.T) {
+	r, _ := resolver(t, topo.Figure3())
+	for _, pair := range [][2]string{
+		{"10.0.2.2", "10.0.2.3"}, // R3 vs R4
+		{"10.0.1.0", "10.0.1.1"}, // R1 vs R2
+		{"10.0.3.1", "10.0.4.1"}, // R7 vs R5
+	} {
+		same, err := r.SameRouter(addr(pair[0]), addr(pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if same {
+			t.Errorf("%s and %s are different routers but Ally said alias", pair[0], pair[1])
+		}
+	}
+}
+
+func TestSameRouterUnresponsive(t *testing.T) {
+	top := topo.Figure3()
+	top.IfaceByAddr(addr("10.0.2.2")).Responsive = false
+	r, _ := resolver(t, top)
+	same, err := r.SameRouter(addr("10.0.2.2"), addr("10.0.2.3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same {
+		t.Error("unresponsive address resolved as alias")
+	}
+}
+
+func TestRandomIPIDDefeatsAlly(t *testing.T) {
+	top := topo.Figure3()
+	for _, rt := range top.Routers {
+		if rt.Name == "R4" {
+			rt.IPIDRandom = true
+		}
+	}
+	r, _ := resolver(t, top)
+	same, err := r.SameRouter(addr("10.0.2.3"), addr("10.0.4.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same {
+		t.Error("random-ID router should defeat the Ally test (false negative expected)")
+	}
+}
+
+func TestResolveGroupsFigure3(t *testing.T) {
+	r, _ := resolver(t, topo.Figure3())
+	addrs := []ipv4.Addr{
+		addr("10.0.0.2"), addr("10.0.1.0"), // R1
+		addr("10.0.1.1"), addr("10.0.2.1"), addr("10.0.3.0"), // R2
+		addr("10.0.2.3"), addr("10.0.4.0"), addr("10.0.5.1"), // R4
+		addr("10.0.2.2"), // R3
+	}
+	groups, err := r.Resolve(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("groups = %d, want 4 routers: %v", len(groups), groups)
+	}
+	sizes := map[int]int{}
+	for _, g := range groups {
+		sizes[len(g)]++
+	}
+	if sizes[2] != 1 || sizes[3] != 2 || sizes[1] != 1 {
+		t.Fatalf("group sizes = %v, want one pair, two triples, one singleton", sizes)
+	}
+}
+
+func TestSubnetConstraintSavesProbes(t *testing.T) {
+	top := topo.Figure3()
+
+	// First collect the subnets with tracenet, then resolve aliases with
+	// and without the same-subnet constraint.
+	n := netsim.New(top, netsim.Config{})
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+	res, err := core.Trace(pr, addr("10.0.5.2"), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subnets [][]ipv4.Addr
+	var addrs []ipv4.Addr
+	seen := map[ipv4.Addr]bool{}
+	for _, s := range res.Subnets {
+		subnets = append(subnets, s.Addrs)
+		for _, a := range s.Addrs {
+			if !seen[a] && a != addr("10.0.0.1") && a != addr("10.0.5.2") {
+				seen[a] = true
+				addrs = append(addrs, a)
+			}
+		}
+	}
+
+	unconstrained, _ := resolver(t, top)
+	gu, err := unconstrained.Resolve(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costU := unconstrained.Probes()
+
+	constrained, _ := resolver(t, top)
+	gc, err := constrained.Resolve(addrs, SameSubnetConstraint(subnets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	costC := constrained.Probes()
+
+	if len(gu) != len(gc) {
+		t.Fatalf("constraint changed the result: %d vs %d groups", len(gu), len(gc))
+	}
+	if costC >= costU {
+		t.Fatalf("subnet constraint saved nothing: %d vs %d probes", costC, costU)
+	}
+}
+
+func TestInterleavedWindow(t *testing.T) {
+	cases := []struct {
+		ids    []uint16
+		window uint16
+		want   bool
+	}{
+		{[]uint16{10, 11, 12, 13}, 64, true},
+		{[]uint16{10, 12, 15, 20}, 64, true},
+		{[]uint16{10, 10}, 64, false},            // equal: not strictly increasing
+		{[]uint16{10, 9}, 64, false},             // wraparound distance too large
+		{[]uint16{10, 200}, 64, false},           // gap beyond window
+		{[]uint16{65530, 65533, 2, 5}, 64, true}, // legitimate 16-bit wrap
+		{[]uint16{5}, 64, false},
+		{[]uint16{10, 40, 70, 100}, 64, false}, // cumulative span beyond window
+	}
+	for _, c := range cases {
+		if got := interleaved(c.ids, c.window); got != c.want {
+			t.Errorf("interleaved(%v, %d) = %v, want %v", c.ids, c.window, got, c.want)
+		}
+	}
+}

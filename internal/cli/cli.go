@@ -1,0 +1,120 @@
+// Package cli holds the shared plumbing of the command-line tools: resolving
+// a topology argument (built-in generator name or JSON file) into a simulated
+// network and a default vantage/destination pair.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/netsim"
+	"tracenet/internal/topo"
+)
+
+// Scenario is a loaded topology plus the context a tool needs to use it.
+type Scenario struct {
+	Topo *netsim.Topology
+	// Vantage is the default vantage host name.
+	Vantage string
+	// Destinations are suggested trace targets (may be empty for JSON
+	// topologies).
+	Destinations []ipv4.Addr
+	// Description names what was loaded.
+	Description string
+}
+
+// BuiltinNames lists the built-in topology generators.
+func BuiltinNames() []string {
+	return []string{"figure3", "figure2", "chain", "internet2", "geant", "isps", "random"}
+}
+
+// Load resolves name as a built-in topology or, failing that, a topology
+// JSON file path.
+func Load(name string, seed int64) (*Scenario, error) {
+	switch strings.ToLower(name) {
+	case "", "figure3":
+		t := topo.Figure3()
+		return &Scenario{
+			Topo:         t,
+			Vantage:      "vantage",
+			Destinations: []ipv4.Addr{ipv4.MustParseAddr("10.0.5.2")},
+			Description:  "paper Figure 3 micro-topology",
+		}, nil
+	case "figure2":
+		t := topo.Figure2()
+		return &Scenario{
+			Topo:         t,
+			Vantage:      "A",
+			Destinations: []ipv4.Addr{ipv4.MustParseAddr("10.2.3.1")}, // host D
+			Description:  "paper Figure 2 overlay-network motivation",
+		}, nil
+	case "chain":
+		t := topo.Chain(8)
+		return &Scenario{
+			Topo:         t,
+			Vantage:      "vantage",
+			Destinations: []ipv4.Addr{ipv4.MustParseAddr("10.9.255.2")},
+			Description:  "8-router point-to-point chain",
+		}, nil
+	case "internet2":
+		r := topo.Internet2()
+		return &Scenario{
+			Topo:         r.Topo,
+			Vantage:      "vantage",
+			Destinations: r.Targets(),
+			Description:  "Internet2-like research network (Table 1)",
+		}, nil
+	case "geant":
+		r := topo.GEANT()
+		return &Scenario{
+			Topo:         r.Topo,
+			Vantage:      "vantage",
+			Destinations: r.Targets(),
+			Description:  "GEANT-like research network (Table 2)",
+		}, nil
+	case "isps":
+		sc := topo.ISPCores(seed, seed+1000)
+		return &Scenario{
+			Topo:         sc.Topo,
+			Vantage:      topo.VantageNames[0],
+			Destinations: sc.TargetsFor(),
+			Description:  "four ISP cores with three vantage points (§4.2)",
+		}, nil
+	case "random":
+		t, targets := topo.Random(topo.RandomSpec{Seed: seed})
+		return &Scenario{
+			Topo:         t,
+			Vantage:      "vantage",
+			Destinations: targets,
+			Description:  fmt.Sprintf("random topology (seed %d)", seed),
+		}, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("%q is not a built-in topology (%s) and cannot be opened: %w",
+			name, strings.Join(BuiltinNames(), ", "), err)
+	}
+	defer f.Close()
+	t, err := netsim.ReadJSON(f)
+	if err != nil {
+		return nil, err
+	}
+	sc := &Scenario{Topo: t, Description: "topology file " + name}
+	var hosts []string
+	for _, h := range t.Hosts {
+		hosts = append(hosts, h.Name)
+	}
+	sort.Strings(hosts)
+	if len(hosts) > 0 {
+		sc.Vantage = hosts[0]
+	}
+	for _, h := range hosts {
+		if h == "vantage" {
+			sc.Vantage = h
+		}
+	}
+	return sc, nil
+}

@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tracenet/internal/netsim"
+	"tracenet/internal/topo"
+)
+
+func TestLoadBuiltins(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		if name == "isps" {
+			continue // covered separately: heavier
+		}
+		sc, err := Load(name, 1)
+		if err != nil {
+			t.Errorf("Load(%q): %v", name, err)
+			continue
+		}
+		if sc.Topo == nil || sc.Vantage == "" {
+			t.Errorf("Load(%q): incomplete scenario %+v", name, sc)
+		}
+		if sc.Topo.HostByName(sc.Vantage) == nil {
+			t.Errorf("Load(%q): vantage %q not a host", name, sc.Vantage)
+		}
+	}
+}
+
+func TestLoadDefault(t *testing.T) {
+	sc, err := Load("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Description == "" || len(sc.Destinations) == 0 {
+		t.Fatalf("default scenario incomplete: %+v", sc)
+	}
+}
+
+func TestLoadJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Figure3().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	sc, err := Load(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Vantage != "vantage" {
+		t.Fatalf("vantage = %q, want the host literally named vantage", sc.Vantage)
+	}
+	if len(sc.Topo.Subnets) != 6 {
+		t.Fatalf("subnets = %d", len(sc.Topo.Subnets))
+	}
+	// The loaded topology must be runnable.
+	n := netsim.New(sc.Topo, netsim.Config{})
+	if _, err := n.PortFor(sc.Vantage); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/no/such/file.json", 1); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not a topology"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, 1); err == nil {
+		t.Fatal("corrupt file loaded")
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+// Config tunes a tracenet session. The zero value selects the paper's
+// behaviour; the ablation switches disable individual design choices for the
+// benchmarks called out in DESIGN.md.
+type Config struct {
+	// MaxTTL bounds the trace length. Default 30.
+	MaxTTL int
+	// MaxConsecutiveGaps ends the trace after this many anonymous hops in a
+	// row. Default 4.
+	MaxConsecutiveGaps int
+	// MinPrefixBits bounds subnet growth: exploration never grows past this
+	// prefix length (Algorithm 1's loop would run m down to 0; operationally
+	// /20 is the largest subnet the paper observes). Default 20.
+	MinPrefixBits int
+
+	// SkipKnown reuses a subnet already collected earlier in the session when
+	// the trace-collection address is one of its members, instead of
+	// re-exploring (the optimization the paper alludes to in §3.5:
+	// "our tracenet implementation is optimized to collect the subnets with
+	// the least number of probes"). Default true; set DisableSkipKnown for
+	// the ablation.
+	DisableSkipKnown bool
+
+	// DisableHalfFillStop removes Algorithm 1's lines 19–21 stopping rule
+	// (ablation: sparse subnets then overgrow until a heuristic fires).
+	DisableHalfFillStop bool
+
+	// SingleIngress makes H6 accept only the positioning ingress i, not the
+	// trace-collection entry u (ablation of the §3.7 two-ingress tolerance).
+	SingleIngress bool
+
+	// TopDown replaces bottom-up growth with the §3.8 strawman: assume a
+	// large subnet (MinPrefixBits) and shrink while heuristics fail
+	// (ablation; markedly more probes on small subnets).
+	TopDown bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTTL == 0 {
+		c.MaxTTL = 30
+	}
+	if c.MaxConsecutiveGaps == 0 {
+		c.MaxConsecutiveGaps = 4
+	}
+	if c.MinPrefixBits == 0 {
+		c.MinPrefixBits = 20
+	}
+	return c
+}

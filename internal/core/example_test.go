@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"tracenet/internal/core"
+	"tracenet/internal/ipv4"
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/topo"
+)
+
+// ExampleTrace runs one tracenet session over the paper's Figure 3 scene and
+// prints the collected subnets.
+func ExampleTrace() {
+	network := netsim.New(topo.Figure3(), netsim.Config{})
+	port, err := network.PortFor("vantage")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prober := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+
+	result, err := core.Trace(prober, ipv4.MustParseAddr("10.0.5.2"), core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range result.Subnets {
+		fmt.Printf("%v with %d interfaces\n", s.Prefix, len(s.Addrs))
+	}
+	// Output:
+	// 10.0.0.0/30 with 2 interfaces
+	// 10.0.1.0/31 with 2 interfaces
+	// 10.0.2.0/29 with 4 interfaces
+	// 10.0.5.0/30 with 2 interfaces
+}
+
+// ExampleSession demonstrates multi-destination collection with subnet reuse.
+func ExampleSession() {
+	network := netsim.New(topo.Figure3(), netsim.Config{})
+	port, err := network.PortFor("vantage")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prober := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+	session := core.NewSession(prober, core.Config{})
+
+	for _, dst := range []string{"10.0.5.2", "10.0.4.1"} {
+		if _, err := session.Trace(ipv4.MustParseAddr(dst)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("%d distinct subnets collected\n", len(session.Subnets()))
+	// Output:
+	// 5 distinct subnets collected
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"tracenet/internal/ipv4"
+	"tracenet/internal/probe"
+)
+
+// explorer grows one subnet around a pivot interface (paper §3.3,
+// Algorithm 1), applying heuristics H1–H9 (§3.5) to every candidate address.
+type explorer struct {
+	pr  *probe.Prober
+	cfg Config
+
+	pivot      ipv4.Addr
+	pd         int       // jh: pivot hop distance
+	ingress    ipv4.Addr // i: ingress interface from positioning (Zero if anonymous)
+	traceEntry ipv4.Addr // u: previous trace-collection hop (Zero if anonymous)
+	onPath     bool
+
+	members    map[ipv4.Addr]bool
+	contra     ipv4.Addr
+	probed     map[ipv4.Addr]bool
+	mate31Dead bool // pivot's /31 mate found not in use (enables the H5 /30 shortcut)
+	stop       StopReason
+}
+
+// examineVerdict is the outcome of running the heuristics on one candidate.
+type examineVerdict uint8
+
+const (
+	verdictSkip   examineVerdict = iota // continue-with-next-address
+	verdictMember                       // passed all heuristics
+	verdictShrink                       // stop-and-shrink (H1)
+)
+
+// explore runs subnet exploration and returns the collected subnet.
+func explore(pr *probe.Prober, pos position, u ipv4.Addr, cfg Config) (*Subnet, error) {
+	e := &explorer{
+		pr:         pr,
+		cfg:        cfg,
+		pivot:      pos.pivot,
+		pd:         pos.pivotDist,
+		ingress:    pos.ingress,
+		traceEntry: u,
+		onPath:     pos.onPath,
+		members:    map[ipv4.Addr]bool{pos.pivot: true},
+		probed:     map[ipv4.Addr]bool{pos.pivot: true},
+	}
+	var prefix ipv4.Prefix
+	var err error
+	if cfg.TopDown {
+		prefix, err = e.growTopDown()
+	} else {
+		prefix, err = e.grow()
+	}
+	if err != nil {
+		return nil, err
+	}
+	prefix = e.reduceBoundary(prefix) // H9
+	if len(e.members) <= 1 {
+		// No companion interface was ever confirmed: tracenet "failed to
+		// grow a subnet larger than /32" (the un-subnetized class of
+		// Figure 7), whatever prefix the growth loop last held.
+		prefix = ipv4.NewPrefix(e.pivot, 32)
+	}
+	s := &Subnet{
+		Prefix:      prefix,
+		Pivot:       e.pivot,
+		PivotDist:   e.pd,
+		ContraPivot: e.contra,
+		Ingress:     e.ingress,
+		TraceEntry:  e.traceEntry,
+		OnPath:      e.onPath,
+		Stop:        e.stop,
+	}
+	for a := range e.members {
+		if prefix.Contains(a) {
+			s.Addrs = append(s.Addrs, a)
+		}
+	}
+	sortAddrs(s.Addrs)
+	if !prefix.Contains(e.contra) {
+		s.ContraPivot = ipv4.Zero
+	}
+	return s, nil
+}
+
+// grow is the paper's bottom-up Algorithm 1: form temporary subnets of
+// decreasing prefix length around the pivot, probing every new candidate.
+func (e *explorer) grow() (ipv4.Prefix, error) {
+	for m := 31; m >= e.cfg.MinPrefixBits; m-- {
+		sp := ipv4.NewPrefix(e.pivot, m)
+		shrunk := false
+		var walkErr error
+		sp.Addrs(func(a ipv4.Addr) bool {
+			if e.probed[a] {
+				return true
+			}
+			e.probed[a] = true
+			v, err := e.examine(a)
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			switch v {
+			case verdictMember:
+				e.members[a] = true
+			case verdictShrink:
+				shrunk = true
+				return false
+			}
+			return true
+		})
+		if walkErr != nil {
+			return ipv4.Prefix{}, walkErr
+		}
+		if shrunk {
+			// H1 prefix reduction: revert to the last known intact prefix
+			// and drop every member that only conformed to the broken one.
+			return e.shrinkTo(m + 1), nil
+		}
+		// Algorithm 1 lines 19–21: stop growing unless more than half of the
+		// current level is utilized.
+		if !e.cfg.DisableHalfFillStop && m <= 29 && uint64(len(e.members)) <= sp.Size()/2 {
+			e.stop = StopHalfFill
+			return e.coveringPrefix(), nil
+		}
+	}
+	e.stop = StopMinPrefix
+	return e.coveringPrefix(), nil
+}
+
+// growTopDown is the §3.8 strawman used by the ablation benchmarks: assume
+// the largest allowed subnet outright and probe every address in it,
+// shrinking toward the pivot whenever a heuristic fires.
+func (e *explorer) growTopDown() (ipv4.Prefix, error) {
+	prefix := ipv4.NewPrefix(e.pivot, e.cfg.MinPrefixBits)
+	for {
+		restart := false
+		var walkErr error
+		prefix.Addrs(func(a ipv4.Addr) bool {
+			if e.probed[a] {
+				return true
+			}
+			e.probed[a] = true
+			v, err := e.examine(a)
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			switch v {
+			case verdictMember:
+				e.members[a] = true
+			case verdictShrink:
+				// Shrink just enough to exclude the offender.
+				bits := ipv4.CommonPrefixLen(e.pivot, a) + 1
+				if bits > 32 {
+					bits = 32
+				}
+				prefix = e.shrinkTo(bits)
+				e.stop = StopNone
+				restart = true
+				return false
+			}
+			return true
+		})
+		if walkErr != nil {
+			return ipv4.Prefix{}, walkErr
+		}
+		if !restart {
+			if e.stop == StopNone {
+				e.stop = StopMinPrefix
+			}
+			return prefix, nil
+		}
+	}
+}
+
+// shrinkTo reverts the subnet to /bits around the pivot, dropping members
+// outside it (heuristic H1).
+func (e *explorer) shrinkTo(bits int) ipv4.Prefix {
+	if bits > 32 {
+		bits = 32
+	}
+	p := ipv4.NewPrefix(e.pivot, bits)
+	for a := range e.members {
+		if !p.Contains(a) {
+			delete(e.members, a)
+		}
+	}
+	if !p.Contains(e.contra) {
+		e.contra = ipv4.Zero
+	}
+	return p
+}
+
+// coveringPrefix returns the minimal prefix containing every member — the
+// observed subnet when growth ends without a shrink (half-fill stop or the
+// MinPrefixBits floor). Growing first and covering afterwards is what makes
+// sparsely utilized subnets come out underestimated rather than inflated
+// (§3.8, §4.1.1).
+func (e *explorer) coveringPrefix() ipv4.Prefix {
+	bits := 32
+	for a := range e.members {
+		if l := ipv4.CommonPrefixLen(e.pivot, a); l < bits {
+			bits = l
+		}
+	}
+	return ipv4.NewPrefix(e.pivot, bits)
+}
+
+// reduceBoundary applies heuristic H9: a collected subnet shorter than /31
+// must not contain its network or broadcast address; while it does, split it
+// and keep the half holding the pivot.
+func (e *explorer) reduceBoundary(p ipv4.Prefix) ipv4.Prefix {
+	for p.Bits() < 31 {
+		hasBoundary := false
+		for a := range e.members {
+			if p.Contains(a) && p.IsBoundary(a) {
+				hasBoundary = true
+				break
+			}
+		}
+		if !hasBoundary {
+			break
+		}
+		lo, hi := p.Halves()
+		if lo.Contains(e.pivot) {
+			p = lo
+		} else {
+			p = hi
+		}
+		for a := range e.members {
+			if !p.Contains(a) {
+				delete(e.members, a)
+			}
+		}
+		if !p.Contains(e.contra) {
+			e.contra = ipv4.Zero
+		}
+	}
+	return p
+}
+
+// examine runs heuristics H2–H8 on candidate address a.
+func (e *explorer) examine(a ipv4.Addr) (examineVerdict, error) {
+	// H2 upper-bound subnet contiguity: a must be alive at the pivot's
+	// distance. A TTL expiry means a lies farther than the subnet.
+	r, err := e.pr.Probe(a, e.pd)
+	if err != nil {
+		return verdictSkip, err
+	}
+	switch {
+	case r.Expired():
+		e.stop = StopH2
+		return verdictShrink, nil
+	case !r.Alive():
+		if a == e.pivot.Mate31() {
+			// Remember the dead /31 mate: H5's shortcut then transfers to
+			// the /30 mate.
+			e.mate31Dead = true
+		}
+		return verdictSkip, nil
+	}
+
+	// H5 mate-31 subnet contiguity: the pivot's own /31 mate (or its /30
+	// mate when the /31 mate is unused) is on the subnet by hierarchical
+	// addressing — no further tests.
+	if a == e.pivot.Mate31() {
+		return verdictMember, nil
+	}
+	if a == e.pivot.Mate30() && e.mate31Dead {
+		return verdictMember, nil
+	}
+
+	// H3/H4: contra-pivot detection, one probe at jh-1 shared with H6.
+	if e.pd-1 >= 1 {
+		r1, err := e.pr.Probe(a, e.pd-1)
+		if err != nil {
+			return verdictSkip, err
+		}
+		if r1.Alive() {
+			// Alive one hop closer: contra-pivot candidate (H3).
+			if !e.contra.IsZero() {
+				e.stop = StopH3 // second contra-pivot: ingress fringe
+				return verdictShrink, nil
+			}
+			// H4 lower-bound subnet contiguity: a genuine contra-pivot is
+			// exactly one hop closer, not two.
+			if e.pd-2 >= 1 {
+				r2, err := e.pr.Probe(a, e.pd-2)
+				if err != nil {
+					return verdictSkip, err
+				}
+				if r2.Alive() {
+					e.stop = StopH4
+					return verdictShrink, nil
+				}
+			}
+			e.contra = a
+			return verdictMember, nil
+		}
+		// H6 fixed entry points: probes to subnet members must enter through
+		// the known ingress router(s).
+		if r1.Expired() && !e.entryOK(r1.From) {
+			e.stop = StopH6
+			return verdictShrink, nil
+		}
+	}
+
+	// H7 upper-bound router contiguity: if a's mate lies one hop beyond the
+	// subnet, a belongs to a router one hop past the ingress but on a
+	// different subnet (far fringe).
+	if v, err := e.mateCheck(a, e.pd, true); err != nil || v == verdictShrink {
+		if v == verdictShrink {
+			e.stop = StopH7
+		}
+		return v, err
+	}
+
+	// H8 lower-bound router contiguity: if a's mate is alive one hop closer
+	// — and is not the contra-pivot — a sits on a subnet hanging off the
+	// ingress router (close fringe).
+	if e.pd-1 >= 1 {
+		if v, err := e.mateCheck(a, e.pd-1, false); err != nil || v == verdictShrink {
+			if v == verdictShrink {
+				e.stop = StopH8
+			}
+			return v, err
+		}
+	}
+
+	return verdictMember, nil
+}
+
+// mateCheck implements the shared probing pattern of H7 and H8: probe the /31
+// mate of a at the given TTL, falling back to the /30 mate when the /31 mate
+// yields no response or host-unreachable. For H7 (expectExceeded) the fatal
+// signal is a TTL expiry; for H8 it is an alive reply.
+func (e *explorer) mateCheck(a ipv4.Addr, ttl int, expectExceeded bool) (examineVerdict, error) {
+	for _, mate := range []ipv4.Addr{a.Mate31(), a.Mate30()} {
+		if mate == e.pivot || e.members[mate] {
+			// The mate is already known to be on the subnet: a passes.
+			return verdictSkip, nil
+		}
+		if !expectExceeded && mate == e.contra {
+			// H8 explicitly excludes the contra-pivot: it IS on the ingress
+			// router and on the subnet.
+			return verdictSkip, nil
+		}
+		r, err := e.pr.Probe(mate, ttl)
+		if err != nil {
+			return verdictSkip, err
+		}
+		if expectExceeded {
+			if r.Expired() {
+				return verdictShrink, nil
+			}
+			if r.Alive() {
+				return verdictSkip, nil // mate at subnet distance: consistent
+			}
+		} else {
+			if r.Alive() {
+				return verdictShrink, nil
+			}
+			if r.Expired() {
+				return verdictSkip, nil // mate farther back: consistent
+			}
+		}
+		// No response or host-unreachable: fall through to the /30 mate.
+	}
+	return verdictSkip, nil
+}
+
+// entryOK implements H6's comparison of an observed entry router k with the
+// two known entry points: the positioning ingress i and the trace-collection
+// predecessor u. Per §3.7, "tracenet always attempts to obtain at most two
+// ingress routers to the subnet being investigated (one is in trace
+// collection mode and the other is in subnet positioning phase) and applies
+// the test H6 against both routers" — u is accepted unconditionally, which
+// is what makes H6 tolerant of path fluctuations that alternate between two
+// entry branches. Anonymous entries act as wildcards ("the rule is valid in
+// case i and/or u are anonymous").
+func (e *explorer) entryOK(k ipv4.Addr) bool {
+	if e.ingress.IsZero() || k.IsZero() {
+		return true
+	}
+	if k == e.ingress {
+		return true
+	}
+	if !e.cfg.SingleIngress {
+		if e.traceEntry.IsZero() || k == e.traceEntry {
+			return true
+		}
+	}
+	return false
+}

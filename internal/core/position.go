@@ -1,0 +1,161 @@
+package core
+
+import (
+	"tracenet/internal/ipv4"
+	"tracenet/internal/probe"
+)
+
+// position is the outcome of subnet positioning (paper §3.4, Algorithm 2):
+// the pivot interface the subnet will be grown around, its direct hop
+// distance, the ingress interface, and whether the subnet lies on the trace
+// path.
+type position struct {
+	ok        bool
+	pivot     ipv4.Addr
+	pivotDist int
+	ingress   ipv4.Addr
+	onPath    bool
+}
+
+// findPosition runs Algorithm 2 for the interface v obtained at hop d in
+// trace-collection mode, with u the interface obtained at hop d-1 (Zero if
+// anonymous).
+func findPosition(pr *probe.Prober, u, v ipv4.Addr, d int, cfg Config) (position, error) {
+	var pos position
+
+	// Line 1: perceived direct distance to v.
+	vh, err := directDistance(pr, v, d, cfg.MaxTTL)
+	if err != nil {
+		return pos, err
+	}
+	if vh < 0 {
+		// v answers indirect probes only; the subnet cannot be positioned.
+		return pos, nil
+	}
+
+	// Lines 2–10: on/off-trace-path decision. The subnet is on the trace
+	// path iff the perceived distance matches the trace hop and the hop
+	// before v on the direct path is u.
+	if vh == d {
+		if vh == 1 {
+			// First hop: the subnet is the vantage LAN, trivially on-path.
+			pos.onPath = true
+		} else {
+			r, err := pr.Probe(v, vh-1)
+			if err != nil {
+				return pos, err
+			}
+			switch {
+			case r.Expired() && r.From == u:
+				pos.onPath = true
+			case r.Silent() && u.IsZero():
+				// Both the trace hop and the direct-path predecessor are
+				// anonymous: indistinguishable, assume on-path.
+				pos.onPath = true
+			}
+		}
+	}
+
+	// Lines 11–21: pivot designation. If the /31 mate of v is farther than v
+	// (a probe to it at TTL vh expires), then v is the near-side interface
+	// of its link and the true pivot — the farthest interface of the subnet
+	// (§3.4) — is its mate, one hop beyond.
+	pos.pivot, pos.pivotDist = v, vh
+	if mate, ok, err := farSideMate(pr, v, vh); err != nil {
+		return pos, err
+	} else if ok {
+		pos.pivot, pos.pivotDist = mate, vh+1
+	}
+
+	// Line 22: ingress interface — the router one hop before the pivot.
+	if pos.pivotDist > 1 {
+		r, err := pr.Probe(pos.pivot, pos.pivotDist-1)
+		if err != nil {
+			return pos, err
+		}
+		if r.Expired() {
+			pos.ingress = r.From
+		}
+	}
+	pos.ok = true
+	return pos, nil
+}
+
+// farSideMate implements Algorithm 2 lines 11–16: it reports whether the /31
+// (or, failing that, /30) mate of v lies one hop beyond v, in which case the
+// alive mate is the pivot. Returns (mate, true) when the pivot moves.
+func farSideMate(pr *probe.Prober, v ipv4.Addr, vh int) (ipv4.Addr, bool, error) {
+	for _, mate := range []ipv4.Addr{v.Mate31(), v.Mate30()} {
+		r, err := pr.Probe(mate, vh)
+		if err != nil {
+			return ipv4.Zero, false, err
+		}
+		if r.Expired() {
+			// The mate is beyond v. Use it as pivot if it is in use.
+			alive, err := pr.Direct(mate)
+			if err != nil {
+				return ipv4.Zero, false, err
+			}
+			if alive.Alive() {
+				return mate, true, nil
+			}
+			// Paper: "else if mate30(v) is in use" — fall through to the
+			// /30 mate on the next iteration.
+			continue
+		}
+		if !r.Silent() {
+			// The mate answered at vh (echo reply): it is not beyond v, so v
+			// itself is the farthest interface and stays pivot.
+			return ipv4.Zero, false, nil
+		}
+		// Silence: "similar argument applies to /30 mate in case probing /31
+		// does not yield any response" — try the next mate.
+	}
+	return ipv4.Zero, false, nil
+}
+
+// directDistance measures the perceived direct distance to addr (the dst()
+// function of Algorithm 2): the smallest TTL at which a direct probe draws an
+// alive response. The search starts from the hint hop d and walks down while
+// the probe still succeeds, or up while it still expires. Returns -1 when
+// addr never answers directly.
+func directDistance(pr *probe.Prober, addr ipv4.Addr, d, maxTTL int) (int, error) {
+	if d < 1 {
+		d = 1
+	}
+	r, err := pr.Probe(addr, d)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case r.Alive():
+		// Walk down: the distance is the last TTL that still succeeds.
+		for ttl := d - 1; ttl >= 1; ttl-- {
+			r2, err := pr.Probe(addr, ttl)
+			if err != nil {
+				return 0, err
+			}
+			if !r2.Alive() {
+				return ttl + 1, nil
+			}
+		}
+		return 1, nil
+	case r.Expired():
+		// Walk up until the probe reaches addr.
+		for ttl := d + 1; ttl <= maxTTL; ttl++ {
+			r2, err := pr.Probe(addr, ttl)
+			if err != nil {
+				return 0, err
+			}
+			if r2.Alive() {
+				return ttl, nil
+			}
+			if !r2.Expired() {
+				return -1, nil
+			}
+		}
+		return -1, nil
+	default:
+		return -1, nil
+	}
+}

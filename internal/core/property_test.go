@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/topo"
+)
+
+// TestInvariantsOnRandomTopologies drives full tracenet sessions over seeded
+// random networks and checks the structural invariants every collected
+// subnet must satisfy, whatever the topology looks like.
+func TestInvariantsOnRandomTopologies(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		top, targets := topo.Random(topo.RandomSpec{Seed: seed, Unresponsive: 0.1})
+		n := netsim.New(top, netsim.Config{Seed: seed})
+		port, err := n.PortFor("vantage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+		sess := NewSession(pr, Config{})
+		for _, target := range targets {
+			res, err := sess.Trace(target)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			checkResultInvariants(t, seed, res)
+		}
+		for _, s := range sess.Subnets() {
+			checkSubnetInvariants(t, seed, top, s)
+		}
+	}
+}
+
+func checkResultInvariants(t *testing.T, seed int64, res *Result) {
+	t.Helper()
+	prevTTL := 0
+	for _, h := range res.Hops {
+		if h.TTL != prevTTL+1 {
+			t.Fatalf("seed %d: hop TTLs not consecutive: %v after %d", seed, h.TTL, prevTTL)
+		}
+		prevTTL = h.TTL
+		if h.Anonymous() && h.Subnet != nil {
+			t.Fatalf("seed %d: anonymous hop carries a subnet", seed)
+		}
+	}
+	if res.TotalProbes() != res.TraceProbes+res.PositionProbes+res.ExploreProbes {
+		t.Fatalf("seed %d: probe accounting inconsistent", seed)
+	}
+}
+
+func checkSubnetInvariants(t *testing.T, seed int64, top *netsim.Topology, s *Subnet) {
+	t.Helper()
+	// The pivot is always a member and inside the prefix.
+	if !s.Prefix.Contains(s.Pivot) {
+		t.Fatalf("seed %d: pivot %v outside prefix %v", seed, s.Pivot, s.Prefix)
+	}
+	if !s.Contains(s.Pivot) {
+		t.Fatalf("seed %d: pivot %v not a member of %v", seed, s.Pivot, s.Addrs)
+	}
+	// Every member lies inside the observed prefix.
+	for _, a := range s.Addrs {
+		if !s.Prefix.Contains(a) {
+			t.Fatalf("seed %d: member %v outside %v", seed, a, s.Prefix)
+		}
+	}
+	// H9: no boundary members for prefixes shorter than /31.
+	if s.Prefix.Bits() < 31 {
+		for _, a := range s.Addrs {
+			if s.Prefix.IsBoundary(a) {
+				t.Fatalf("seed %d: boundary member %v in %v", seed, a, s.Prefix)
+			}
+		}
+	}
+	// A /32 record means exactly one member.
+	if s.Prefix.Bits() == 32 && len(s.Addrs) != 1 {
+		t.Fatalf("seed %d: /32 with %d members", seed, len(s.Addrs))
+	}
+	// The contra-pivot, when present, is a member.
+	if !s.ContraPivot.IsZero() && !s.Contains(s.ContraPivot) {
+		t.Fatalf("seed %d: contra-pivot %v not a member", seed, s.ContraPivot)
+	}
+	// Soundness against ground truth: every member is a real assigned
+	// address (tracenet never invents interfaces), and all members of one
+	// collected subnet belong to one real subnet.
+	var realSubnet *netsim.Subnet
+	for _, a := range s.Addrs {
+		iface := top.IfaceByAddr(a)
+		if iface == nil {
+			t.Fatalf("seed %d: collected member %v is not an assigned address", seed, a)
+		}
+		if realSubnet == nil {
+			realSubnet = iface.Subnet
+		} else if iface.Subnet != realSubnet {
+			t.Fatalf("seed %d: members of %v span real subnets %v and %v",
+				seed, s.Prefix, realSubnet.Prefix, iface.Subnet.Prefix)
+		}
+	}
+	// The observed prefix never exceeds the real subnet (no overestimation
+	// is possible in these topologies: link spacing prevents same-head-end
+	// adjacency).
+	if realSubnet != nil && s.Prefix.Bits() < realSubnet.Prefix.Bits() {
+		t.Fatalf("seed %d: observed %v larger than real %v", seed, s.Prefix, realSubnet.Prefix)
+	}
+}
+
+// TestSessionDeterminism verifies that identical seeds and targets produce
+// identical collections.
+func TestSessionDeterminism(t *testing.T) {
+	run := func() []string {
+		top, targets := topo.Random(topo.RandomSpec{Seed: 3})
+		n := netsim.New(top, netsim.Config{Seed: 3})
+		port, err := n.PortFor("vantage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+		sess := NewSession(pr, Config{})
+		for _, target := range targets {
+			if _, err := sess.Trace(target); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var out []string
+		for _, s := range sess.Subnets() {
+			out = append(out, s.String())
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in subnet count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs differ at subnet %d:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLossyNetworkInvariants re-runs the invariant suite under reply loss:
+// results may shrink but must never become unsound.
+func TestLossyNetworkInvariants(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		top, targets := topo.Random(topo.RandomSpec{Seed: seed})
+		n := netsim.New(top, netsim.Config{Seed: seed, LossRate: 0.15})
+		port, err := n.PortFor("vantage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+		sess := NewSession(pr, Config{})
+		for _, target := range targets {
+			res, err := sess.Trace(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkResultInvariants(t, seed, res)
+		}
+		for _, s := range sess.Subnets() {
+			checkSubnetInvariants(t, seed, top, s)
+		}
+	}
+}
+
+// TestPerPacketLoadBalancingInvariants re-runs the suite under the worst
+// fluctuation mode (§3.7): per-packet balancing on every equal-cost choice.
+func TestPerPacketLoadBalancingInvariants(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		top, targets := topo.Random(topo.RandomSpec{Seed: seed, ExtraLinks: 5})
+		n := netsim.New(top, netsim.Config{Seed: seed, Mode: netsim.PerPacket})
+		port, err := n.PortFor("vantage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+		sess := NewSession(pr, Config{})
+		for _, target := range targets {
+			res, err := sess.Trace(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkResultInvariants(t, seed, res)
+		}
+		// Under per-packet fluctuation the distance bookkeeping can tear;
+		// subnets may be underestimated (the paper accepts this, §3.7) but
+		// membership soundness within one real subnet must still hold for
+		// multi-member collections.
+		for _, s := range sess.Subnets() {
+			for _, a := range s.Addrs {
+				if top.IfaceByAddr(a) == nil {
+					t.Fatalf("seed %d: invented member %v", seed, a)
+				}
+			}
+		}
+	}
+}
+
+// TestMinPrefixFloor verifies that growth never crosses the configured
+// floor.
+func TestMinPrefixFloor(t *testing.T) {
+	pr := prober(t, topo.Figure3(), netsim.Config{}, probe.Options{})
+	res, err := Trace(pr, addr("10.0.5.2"), Config{MinPrefixBits: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Subnets {
+		if s.Prefix.Bits() < 30 {
+			t.Fatalf("prefix %v crossed the /30 floor", s.Prefix)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/topo"
+)
+
+// TestScaleLargeRandomTopology drives a full collection campaign over a
+// large random network — several hundred routers and subnets — as a
+// performance and robustness guard: the whole campaign must finish within
+// the test timeout and keep every structural invariant.
+func TestScaleLargeRandomTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	top, targets := topo.Random(topo.RandomSpec{
+		Seed:        99,
+		Backbone:    60,
+		Leaves:      400,
+		ExtraLinks:  12,
+		LANFraction: 0.3,
+	})
+	if len(top.Routers) < 400 {
+		t.Fatalf("topology too small for a scale test: %d routers", len(top.Routers))
+	}
+	n := netsim.New(top, netsim.Config{Seed: 99})
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+	sess := NewSession(pr, Config{})
+	collected := 0
+	for _, target := range targets {
+		res, err := sess.Trace(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkResultInvariants(t, 99, res)
+		if res.Reached {
+			collected++
+		}
+	}
+	if collected < len(targets)*3/4 {
+		t.Fatalf("only %d/%d targets reached", collected, len(targets))
+	}
+	for _, s := range sess.Subnets() {
+		checkSubnetInvariants(t, 99, top, s)
+	}
+	if len(sess.Subnets()) < 100 {
+		t.Fatalf("collected only %d subnets from %d targets", len(sess.Subnets()), len(targets))
+	}
+	t.Logf("scale: %d routers, %d subnets in topology; %d targets, %d subnets collected, %d probes",
+		len(top.Routers), len(top.Subnets), len(targets), len(sess.Subnets()), pr.Stats().Sent)
+}

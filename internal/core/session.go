@@ -1,0 +1,163 @@
+package core
+
+import (
+	"tracenet/internal/ipv4"
+	"tracenet/internal/probe"
+)
+
+// Session collects subnets along paths from one vantage point, accumulating
+// results across multiple destinations so that subnets discovered on one
+// trace are reused (not re-explored) by later traces.
+type Session struct {
+	pr  *probe.Prober
+	cfg Config
+
+	// collected maps member addresses onto the subnets already grown, for
+	// the SkipKnown optimization.
+	collected map[ipv4.Addr]*Subnet
+	subnets   []*Subnet
+}
+
+// NewSession creates a tracenet session over the given prober.
+func NewSession(pr *probe.Prober, cfg Config) *Session {
+	return &Session{
+		pr:        pr,
+		cfg:       cfg.withDefaults(),
+		collected: make(map[ipv4.Addr]*Subnet),
+	}
+}
+
+// Subnets returns every distinct subnet collected so far, in discovery order.
+func (s *Session) Subnets() []*Subnet { return s.subnets }
+
+// StopStats returns how often each rule terminated subnet growth across the
+// session — the observability counterpart of §3.5's heuristics: H1 shrinks
+// are attributed to the heuristic that fired, the half-fill rule and the
+// MinPrefixBits floor appear under their own labels.
+func (s *Session) StopStats() map[StopReason]int {
+	out := map[StopReason]int{}
+	for _, sub := range s.subnets {
+		out[sub.Stop]++
+	}
+	return out
+}
+
+// Prober exposes the session's prober (for accounting).
+func (s *Session) Prober() *probe.Prober { return s.pr }
+
+// Trace runs one tracenet session toward dst: a path trace that grows the
+// subnet at every responsive hop.
+func (s *Session) Trace(dst ipv4.Addr) (*Result, error) {
+	res := &Result{Dst: dst}
+	u := ipv4.Zero // interface obtained at the previous hop
+	gaps := 0
+	seen := map[ipv4.Addr]bool{} // loop guard on trace-collection addresses
+
+	for d := 1; d <= s.cfg.MaxTTL; d++ {
+		// Trace collection: one indirect probe at TTL d.
+		before := s.pr.Stats().Sent
+		r, err := s.pr.Probe(dst, d)
+		if err != nil {
+			return res, err
+		}
+		res.TraceProbes += s.pr.Stats().Sent - before
+		hop := Hop{TTL: d, Addr: r.From, Kind: r.Kind}
+
+		switch {
+		case r.Expired() || r.Alive():
+			v := r.From
+			if r.Alive() && v != dst {
+				// An alive reply from a different address (e.g. a default-
+				// interface router answering early) still identifies v.
+				v = r.From
+			}
+			if seen[v] && !r.Alive() {
+				// Routing loop: the same interface answered two TTLs.
+				res.Hops = append(res.Hops, hop)
+				return res, nil
+			}
+			seen[v] = true
+			if err := s.exploreHop(&hop, u, v, d, res); err != nil {
+				return res, err
+			}
+			u = v
+			gaps = 0
+		case r.Kind == probe.HostUnreachable:
+			res.Hops = append(res.Hops, hop)
+			return res, nil
+		default: // silent hop
+			u = ipv4.Zero
+			gaps++
+			if gaps >= s.cfg.MaxConsecutiveGaps {
+				res.Hops = append(res.Hops, hop)
+				return res, nil
+			}
+		}
+
+		res.Hops = append(res.Hops, hop)
+		if r.Alive() {
+			res.Reached = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// exploreHop positions and grows the subnet for the interface v obtained at
+// hop d, or reuses a previously collected subnet containing v.
+func (s *Session) exploreHop(hop *Hop, u, v ipv4.Addr, d int, res *Result) error {
+	if !s.cfg.DisableSkipKnown {
+		if known, ok := s.collected[v]; ok {
+			hop.Subnet = known
+			hop.Revisited = true
+			if !containsSubnet(res.Subnets, known) {
+				res.Subnets = append(res.Subnets, known)
+			}
+			return nil
+		}
+	}
+
+	before := s.pr.Stats().Sent
+	pos, err := findPosition(s.pr, u, v, d, s.cfg)
+	positionCost := s.pr.Stats().Sent - before
+	res.PositionProbes += positionCost
+	if err != nil {
+		return err
+	}
+	if !pos.ok {
+		return nil // v unpositionable: hop recorded without a subnet
+	}
+
+	before = s.pr.Stats().Sent
+	sub, err := explore(s.pr, pos, u, s.cfg)
+	exploreCost := s.pr.Stats().Sent - before
+	res.ExploreProbes += exploreCost
+	if err != nil {
+		return err
+	}
+	sub.Probes = positionCost + exploreCost
+	hop.Subnet = sub
+	s.subnets = append(s.subnets, sub)
+	res.Subnets = append(res.Subnets, sub)
+	for _, a := range sub.Addrs {
+		if _, dup := s.collected[a]; !dup {
+			s.collected[a] = sub
+		}
+	}
+	return nil
+}
+
+func containsSubnet(list []*Subnet, s *Subnet) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Trace is the one-shot convenience wrapper: a fresh session tracing a single
+// destination.
+func Trace(pr *probe.Prober, dst ipv4.Addr, cfg Config) (*Result, error) {
+	return NewSession(pr, cfg).Trace(dst)
+}

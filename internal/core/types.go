@@ -1,0 +1,182 @@
+// Package core implements tracenet, the paper's contribution: an end-to-end
+// topology collector that, at every hop of a path trace, grows the complete
+// subnet accommodating the responding interface.
+//
+// A session alternates between two modes (paper §3.3):
+//
+//   - trace collection: like traceroute, an indirect probe at TTL d obtains
+//     one interface address v of the router at hop d;
+//   - subnet exploration: before moving to hop d+1, the subnet containing v
+//     is located (subnet positioning, Algorithm 2) and grown from a /31
+//     around the pivot interface to its largest authentic prefix
+//     (Algorithm 1), guarded by heuristics H1–H9 (§3.5).
+//
+// The result is a sequence of subnets — with membership, observed prefix
+// length, contra-pivot and ingress annotations — instead of a bare list of
+// addresses.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/probe"
+)
+
+// StopReason records which rule terminated subnet growth, for debugging and
+// the ablation benchmarks.
+type StopReason string
+
+const (
+	StopNone      StopReason = ""          // still growing (internal)
+	StopH2        StopReason = "H2"        // upper-bound subnet contiguity
+	StopH3        StopReason = "H3"        // second contra-pivot
+	StopH4        StopReason = "H4"        // lower-bound subnet contiguity
+	StopH6        StopReason = "H6"        // fixed entry points
+	StopH7        StopReason = "H7"        // upper-bound router contiguity (far fringe)
+	StopH8        StopReason = "H8"        // lower-bound router contiguity (close fringe)
+	StopHalfFill  StopReason = "half-fill" // Algorithm 1 lines 19–21
+	StopMinPrefix StopReason = "min-prefix"
+)
+
+// Subnet is one collected ("observed") subnet.
+type Subnet struct {
+	// Prefix is the observed subnet prefix after growth and H9 reduction.
+	Prefix ipv4.Prefix
+	// Addrs are the member interface addresses, ascending; they include the
+	// pivot and, when present, the contra-pivot.
+	Addrs []ipv4.Addr
+	// Pivot is the interface the subnet was grown around; PivotDist its hop
+	// distance from the vantage point.
+	Pivot     ipv4.Addr
+	PivotDist int
+	// ContraPivot is the member on the ingress router (hop distance
+	// PivotDist-1); Zero if none was found.
+	ContraPivot ipv4.Addr
+	// Ingress is the ingress interface found by subnet positioning (Zero if
+	// anonymous); TraceEntry is the previous trace-collection hop u.
+	Ingress    ipv4.Addr
+	TraceEntry ipv4.Addr
+	// OnPath reports whether the subnet lies on the trace path (§3.4).
+	OnPath bool
+	// Stop records which rule terminated growth.
+	Stop StopReason
+	// Probes is the number of packets spent positioning and exploring this
+	// subnet (the §3.6 overhead accounting).
+	Probes uint64
+}
+
+// Contains reports whether addr is a member of the collected subnet.
+func (s *Subnet) Contains(addr ipv4.Addr) bool {
+	for _, a := range s.Addrs {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// PointToPoint reports whether the observed subnet is a /31 or /30 link.
+func (s *Subnet) PointToPoint() bool { return s.Prefix.Bits() >= 30 }
+
+// String renders the subnet with its annotations.
+func (s *Subnet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v at hop %d:", s.Prefix, s.PivotDist)
+	for _, a := range s.Addrs {
+		switch a {
+		case s.Pivot:
+			fmt.Fprintf(&b, " %v(pivot)", a)
+		case s.ContraPivot:
+			fmt.Fprintf(&b, " %v(contra)", a)
+		default:
+			fmt.Fprintf(&b, " %v", a)
+		}
+	}
+	return b.String()
+}
+
+// Hop is one hop of a tracenet session.
+type Hop struct {
+	// TTL is the hop index (probe TTL in trace-collection mode).
+	TTL int
+	// Addr is the interface obtained in trace-collection mode; Zero for an
+	// anonymous hop.
+	Addr ipv4.Addr
+	// Kind is the raw trace-collection probe outcome.
+	Kind probe.Kind
+	// Subnet is the subnet grown at this hop; nil when the hop was anonymous
+	// or could not be positioned.
+	Subnet *Subnet
+	// Revisited is set when Addr already belonged to a subnet collected at an
+	// earlier hop, which is then reused instead of re-explored.
+	Revisited bool
+}
+
+// Anonymous reports whether the hop did not respond in trace collection.
+func (h Hop) Anonymous() bool { return h.Addr.IsZero() }
+
+// Result is a completed tracenet session.
+type Result struct {
+	Dst     ipv4.Addr
+	Hops    []Hop
+	Reached bool
+	// Subnets are the distinct subnets collected, in discovery order.
+	Subnets []*Subnet
+	// Probe accounting per phase (§3.6).
+	TraceProbes    uint64
+	PositionProbes uint64
+	ExploreProbes  uint64
+}
+
+// TotalProbes returns the packets spent across all phases.
+func (r *Result) TotalProbes() uint64 {
+	return r.TraceProbes + r.PositionProbes + r.ExploreProbes
+}
+
+// AddrCount returns the number of distinct interface addresses discovered,
+// including trace-collection addresses not placed into any subnet.
+func (r *Result) AddrCount() int {
+	set := map[ipv4.Addr]bool{}
+	for _, h := range r.Hops {
+		if !h.Anonymous() {
+			set[h.Addr] = true
+		}
+	}
+	for _, s := range r.Subnets {
+		for _, a := range s.Addrs {
+			set[a] = true
+		}
+	}
+	return len(set)
+}
+
+// String renders the session, one hop per line with its subnet.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tracenet to %v (%d hops, reached=%v, probes=%d)\n",
+		r.Dst, len(r.Hops), r.Reached, r.TotalProbes())
+	for _, h := range r.Hops {
+		if h.Anonymous() {
+			fmt.Fprintf(&b, "%3d  *\n", h.TTL)
+			continue
+		}
+		fmt.Fprintf(&b, "%3d  %v", h.TTL, h.Addr)
+		if h.Subnet != nil {
+			mark := ""
+			if h.Revisited {
+				mark = " (revisited)"
+			}
+			fmt.Fprintf(&b, "  subnet %v [%d addrs]%s", h.Subnet.Prefix, len(h.Subnet.Addrs), mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// sortAddrs sorts a member list ascending.
+func sortAddrs(addrs []ipv4.Addr) {
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+}

@@ -1,0 +1,133 @@
+// Package discarte implements the record-route baseline the paper cites in
+// its related work (§2): "Discarte project sets record-route option of probe
+// packets to force the compliant routers to stamp the packets with outgoing
+// IP address. As a result, it obtains two IP addresses per hop."
+//
+// The collector runs a TTL-scoped trace with the RR option set: each hop
+// yields the ICMP time-exceeded source (one address) plus, for the first
+// nine hops (the RR option's slot limit) and compliant routers only, the
+// outgoing interface stamped by the router one position earlier. It is a
+// useful comparator between plain traceroute and tracenet: more addresses
+// than the former, far fewer than the latter, and no subnet structure.
+package discarte
+
+import (
+	"fmt"
+	"strings"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/probe"
+)
+
+// Hop is one row of a record-route trace.
+type Hop struct {
+	TTL int
+	// Addr is the ICMP responder (as in plain traceroute); Zero if silent.
+	Addr ipv4.Addr
+	// Stamped is the outgoing interface recorded by this hop's router,
+	// recovered from the stamps of deeper probes (Zero when the router is
+	// non-compliant or beyond the nine-slot RR limit).
+	Stamped ipv4.Addr
+	Kind    probe.Kind
+}
+
+// Route is a completed record-route trace.
+type Route struct {
+	Dst     ipv4.Addr
+	Hops    []Hop
+	Reached bool
+}
+
+// Addrs returns all distinct addresses discovered: responders and stamps.
+func (r *Route) Addrs() []ipv4.Addr {
+	seen := map[ipv4.Addr]bool{}
+	var out []ipv4.Addr
+	add := func(a ipv4.Addr) {
+		if !a.IsZero() && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, h := range r.Hops {
+		add(h.Addr)
+		add(h.Stamped)
+	}
+	return out
+}
+
+// String renders the route, two addresses per hop where available.
+func (r *Route) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "discarte trace to %v (%d hops, reached=%v)\n", r.Dst, len(r.Hops), r.Reached)
+	for _, h := range r.Hops {
+		in := "*"
+		if !h.Addr.IsZero() {
+			in = h.Addr.String()
+		}
+		out := "-"
+		if !h.Stamped.IsZero() {
+			out = h.Stamped.String()
+		}
+		fmt.Fprintf(&b, "%3d  in %-15s out %s\n", h.TTL, in, out)
+	}
+	return b.String()
+}
+
+// Options configure a record-route trace.
+type Options struct {
+	// MaxTTL bounds the trace length. Default 30.
+	MaxTTL int
+	// MaxConsecutiveGaps ends the trace after this many silent hops. Default 4.
+	MaxConsecutiveGaps int
+}
+
+// Run performs a record-route trace. The prober must have been created with
+// probe.Options.RecordRoute set; Run returns an error otherwise (the stamps
+// would silently be missing).
+func Run(p *probe.Prober, dst ipv4.Addr, opts Options) (*Route, error) {
+	if opts.MaxTTL == 0 {
+		opts.MaxTTL = 30
+	}
+	if opts.MaxConsecutiveGaps == 0 {
+		opts.MaxConsecutiveGaps = 4
+	}
+	route := &Route{Dst: dst}
+	// stamps[i] is the outgoing interface of the router at hop i+1, learned
+	// from the deepest probe that traversed it.
+	var stamps []ipv4.Addr
+	gaps := 0
+	for ttl := 1; ttl <= opts.MaxTTL; ttl++ {
+		res, err := p.Probe(dst, ttl)
+		if err != nil {
+			return route, err
+		}
+		route.Hops = append(route.Hops, Hop{TTL: ttl, Addr: res.From, Kind: res.Kind})
+		// A probe expiring at hop d carries stamps from the first d-1
+		// routers (bounded by slots and compliance); keep the longest run.
+		if len(res.Recorded) > len(stamps) {
+			stamps = res.Recorded
+		}
+		switch {
+		case res.Alive():
+			route.Reached = true
+			ttl = opts.MaxTTL // done
+		case res.Silent():
+			gaps++
+			if gaps >= opts.MaxConsecutiveGaps {
+				ttl = opts.MaxTTL
+			}
+		default:
+			gaps = 0
+		}
+		if route.Reached || gaps >= opts.MaxConsecutiveGaps {
+			break
+		}
+	}
+	// Attribute stamp i to hop i+1 (the router that forwarded and stamped).
+	for i, s := range stamps {
+		if i < len(route.Hops) {
+			route.Hops[i].Stamped = s
+		}
+	}
+	return route, nil
+}

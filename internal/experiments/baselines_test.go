@@ -1,0 +1,56 @@
+package experiments
+
+import "testing"
+
+// TestOnlineBeatsOffline validates the paper's §2 claim: inferring subnets
+// offline from traceroute output [7] sees only one address per router per
+// path and must underperform tracenet's online exploration, both in exact
+// matches and in address coverage.
+func TestOnlineBeatsOffline(t *testing.T) {
+	res, err := OnlineVsOffline(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnlineExact <= res.OfflineExact {
+		t.Errorf("online exact rate %.3f should beat offline %.3f",
+			res.OnlineExact, res.OfflineExact)
+	}
+	// tracenet's online rate stays at its Table 1 level; the offline rate
+	// collapses because most members never appear in traceroute output.
+	if res.OnlineExact < 0.65 {
+		t.Errorf("online exact rate = %.3f, want ≈0.737", res.OnlineExact)
+	}
+	if res.OfflineExact > 0.45 {
+		t.Errorf("offline exact rate = %.3f, expected a collapse below 0.45", res.OfflineExact)
+	}
+	if res.OnlineAddrs <= res.OfflineAddrs {
+		t.Errorf("online addresses %d should exceed offline input %d",
+			res.OnlineAddrs, res.OfflineAddrs)
+	}
+}
+
+// TestRouterMapPipeline validates the downstream pipeline: tracenet + Ally
+// alias resolution produces an accurate router-level map, and the subnet
+// constraint cuts the probing cost without changing the result.
+func TestRouterMapPipeline(t *testing.T) {
+	res, err := RouterMap(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Addresses < 8 {
+		t.Fatalf("resolved only %d addresses", res.Addresses)
+	}
+	if res.Precision < 0.99 {
+		t.Errorf("precision = %.2f, want ≈1.0 (counter IDs are unambiguous here)", res.Precision)
+	}
+	if res.Recall < 0.99 {
+		t.Errorf("recall = %.2f, want ≈1.0", res.Recall)
+	}
+	if res.Groups != res.TrueRouters {
+		t.Errorf("inferred %d routers, ground truth has %d", res.Groups, res.TrueRouters)
+	}
+	if res.ProbesWithConstraint >= res.ProbesWithout {
+		t.Errorf("subnet constraint saved nothing: %d vs %d probes",
+			res.ProbesWithConstraint, res.ProbesWithout)
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"tracenet/internal/core"
+	"tracenet/internal/discarte"
+	"tracenet/internal/ipv4"
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/topo"
+	"tracenet/internal/trace"
+)
+
+// CoverageResult quantifies the paper's motivating claim (Figure 1, §1):
+// on the same end-to-end path, tracenet discovers the addresses traceroute
+// misses, marks multi-access versus point-to-point links, and annotates
+// subnets with their masks — at a probing cost traceroute doesn't pay.
+type CoverageResult struct {
+	// TracerouteAddrs, DiscarteAddrs, and TracenetAddrs are distinct
+	// addresses discovered by each collector.
+	TracerouteAddrs, DiscarteAddrs, TracenetAddrs int
+	// Per-collector packet costs.
+	TracerouteProbes, DiscarteProbes, TracenetProbes uint64
+	// Subnets and MultiAccess count the collected subnets and how many of
+	// them are multi-access LANs — information only tracenet produces.
+	Subnets, MultiAccess int
+}
+
+// Coverage runs traceroute and tracenet over the same Internet2-like network
+// and target set and compares discovery yield.
+func Coverage(seed int64) (*CoverageResult, error) {
+	r := topo.Internet2()
+	out := &CoverageResult{}
+
+	// Baseline traceroute.
+	{
+		n := netsim.New(r.Topo, netsim.Config{Seed: seed})
+		port, err := n.PortFor("vantage")
+		if err != nil {
+			return nil, err
+		}
+		pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+		addrs := map[ipv4.Addr]bool{}
+		for _, target := range r.Targets() {
+			route, err := trace.Run(pr, target, trace.Options{})
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range route.Addrs() {
+				addrs[a] = true
+			}
+		}
+		out.TracerouteAddrs = len(addrs)
+		out.TracerouteProbes = pr.Stats().Sent
+	}
+
+	// DisCarte-style record-route baseline (§2): about two addresses per
+	// hop for the first nine hops.
+	{
+		n := netsim.New(r.Topo, netsim.Config{Seed: seed})
+		port, err := n.PortFor("vantage")
+		if err != nil {
+			return nil, err
+		}
+		pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true, RecordRoute: true})
+		addrs := map[ipv4.Addr]bool{}
+		for _, target := range r.Targets() {
+			route, err := discarte.Run(pr, target, discarte.Options{})
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range route.Addrs() {
+				addrs[a] = true
+			}
+		}
+		out.DiscarteAddrs = len(addrs)
+		out.DiscarteProbes = pr.Stats().Sent
+	}
+
+	// tracenet.
+	{
+		n := netsim.New(r.Topo, netsim.Config{Seed: seed})
+		port, err := n.PortFor("vantage")
+		if err != nil {
+			return nil, err
+		}
+		pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+		sess := core.NewSession(pr, core.Config{})
+		addrs := map[ipv4.Addr]bool{}
+		for _, target := range r.Targets() {
+			res, err := sess.Trace(target)
+			if err != nil {
+				return nil, err
+			}
+			for _, h := range res.Hops {
+				if !h.Anonymous() {
+					addrs[h.Addr] = true
+				}
+			}
+		}
+		for _, s := range sess.Subnets() {
+			for _, a := range s.Addrs {
+				addrs[a] = true
+			}
+			if s.Prefix.Bits() < 32 {
+				out.Subnets++
+				if !s.PointToPoint() {
+					out.MultiAccess++
+				}
+			}
+		}
+		out.TracenetAddrs = len(addrs)
+		out.TracenetProbes = pr.Stats().Sent
+	}
+	return out, nil
+}

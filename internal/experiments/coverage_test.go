@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// TestCoverageOrdering validates the paper's motivation numbers: traceroute
+// finds the fewest addresses, the DisCarte-style record-route baseline about
+// twice as many ("two IP addresses per hop", bounded by nine RR slots), and
+// tracenet by far the most — plus the subnet structure the others cannot
+// produce — at a bounded probing premium ("a cost effective solution").
+func TestCoverageOrdering(t *testing.T) {
+	c, err := Coverage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c.TracerouteAddrs < c.DiscarteAddrs && c.DiscarteAddrs < c.TracenetAddrs) {
+		t.Fatalf("address ordering broken: traceroute %d, discarte %d, tracenet %d",
+			c.TracerouteAddrs, c.DiscarteAddrs, c.TracenetAddrs)
+	}
+	if c.TracenetAddrs < 2*c.TracerouteAddrs {
+		t.Errorf("tracenet found %d addrs, want at least 2x traceroute's %d",
+			c.TracenetAddrs, c.TracerouteAddrs)
+	}
+	if c.Subnets == 0 || c.MultiAccess == 0 {
+		t.Errorf("subnet annotations missing: %+v", c)
+	}
+	// The probing premium stays within the paper's "cost effective" claim:
+	// a small constant factor, not an order of magnitude.
+	if c.TracenetProbes > 5*c.TracerouteProbes {
+		t.Errorf("tracenet probes %d exceed 5x traceroute's %d",
+			c.TracenetProbes, c.TracerouteProbes)
+	}
+}

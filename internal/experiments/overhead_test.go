@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"testing"
+
+	"tracenet/internal/core"
+)
+
+// TestOverheadEnvelope validates §3.6 through the experiment harness: the
+// point-to-point lower-bound regime costs a small constant, and every
+// multi-access measurement stays under the paper's 7|S|+7 worst case.
+func TestOverheadEnvelope(t *testing.T) {
+	points, err := Overhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2p, lans := 0, 0
+	for _, p := range points {
+		if p.PointToPoint {
+			p2p++
+			if p.Probes > 12 {
+				t.Errorf("p2p |S|=%d cost %d, want small constant", p.Members, p.Probes)
+			}
+			continue
+		}
+		lans++
+		if p.Probes > uint64(p.PaperUpperBound) {
+			t.Errorf("|S|=%d cost %d exceeds the paper bound %d", p.Members, p.Probes, p.PaperUpperBound)
+		}
+	}
+	if p2p == 0 || lans < 5 {
+		t.Fatalf("sweep incomplete: %d p2p, %d LANs", p2p, lans)
+	}
+	// Linearity: cost grows with |S|.
+	var prev uint64
+	for _, p := range points {
+		if p.PointToPoint {
+			continue
+		}
+		if p.Probes < prev {
+			t.Errorf("cost not monotone: |S|=%d cost %d after %d", p.Members, p.Probes, prev)
+		}
+		prev = p.Probes
+	}
+}
+
+// TestAblationDirections runs every ablation harness and checks that the
+// paper's design choice wins in its metric.
+func TestAblationDirections(t *testing.T) {
+	bu, err := AblationBottomUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bu.Baseline >= bu.Ablated {
+		t.Errorf("bottom-up (%v probes) should beat top-down (%v)", bu.Baseline, bu.Ablated)
+	}
+	hf, err := AblationHalfFill()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hf.Baseline >= hf.Ablated {
+		t.Errorf("half-fill stop (%v probes) should beat unguarded growth (%v)", hf.Baseline, hf.Ablated)
+	}
+	ti, err := AblationTwoIngress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.Baseline <= ti.Ablated {
+		t.Errorf("two-ingress H6 (%v members) should beat single ingress (%v)", ti.Baseline, ti.Ablated)
+	}
+	rt, err := AblationRetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Baseline <= rt.Ablated {
+		t.Errorf("retry (%v subnets) should beat single-shot (%v)", rt.Baseline, rt.Ablated)
+	}
+}
+
+// TestHeuristicStats checks the stop-reason distribution over the Internet2
+// run: every growth terminates through a defined rule, and the boundary
+// rules (H2–H8) plus the half-fill stop account for everything.
+func TestHeuristicStats(t *testing.T) {
+	stats, err := HeuristicStats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for reason, n := range stats {
+		if reason == core.StopNone {
+			t.Errorf("%d subnets terminated without a recorded rule", n)
+		}
+		total += n
+	}
+	if total < 150 {
+		t.Fatalf("stop stats cover only %d subnets", total)
+	}
+	if stats[core.StopHalfFill] == 0 {
+		t.Error("no half-fill stops on a network full of well-utilized subnets")
+	}
+	// Adjacent allocations guarantee boundary heuristics fire somewhere.
+	boundary := stats[core.StopH2] + stats[core.StopH3] + stats[core.StopH4] +
+		stats[core.StopH6] + stats[core.StopH7] + stats[core.StopH8]
+	if boundary == 0 {
+		t.Error("no boundary heuristic ever fired")
+	}
+}
+
+// TestEntryLimitation characterizes the fixed-ingress assumption (§3.2(ii)):
+// single-ingress subnets are collected whole; multi-ingress subnets have
+// several interfaces one hop closer than the pivot and collapse under H3's
+// single-contra-pivot rule.
+func TestEntryLimitation(t *testing.T) {
+	frac, err := EntryLimitation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac[1] < 0.95 {
+		t.Errorf("single-ingress recovery = %.2f, want ~1.0", frac[1])
+	}
+	for _, entries := range []int{2, 3} {
+		if frac[entries] >= 0.5 {
+			t.Errorf("%d-ingress recovery = %.2f, want a collapse below 0.5 (fixed-ingress assumption)",
+				entries, frac[entries])
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (§4), plus the §3.6 probing-overhead model and the
+// ablations listed in DESIGN.md. Each harness is deterministic given its
+// seed and returns the rows/series the paper reports; the cmd/experiments
+// binary and the repository-level benchmarks print them.
+package experiments
+
+import (
+	"fmt"
+
+	"tracenet/internal/core"
+	"tracenet/internal/ipv4"
+	"tracenet/internal/metrics"
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/topo"
+)
+
+// ResearchResult is the outcome of a Table 1 / Table 2 run: tracenet over a
+// research network from a single vantage point, compared against the derived
+// original topology.
+type ResearchResult struct {
+	Name string
+	// Dist is the Table 1/2 cross-tabulation.
+	Dist metrics.Distribution
+	// Originals and Outcomes back the similarity computations.
+	Originals []metrics.Original
+	Outcomes  []metrics.Outcome
+	// Headline numbers (§4.1).
+	ExactRate           float64 // including unresponsive subnets
+	ExactRateResponsive float64 // excluding unresponsive subnets
+	PrefixSimilarity    float64 // equation (3)
+	SizeSimilarity      float64 // equation (5)
+	// The *Responsive similarity variants exclude totally unresponsive
+	// subnets; the paper's GEANT headline (0.900/0.907) is only consistent
+	// with equations (3)/(5) under this exclusion.
+	PrefixSimilarityResponsive float64
+	SizeSimilarityResponsive   float64
+	// Probes is the total packet count of the collection run.
+	Probes uint64
+	// Collected are the distinct observed subnet prefixes.
+	Collected []ipv4.Prefix
+}
+
+// RunResearch traces every target of the research network from its vantage
+// point and evaluates the collected subnets against the ground truth.
+func RunResearch(r *topo.Research, seed int64) (*ResearchResult, error) {
+	net := netsim.New(r.Topo, netsim.Config{Seed: seed})
+	port, err := net.PortFor("vantage")
+	if err != nil {
+		return nil, err
+	}
+	pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+	sess := core.NewSession(pr, core.Config{})
+	for _, target := range r.Targets() {
+		if _, err := sess.Trace(target); err != nil {
+			return nil, fmt.Errorf("experiments: tracing %v: %w", target, err)
+		}
+	}
+
+	collected := CollectedPrefixes(sess.Subnets())
+	originals := make([]metrics.Original, len(r.Originals))
+	for i, o := range r.Originals {
+		originals[i] = metrics.Original{
+			Prefix:                o.Prefix,
+			TotallyUnresponsive:   o.TotallyUnresponsive,
+			PartiallyUnresponsive: o.PartiallyUnresponsive,
+		}
+	}
+	outcomes := metrics.Classify(originals, collected)
+	dist := metrics.Distribute(originals, outcomes)
+	return &ResearchResult{
+		Name:                       r.Name,
+		Dist:                       dist,
+		Originals:                  originals,
+		Outcomes:                   outcomes,
+		ExactRate:                  dist.ExactRate(),
+		ExactRateResponsive:        dist.ExactRateResponsive(),
+		PrefixSimilarity:           metrics.PrefixSimilarity(originals, outcomes),
+		SizeSimilarity:             metrics.SizeSimilarity(originals, outcomes),
+		PrefixSimilarityResponsive: metrics.PrefixSimilarityResponsive(originals, outcomes),
+		SizeSimilarityResponsive:   metrics.SizeSimilarityResponsive(originals, outcomes),
+		Probes:                     pr.Stats().Sent,
+		Collected:                  collected,
+	}, nil
+}
+
+// Table1Internet2 reproduces Table 1: tracenet over the Internet2-like
+// network.
+func Table1Internet2(seed int64) (*ResearchResult, error) {
+	return RunResearch(topo.Internet2(), seed)
+}
+
+// Table2GEANT reproduces Table 2: tracenet over the GEANT-like network.
+func Table2GEANT(seed int64) (*ResearchResult, error) {
+	return RunResearch(topo.GEANT(), seed)
+}
+
+// CollectedPrefixes extracts the distinct observed subnet prefixes from a
+// session's subnets. Subnets of a single address (/32) are the paper's
+// "un-subnetized" class and are not subnets.
+func CollectedPrefixes(subnets []*core.Subnet) []ipv4.Prefix {
+	seen := map[ipv4.Prefix]bool{}
+	var out []ipv4.Prefix
+	for _, s := range subnets {
+		if s.Prefix.Bits() >= 32 || seen[s.Prefix] {
+			continue
+		}
+		seen[s.Prefix] = true
+		out = append(out, s.Prefix)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import "tracenet/internal/topomap"
+
+// MapUnion quantifies the paper's §3.7 suggestion that "the same subnet
+// could be re-collected at a different time or from a different vantage
+// point": the union map over the three vantage campaigns covers more
+// subnets and addresses than any single campaign.
+type MapUnionResult struct {
+	// PerVantage is each campaign's own subnet count; Union the merged
+	// map's count (overlapping observations reconciled).
+	PerVantage []int
+	Union      int
+	// PerVantageAddrs / UnionAddrs count distinct member addresses.
+	PerVantageAddrs []int
+	UnionAddrs      int
+}
+
+// MapUnion merges the campaigns of an ISP run into one subnet map.
+func MapUnion(res *ISPResult) MapUnionResult {
+	out := MapUnionResult{}
+	union := topomap.New()
+	for _, run := range res.Runs {
+		single := topomap.New()
+		single.AddSubnets(run.Subnets)
+		out.PerVantage = append(out.PerVantage, len(single.Subnets()))
+		out.PerVantageAddrs = append(out.PerVantageAddrs, single.AddrCount())
+		union.AddSubnets(run.Subnets)
+	}
+	out.Union = len(union.Subnets())
+	out.UnionAddrs = union.AddrCount()
+	return out
+}

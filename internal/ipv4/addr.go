@@ -1,0 +1,113 @@
+// Package ipv4 provides compact IPv4 address and prefix arithmetic used
+// throughout the tracenet reproduction: 32-bit addresses, CIDR prefixes,
+// /31 and /30 mate computation (paper §3.2, "Hierarchical Addressing" and
+// "Mate-31 Adjacency"), and boundary-address classification (heuristic H9).
+//
+// Addresses are plain uint32 values so they can be used as map keys and
+// iterated with integer arithmetic; the package is allocation-free on the
+// hot paths.
+package ipv4
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order. The zero value is 0.0.0.0,
+// which tracenet treats as "no address" (anonymous hop).
+type Addr uint32
+
+// Zero is the unspecified address, used for anonymous (non-responding) hops.
+const Zero Addr = 0
+
+// MustParseAddr parses a dotted-quad string and panics on error. It is
+// intended for test fixtures and static topology definitions.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseAddr parses a dotted-quad IPv4 address such as "192.0.2.1".
+func ParseAddr(s string) (Addr, error) {
+	var a uint32
+	rest := s
+	for i := 0; i < 4; i++ {
+		var part string
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("ipv4: invalid address %q: too few octets", s)
+			}
+			part, rest = rest[:dot], rest[dot+1:]
+		} else {
+			part = rest
+		}
+		if part == "" {
+			return 0, fmt.Errorf("ipv4: invalid address %q: empty octet", s)
+		}
+		n, err := strconv.ParseUint(part, 10, 32)
+		if err != nil || n > 255 {
+			return 0, fmt.Errorf("ipv4: invalid address %q: bad octet %q", s, part)
+		}
+		if len(part) > 1 && part[0] == '0' {
+			return 0, fmt.Errorf("ipv4: invalid address %q: leading zero in octet %q", s, part)
+		}
+		a = a<<8 | uint32(n)
+	}
+	return Addr(a), nil
+}
+
+// String renders the address in dotted-quad form.
+func (a Addr) String() string {
+	var b [15]byte
+	buf := strconv.AppendUint(b[:0], uint64(a>>24), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>16&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a>>8&0xff), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(a&0xff), 10)
+	return string(buf)
+}
+
+// IsZero reports whether a is the unspecified address.
+func (a Addr) IsZero() bool { return a == 0 }
+
+// Octets returns the four octets of the address, most significant first.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// AddrFromOctets builds an address from four octets, most significant first.
+func AddrFromOctets(o [4]byte) Addr {
+	return Addr(uint32(o[0])<<24 | uint32(o[1])<<16 | uint32(o[2])<<8 | uint32(o[3]))
+}
+
+// Mate31 returns the /31 mate of a: the unique other address sharing a 31-bit
+// prefix with a (paper §3.2, Mate-31 Adjacency). Mate31 of x.y.z.2k is
+// x.y.z.2k+1 and vice versa.
+func (a Addr) Mate31() Addr { return a ^ 1 }
+
+// Mate30 returns the /30 mate of a: the other usable host address of the /30
+// point-to-point link containing a. A /30 link x.x.x.0/30 numbers its two
+// endpoints .1 (01) and .2 (10), so the mate flips both low bits. The paper
+// uses mate30(l) as the alternate candidate when mate31(l) is unused.
+func (a Addr) Mate30() Addr { return a ^ 3 }
+
+// CommonPrefixLen returns the number of leading bits a and b share (0..32).
+func CommonPrefixLen(a, b Addr) int {
+	x := uint32(a ^ b)
+	if x == 0 {
+		return 32
+	}
+	n := 0
+	for x&0x80000000 == 0 {
+		n++
+		x <<= 1
+	}
+	return n
+}

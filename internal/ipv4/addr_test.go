@@ -1,0 +1,145 @@
+package ipv4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"192.0.2.1", 0xc0000201, true},
+		{"10.0.0.1", 0x0a000001, true},
+		{"1.2.3.4", 0x01020304, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"1.2.3.-4", 0, false},
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+		{"1..2.3", 0, false},
+		{"01.2.3.4", 0, false},
+		{"1.2.3.04", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok && err != nil {
+			t.Errorf("ParseAddr(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("ParseAddr(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		back, err := ParseAddr(addr.String())
+		return err == nil && back == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrOctetsRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		return AddrFromOctets(addr.Octets()) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMate31(t *testing.T) {
+	a := MustParseAddr("198.51.100.4")
+	b := MustParseAddr("198.51.100.5")
+	if a.Mate31() != b || b.Mate31() != a {
+		t.Fatalf("mate31 of %v/%v wrong: %v %v", a, b, a.Mate31(), b.Mate31())
+	}
+}
+
+func TestMate31Involution(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		m := addr.Mate31()
+		return m != addr && m.Mate31() == addr && CommonPrefixLen(addr, m) == 31
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMate30Involution(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		m := addr.Mate30()
+		// Mate30 pairs the two usable hosts of a /30: shares the /30, is not
+		// the /31 mate, and is an involution.
+		return m != addr && m != addr.Mate31() && m.Mate30() == addr &&
+			NewPrefix(addr, 30).Contains(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMate30UsableHostPairing(t *testing.T) {
+	// In 10.0.0.0/30 the usable hosts .1 and .2 must be each other's mates.
+	a, b := MustParseAddr("10.0.0.1"), MustParseAddr("10.0.0.2")
+	if a.Mate30() != b || b.Mate30() != a {
+		t.Fatalf("mate30 pairing: %v <-> %v", a.Mate30(), b.Mate30())
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"10.0.0.0", "10.0.0.0", 32},
+		{"10.0.0.0", "10.0.0.1", 31},
+		{"10.0.0.0", "10.0.0.2", 30},
+		{"10.0.0.0", "10.0.0.255", 24},
+		{"0.0.0.0", "128.0.0.0", 0},
+		{"10.0.0.0", "10.0.128.0", 16},
+	}
+	for _, c := range cases {
+		got := CommonPrefixLen(MustParseAddr(c.a), MustParseAddr(c.b))
+		if got != c.want {
+			t.Errorf("CommonPrefixLen(%s, %s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Error("Zero.IsZero() = false")
+	}
+	if MustParseAddr("0.0.0.1").IsZero() {
+		t.Error("0.0.0.1 reported zero")
+	}
+}
+
+func TestMustParseAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseAddr on invalid input did not panic")
+		}
+	}()
+	MustParseAddr("not-an-address")
+}

@@ -1,0 +1,217 @@
+// Package metrics implements the paper's evaluation machinery (§4):
+// classification of collected subnets against the original topology into the
+// exact / missing / underestimated / overestimated / split / merged classes
+// of Tables 1 and 2 (with unresponsiveness attribution), the prefix and
+// size distance factors and normalized similarities of equations (1)–(5),
+// and the multi-vantage Venn distribution of Figure 6.
+package metrics
+
+import (
+	"fmt"
+
+	"tracenet/internal/ipv4"
+)
+
+// Class is the evaluation outcome class of one original subnet — the row
+// labels of Tables 1 and 2.
+type Class uint8
+
+const (
+	// Exact: collected with exactly the original prefix ("exmt").
+	Exact Class = iota
+	// Missing: not discovered at all, attributable to the heuristics
+	// ("miss").
+	Missing
+	// MissingUnresponsive: not discovered because the subnet is totally
+	// unresponsive ("miss\unrs").
+	MissingUnresponsive
+	// Under: inferred smaller than the original ("undes").
+	Under
+	// UnderUnresponsive: inferred smaller because part of the subnet is
+	// unresponsive ("undes\unrs").
+	UnderUnresponsive
+	// Over: inferred larger than the original ("ovres").
+	Over
+	// SplitClass: collected as several smaller subnets ("splt").
+	SplitClass
+	// Merged: collected as a single subnet together with a neighbouring
+	// original ("merg").
+	Merged
+)
+
+func (c Class) String() string {
+	switch c {
+	case Exact:
+		return "exmt"
+	case Missing:
+		return "miss"
+	case MissingUnresponsive:
+		return `miss\unrs`
+	case Under:
+		return "undes"
+	case UnderUnresponsive:
+		return `undes\unrs`
+	case Over:
+		return "ovres"
+	case SplitClass:
+		return "splt"
+	case Merged:
+		return "merg"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Original is one ground-truth subnet with the responsiveness annotations
+// used to attribute misses and underestimations (the paper obtained these by
+// post-probing every address of the missing/underestimated subnets, §4.1.1).
+type Original struct {
+	Prefix                ipv4.Prefix
+	TotallyUnresponsive   bool
+	PartiallyUnresponsive bool
+}
+
+// Outcome is the classification of one original subnet.
+type Outcome struct {
+	Class Class
+	// CollectedBits are the prefix lengths of the collected subnet(s)
+	// matched to this original (empty for missing): one entry for
+	// exact/under/over/merged, several for split.
+	CollectedBits []int
+}
+
+// Classify matches every original subnet against the collected prefixes and
+// assigns a class:
+//
+//   - exact: some collected subnet has exactly the original prefix;
+//   - under/split: collected subnet(s) strictly inside the original;
+//   - over/merged: a collected subnet strictly contains the original — over
+//     when it covers only this original, merged when it swallows several;
+//   - missing: no overlap at all.
+//
+// Unresponsiveness attribution then refines missing → miss\unrs and
+// under → undes\unrs.
+func Classify(originals []Original, collected []ipv4.Prefix) []Outcome {
+	out := make([]Outcome, len(originals))
+	for i, o := range originals {
+		out[i] = classifyOne(o, originals, collected)
+	}
+	return out
+}
+
+func classifyOne(o Original, originals []Original, collected []ipv4.Prefix) Outcome {
+	var inside, containing []ipv4.Prefix
+	exact := false
+	for _, c := range collected {
+		switch {
+		case c == o.Prefix:
+			exact = true
+		case o.Prefix.Contains(c.Base()) && c.Bits() > o.Prefix.Bits():
+			inside = append(inside, c)
+		case c.Contains(o.Prefix.Base()) && c.Bits() < o.Prefix.Bits():
+			containing = append(containing, c)
+		}
+	}
+	switch {
+	case exact:
+		return Outcome{Class: Exact, CollectedBits: []int{o.Prefix.Bits()}}
+	case len(inside) == 1:
+		cls := Under
+		if o.PartiallyUnresponsive {
+			cls = UnderUnresponsive
+		}
+		return Outcome{Class: cls, CollectedBits: []int{inside[0].Bits()}}
+	case len(inside) > 1:
+		bits := make([]int, len(inside))
+		for i, c := range inside {
+			bits[i] = c.Bits()
+		}
+		return Outcome{Class: SplitClass, CollectedBits: bits}
+	case len(containing) > 0:
+		c := containing[0]
+		// Count originals swallowed by c.
+		n := 0
+		for _, other := range originals {
+			if c.Contains(other.Prefix.Base()) && c.Bits() <= other.Prefix.Bits() {
+				n++
+			}
+		}
+		cls := Over
+		if n >= 2 {
+			cls = Merged
+		}
+		return Outcome{Class: cls, CollectedBits: []int{c.Bits()}}
+	default:
+		cls := Missing
+		if o.TotallyUnresponsive {
+			cls = MissingUnresponsive
+		}
+		return Outcome{Class: cls}
+	}
+}
+
+// Distribution is a Table 1/2-style cross-tabulation: per class, the count of
+// original subnets per original prefix length.
+type Distribution struct {
+	// Original[bits] is the orgl row.
+	Original map[int]int
+	// PerClass[class][bits] are the outcome rows.
+	PerClass map[Class]map[int]int
+}
+
+// Distribute cross-tabulates outcomes by original prefix length.
+func Distribute(originals []Original, outcomes []Outcome) Distribution {
+	d := Distribution{
+		Original: map[int]int{},
+		PerClass: map[Class]map[int]int{},
+	}
+	for i, o := range originals {
+		bits := o.Prefix.Bits()
+		d.Original[bits]++
+		cls := outcomes[i].Class
+		if d.PerClass[cls] == nil {
+			d.PerClass[cls] = map[int]int{}
+		}
+		d.PerClass[cls][bits]++
+	}
+	return d
+}
+
+// Count returns the total number of originals in a class.
+func (d Distribution) Count(c Class) int {
+	n := 0
+	for _, v := range d.PerClass[c] {
+		n += v
+	}
+	return n
+}
+
+// Total returns the number of original subnets.
+func (d Distribution) Total() int {
+	n := 0
+	for _, v := range d.Original {
+		n += v
+	}
+	return n
+}
+
+// ExactRate returns the exact-match rate over all originals (the paper's
+// "including unresponsive subnets" number).
+func (d Distribution) ExactRate() float64 {
+	t := d.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(d.Count(Exact)) / float64(t)
+}
+
+// ExactRateResponsive returns the exact-match rate excluding unresponsive
+// subnets — both the totally unresponsive (miss\unrs) and the partially
+// unresponsive (undes\unrs), which is how the paper's 94.9%/97.3% headline
+// numbers are computed (132/139 and 145/149).
+func (d Distribution) ExactRateResponsive() float64 {
+	t := d.Total() - d.Count(MissingUnresponsive) - d.Count(UnderUnresponsive)
+	if t <= 0 {
+		return 0
+	}
+	return float64(d.Count(Exact)) / float64(t)
+}

@@ -1,0 +1,309 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"tracenet/internal/ipv4"
+)
+
+func pfx(s string) ipv4.Prefix { return ipv4.MustParsePrefix(s) }
+
+func orig(ps ...string) []Original {
+	out := make([]Original, len(ps))
+	for i, p := range ps {
+		out[i] = Original{Prefix: pfx(p)}
+	}
+	return out
+}
+
+func TestClassifyExact(t *testing.T) {
+	o := orig("10.0.0.0/30")
+	got := Classify(o, []ipv4.Prefix{pfx("10.0.0.0/30")})
+	if got[0].Class != Exact {
+		t.Fatalf("class = %v", got[0].Class)
+	}
+}
+
+func TestClassifyMissing(t *testing.T) {
+	o := orig("10.0.0.0/30")
+	got := Classify(o, []ipv4.Prefix{pfx("10.9.0.0/30")})
+	if got[0].Class != Missing {
+		t.Fatalf("class = %v", got[0].Class)
+	}
+}
+
+func TestClassifyMissingUnresponsive(t *testing.T) {
+	o := []Original{{Prefix: pfx("10.0.0.0/30"), TotallyUnresponsive: true}}
+	got := Classify(o, nil)
+	if got[0].Class != MissingUnresponsive {
+		t.Fatalf("class = %v", got[0].Class)
+	}
+}
+
+func TestClassifyUnder(t *testing.T) {
+	o := orig("10.0.0.0/28")
+	got := Classify(o, []ipv4.Prefix{pfx("10.0.0.0/30")})
+	if got[0].Class != Under || got[0].CollectedBits[0] != 30 {
+		t.Fatalf("outcome = %+v", got[0])
+	}
+}
+
+func TestClassifyUnderUnresponsive(t *testing.T) {
+	o := []Original{{Prefix: pfx("10.0.0.0/28"), PartiallyUnresponsive: true}}
+	got := Classify(o, []ipv4.Prefix{pfx("10.0.0.0/29")})
+	if got[0].Class != UnderUnresponsive {
+		t.Fatalf("class = %v", got[0].Class)
+	}
+}
+
+func TestClassifySplit(t *testing.T) {
+	o := orig("10.0.0.0/28")
+	got := Classify(o, []ipv4.Prefix{pfx("10.0.0.0/30"), pfx("10.0.0.8/30")})
+	if got[0].Class != SplitClass || len(got[0].CollectedBits) != 2 {
+		t.Fatalf("outcome = %+v", got[0])
+	}
+}
+
+func TestClassifyOver(t *testing.T) {
+	o := orig("10.0.0.0/30")
+	got := Classify(o, []ipv4.Prefix{pfx("10.0.0.0/29")})
+	if got[0].Class != Over || got[0].CollectedBits[0] != 29 {
+		t.Fatalf("outcome = %+v", got[0])
+	}
+}
+
+func TestClassifyMerged(t *testing.T) {
+	// Two adjacent /31 originals collected as one /30: both merged.
+	o := orig("10.0.0.0/31", "10.0.0.2/31")
+	got := Classify(o, []ipv4.Prefix{pfx("10.0.0.0/30")})
+	if got[0].Class != Merged || got[1].Class != Merged {
+		t.Fatalf("outcome = %+v %+v", got[0], got[1])
+	}
+}
+
+func TestClassifyExactBeatsContaining(t *testing.T) {
+	// If an original is matched exactly AND some larger collected subnet
+	// covers it, exact wins.
+	o := orig("10.0.0.0/30")
+	got := Classify(o, []ipv4.Prefix{pfx("10.0.0.0/30"), pfx("10.0.0.0/28")})
+	if got[0].Class != Exact {
+		t.Fatalf("class = %v", got[0].Class)
+	}
+}
+
+func TestDistributionCountsAndRates(t *testing.T) {
+	originals := []Original{
+		{Prefix: pfx("10.0.0.0/30")},
+		{Prefix: pfx("10.0.0.4/30")},
+		{Prefix: pfx("10.0.1.0/30"), TotallyUnresponsive: true},
+		{Prefix: pfx("10.0.2.0/28"), PartiallyUnresponsive: true},
+	}
+	collected := []ipv4.Prefix{
+		pfx("10.0.0.0/30"), // exact
+		pfx("10.0.0.4/30"), // exact
+		pfx("10.0.2.0/30"), // under the /28
+	}
+	outcomes := Classify(originals, collected)
+	d := Distribute(originals, outcomes)
+	if d.Total() != 4 {
+		t.Fatalf("total = %d", d.Total())
+	}
+	if d.Count(Exact) != 2 || d.Count(MissingUnresponsive) != 1 || d.Count(UnderUnresponsive) != 1 {
+		t.Fatalf("counts: exact=%d missUnrs=%d undesUnrs=%d",
+			d.Count(Exact), d.Count(MissingUnresponsive), d.Count(UnderUnresponsive))
+	}
+	if got := d.ExactRate(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("exact rate = %v", got)
+	}
+	// Excluding both unresponsive classes: 2/2.
+	if got := d.ExactRateResponsive(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("responsive exact rate = %v", got)
+	}
+	if d.Original[30] != 3 || d.Original[28] != 1 {
+		t.Fatalf("orgl row = %v", d.Original)
+	}
+}
+
+func TestPrefixSimilarityIdentical(t *testing.T) {
+	o := orig("10.0.0.0/30", "10.0.1.0/29", "10.0.2.0/24")
+	collected := []ipv4.Prefix{pfx("10.0.0.0/30"), pfx("10.0.1.0/29"), pfx("10.0.2.0/24")}
+	outcomes := Classify(o, collected)
+	if got := PrefixSimilarity(o, outcomes); got != 1 {
+		t.Fatalf("identical similarity = %v", got)
+	}
+	if got := SizeSimilarity(o, outcomes); got != 1 {
+		t.Fatalf("identical size similarity = %v", got)
+	}
+}
+
+func TestPrefixSimilarityAllMissing(t *testing.T) {
+	o := orig("10.0.0.0/30", "10.0.1.0/24")
+	outcomes := Classify(o, nil)
+	// Every subnet charged its maximum distance: similarity 0.
+	if got := PrefixSimilarity(o, outcomes); got != 0 {
+		t.Fatalf("all-missing similarity = %v", got)
+	}
+	if got := SizeSimilarity(o, outcomes); got != 0 {
+		t.Fatalf("all-missing size similarity = %v", got)
+	}
+}
+
+func TestPrefixSimilarityPartial(t *testing.T) {
+	// Bounds pl=24, pu=30. The /28 collected as /29 deviates by 1 of max 4;
+	// the exact ones contribute 0.
+	o := orig("10.0.0.0/30", "10.0.1.0/24", "10.0.2.0/28")
+	collected := []ipv4.Prefix{pfx("10.0.0.0/30"), pfx("10.0.1.0/24"), pfx("10.0.2.0/29")}
+	outcomes := Classify(o, collected)
+	got := PrefixSimilarity(o, outcomes)
+	// d = [0, 0, 1]; max = [30-24=6, 30-24=6, max(28-24,30-28)=4]; 1 - 1/16.
+	want := 1 - 1.0/16.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("similarity = %v, want %v", got, want)
+	}
+}
+
+func TestSizeSimilarityWeighsLargeSubnets(t *testing.T) {
+	// A /24 collected as /25 (missing 128 addresses) must hurt size
+	// similarity more than a /29 collected as /30 (missing 4).
+	base := orig("10.0.0.0/24", "10.0.1.0/29", "10.0.2.0/30")
+	bigDev := Classify(base, []ipv4.Prefix{pfx("10.0.0.0/25"), pfx("10.0.1.0/29"), pfx("10.0.2.0/30")})
+	smallDev := Classify(base, []ipv4.Prefix{pfx("10.0.0.0/24"), pfx("10.0.1.0/30"), pfx("10.0.2.0/30")})
+	big := SizeSimilarity(base, bigDev)
+	small := SizeSimilarity(base, smallDev)
+	if big >= small {
+		t.Fatalf("size similarity: /24 deviation %v should score below /29 deviation %v", big, small)
+	}
+}
+
+func TestMinkowskiOrder1EqualsSum(t *testing.T) {
+	o := orig("10.0.0.0/30", "10.0.2.0/28")
+	collected := []ipv4.Prefix{pfx("10.0.0.0/30"), pfx("10.0.2.0/29")}
+	outcomes := Classify(o, collected)
+	if got := MinkowskiDissimilarity(o, outcomes, 1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("order-1 Minkowski = %v, want 1", got)
+	}
+	if got := MinkowskiDissimilarity(o, outcomes, 2); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("order-2 Minkowski = %v, want 1", got)
+	}
+}
+
+func TestBoundsOf(t *testing.T) {
+	o := orig("10.0.0.0/30", "10.0.1.0/24")
+	outcomes := Classify(o, []ipv4.Prefix{pfx("10.0.0.0/31")})
+	b := BoundsOf(o, outcomes)
+	if b.Lower != 24 || b.Upper != 31 {
+		t.Fatalf("bounds = %+v", b)
+	}
+}
+
+func TestVenn(t *testing.T) {
+	mk := func(ps ...string) map[ipv4.Prefix]bool {
+		m := map[ipv4.Prefix]bool{}
+		for _, p := range ps {
+			m[pfx(p)] = true
+		}
+		return m
+	}
+	a := mk("10.0.0.0/30", "10.0.0.4/30", "10.0.1.0/30", "10.0.3.0/30")
+	b := mk("10.0.0.0/30", "10.0.0.4/30", "10.0.2.0/30")
+	c := mk("10.0.0.0/30", "10.0.1.0/30", "10.0.2.0/30")
+	v := VennOf(a, b, c)
+	if v.ABC != 1 || v.AB != 1 || v.AC != 1 || v.BC != 1 || v.OnlyA != 1 || v.OnlyB != 0 || v.OnlyC != 0 {
+		t.Fatalf("venn = %+v", v)
+	}
+	if v.TotalA() != 4 || v.TotalB() != 3 || v.TotalC() != 3 {
+		t.Fatalf("totals = %d %d %d", v.TotalA(), v.TotalB(), v.TotalC())
+	}
+	fa, fb, fc := v.AgreementAll()
+	if math.Abs(fa-0.25) > 1e-9 || math.Abs(fb-1.0/3) > 1e-9 || math.Abs(fc-1.0/3) > 1e-9 {
+		t.Fatalf("agreement all = %v %v %v", fa, fb, fc)
+	}
+	fa, fb, fc = v.AgreementAny()
+	if math.Abs(fa-0.75) > 1e-9 || math.Abs(fb-1) > 1e-9 || math.Abs(fc-1) > 1e-9 {
+		t.Fatalf("agreement any = %v %v %v", fa, fb, fc)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		Exact: "exmt", Missing: "miss", MissingUnresponsive: `miss\unrs`,
+		Under: "undes", UnderUnresponsive: `undes\unrs`, Over: "ovres",
+		SplitClass: "splt", Merged: "merg",
+	}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("class %d = %q, want %q", c, c.String(), w)
+		}
+	}
+}
+
+func TestSizeDistanceSplit(t *testing.T) {
+	// A /28 split into a /30 and a /31: the size distance uses the largest
+	// collected piece (the /30 = 4 addresses) against the original 16.
+	o := orig("10.0.0.0/28")
+	outcomes := Classify(o, []ipv4.Prefix{pfx("10.0.0.0/30"), pfx("10.0.0.8/31")})
+	if outcomes[0].Class != SplitClass {
+		t.Fatalf("class = %v", outcomes[0].Class)
+	}
+	b := BoundsOf(o, outcomes)
+	got := sizeDistance(o[0], outcomes[0], b)
+	if got != 12 { // |16 - 4|
+		t.Fatalf("split size distance = %v, want 12", got)
+	}
+	gotP := prefixDistance(o[0], outcomes[0], b)
+	if gotP != 3 { // |28 - max{30,31}| = |28-31|
+		t.Fatalf("split prefix distance = %v, want 3", gotP)
+	}
+}
+
+func TestResponsiveSimilarityVariants(t *testing.T) {
+	originals := []Original{
+		{Prefix: pfx("10.0.0.0/30")},
+		{Prefix: pfx("10.0.1.0/28"), TotallyUnresponsive: true},
+		{Prefix: pfx("10.0.2.0/24")},
+	}
+	collected := []ipv4.Prefix{pfx("10.0.0.0/30"), pfx("10.0.2.0/24")}
+	outcomes := Classify(originals, collected)
+	plain := PrefixSimilarity(originals, outcomes)
+	resp := PrefixSimilarityResponsive(originals, outcomes)
+	if resp != 1 {
+		t.Fatalf("responsive similarity = %v, want 1 (everything responsive matched exactly)", resp)
+	}
+	if plain >= resp {
+		t.Fatalf("plain similarity %v should be dragged down by the unresponsive miss", plain)
+	}
+	if got := SizeSimilarityResponsive(originals, outcomes); got != 1 {
+		t.Fatalf("responsive size similarity = %v, want 1", got)
+	}
+}
+
+func TestSimilarityEmptyInputs(t *testing.T) {
+	if got := PrefixSimilarity(nil, nil); got != 1 {
+		t.Fatalf("empty prefix similarity = %v, want 1", got)
+	}
+	if got := SizeSimilarity(nil, nil); got != 1 {
+		t.Fatalf("empty size similarity = %v, want 1", got)
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	var d Distribution
+	d = Distribute(nil, nil)
+	if d.Total() != 0 || d.ExactRate() != 0 || d.ExactRateResponsive() != 0 {
+		t.Fatalf("empty distribution misbehaves: %+v", d)
+	}
+}
+
+func TestMergedDistance(t *testing.T) {
+	o := orig("10.0.0.0/31", "10.0.0.2/31", "10.0.8.0/24")
+	outcomes := Classify(o, []ipv4.Prefix{pfx("10.0.0.0/30"), pfx("10.0.8.0/24")})
+	b := BoundsOf(o, outcomes)
+	// Each merged /31 is charged |31-30| = 1.
+	if got := prefixDistance(o[0], outcomes[0], b); got != 1 {
+		t.Fatalf("merged prefix distance = %v, want 1", got)
+	}
+	if got := sizeDistance(o[0], outcomes[0], b); got != 2 {
+		t.Fatalf("merged size distance = %v, want |2-4| = 2", got)
+	}
+}

@@ -1,0 +1,364 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/wire"
+)
+
+// LoadBalanceMode selects how equal-cost candidates are chosen.
+type LoadBalanceMode uint8
+
+const (
+	// PerFlow hashes the flow identifier only: probes of one flow always take
+	// the same path (the common router configuration).
+	PerFlow LoadBalanceMode = iota
+	// PerPacket additionally hashes the virtual clock: consecutive probes of
+	// the same flow may take different equal-cost paths, the worst case for
+	// path stability (§3.7).
+	PerPacket
+)
+
+// maxHops bounds a forwarding walk, like a default initial TTL.
+const maxHops = 64
+
+// Config tunes a simulated network.
+type Config struct {
+	// Mode selects per-flow or per-packet load balancing. Default PerFlow.
+	Mode LoadBalanceMode
+	// LossRate is the probability in [0,1) that a generated reply is lost.
+	LossRate float64
+	// Seed makes loss and per-packet balancing deterministic.
+	Seed int64
+}
+
+// Network is a runnable simulation over an immutable Topology.
+// Inject/Exchange are not safe for concurrent use; wrap with a mutex or use
+// one Network per goroutine (topologies may be shared).
+type Network struct {
+	Topo *Topology
+
+	cfg       Config
+	rt        *routingState
+	rng       *rand.Rand
+	clock     uint64
+	responder *Router
+
+	// Probes counts every injected packet; Replies counts non-silent answers.
+	Probes  uint64
+	Replies uint64
+}
+
+// New creates a network simulation over topo.
+func New(topo *Topology, cfg Config) *Network {
+	n := &Network{
+		Topo: topo,
+		cfg:  cfg,
+		rt:   newRoutingState(topo),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	// Spread the per-router IP-ID counters so distinct routers' sequences
+	// don't coincide by construction.
+	for i, r := range topo.Routers {
+		r.ipid = uint16(i * 1021)
+	}
+	return n
+}
+
+// Port binds a vantage host to the network, exposing the probe.Transport
+// surface: encoded probe in, encoded reply (or nil for silence) out.
+type Port struct {
+	net  *Network
+	host *Router
+}
+
+// PortFor returns an injection port for the named host.
+func (n *Network) PortFor(hostName string) (*Port, error) {
+	h := n.Topo.HostByName(hostName)
+	if h == nil {
+		return nil, fmt.Errorf("netsim: no host %q", hostName)
+	}
+	return &Port{net: n, host: h}, nil
+}
+
+// Host returns the bound vantage host.
+func (p *Port) Host() *Router { return p.host }
+
+// LocalAddr returns the vantage host's source address.
+func (p *Port) LocalAddr() ipv4.Addr { return p.host.Addr() }
+
+// Exchange injects one encoded probe sourced at the bound host and returns
+// the encoded reply, or (nil, nil) when the network stays silent.
+func (p *Port) Exchange(raw []byte) ([]byte, error) {
+	pkt, err := wire.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: undecodable probe: %w", err)
+	}
+	if pkt.IP.Src != p.host.Addr() {
+		return nil, fmt.Errorf("netsim: probe source %v is not host %s (%v)",
+			pkt.IP.Src, p.host.Name, p.host.Addr())
+	}
+	reply := p.net.inject(pkt, raw, p.host)
+	if reply == nil {
+		return nil, nil
+	}
+	out, err := reply.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("netsim: encoding reply: %w", err)
+	}
+	return out, nil
+}
+
+// inject walks one probe through the topology and produces its reply.
+func (n *Network) inject(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packet {
+	n.clock++
+	n.Probes++
+	reply, responder := n.walkWithResponder(pkt, raw, origin)
+	if reply == nil {
+		return nil
+	}
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		return nil
+	}
+	if responder != nil {
+		// The reply's IP identifier comes from the responding router's
+		// shared counter (or a random draw for non-cooperative routers) —
+		// the signal Ally-style alias resolution keys on.
+		if responder.IPIDRandom {
+			reply.IP.ID = uint16(n.rng.Intn(1 << 16))
+		} else {
+			reply.IP.ID = responder.nextIPID()
+		}
+	}
+	n.Replies++
+	return reply
+}
+
+// walkWithResponder is walk plus the identity of the router that generated
+// the reply.
+func (n *Network) walkWithResponder(pkt *wire.Packet, raw []byte, origin *Router) (*wire.Packet, *Router) {
+	n.responder = nil
+	reply := n.walk(pkt, raw, origin)
+	return reply, n.responder
+}
+
+func (n *Network) walk(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packet {
+	dst := pkt.IP.Dst
+	ttl := int(pkt.IP.TTL)
+	if ttl <= 0 {
+		return nil
+	}
+	// Self-probe: answered locally without entering the network.
+	if iface := origin.IfaceWithAddr(dst); iface != nil {
+		return n.directReply(origin, iface, nil, pkt, raw)
+	}
+
+	cur, in, _, verdict := n.forwardStep(origin, pkt, nil)
+	if verdict != stepForwarded && verdict != stepDelivered {
+		// The vantage itself cannot reach the destination; hosts do not
+		// generate ICMP errors for their own traffic.
+		return nil
+	}
+	for hop := 0; hop < maxHops; hop++ {
+		// Local delivery: the packet is addressed to one of cur's interfaces.
+		if iface := cur.IfaceWithAddr(dst); iface != nil {
+			return n.directReply(cur, iface, in, pkt, raw)
+		}
+		// TTL expires on forwarding.
+		ttl--
+		pkt.IP.TTL = uint8(ttl)
+		if ttl <= 0 {
+			return n.ttlExceeded(cur, in, pkt, raw)
+		}
+		next, nextIn, out, verdict := n.forwardStep(cur, pkt, in)
+		if (verdict == stepForwarded || verdict == stepDelivered) &&
+			cur.RRCompliant && out != nil && len(pkt.IP.Options) > 0 {
+			// RFC 791 record route: a compliant router stamps the address
+			// of the outgoing interface as it forwards (the DisCarte
+			// mechanism for a second address per hop).
+			wire.StampRecordRoute(pkt.IP.Options, out.Addr)
+		}
+		switch verdict {
+		case stepForwarded:
+			cur, in = next, nextIn
+		case stepDelivered:
+			// Delivered onto an attached subnet toward the hosting router.
+			cur, in = next, nextIn
+		case stepFirewalled:
+			return nil
+		case stepUnassigned:
+			return n.unreachable(cur, in, pkt, raw, wire.CodeHostUnreach)
+		case stepNoRoute:
+			return n.unreachable(cur, in, pkt, raw, wire.CodeNetUnreach)
+		}
+	}
+	return nil
+}
+
+// quoteBytes re-encodes the in-flight packet for an ICMP error quote, so the
+// quoted header reflects the decremented TTL and any record-route stamps
+// accumulated on the way. Falls back to the as-sent bytes on encode failure.
+func quoteBytes(pkt *wire.Packet, raw []byte) []byte {
+	if q, err := pkt.Encode(); err == nil {
+		return q
+	}
+	return raw
+}
+
+type stepVerdict uint8
+
+const (
+	stepForwarded stepVerdict = iota
+	stepDelivered
+	stepFirewalled
+	stepUnassigned
+	stepNoRoute
+)
+
+// forwardStep decides cur's next hop for pkt. It returns the next router,
+// the interface the packet enters it through, and the outgoing interface on
+// cur (for record-route stamping).
+func (n *Network) forwardStep(cur *Router, pkt *wire.Packet, in *Iface) (*Router, *Iface, *Iface, stepVerdict) {
+	dst := pkt.IP.Dst
+	s := n.rt.targetSubnet(dst)
+	if s == nil {
+		return nil, nil, nil, stepNoRoute
+	}
+	if out := cur.IfaceOn(s); out != nil {
+		// Final subnet: deliver across the LAN.
+		if s.Unresponsive {
+			return nil, nil, nil, stepFirewalled
+		}
+		dstIface := n.Topo.IfaceByAddr(dst)
+		if dstIface == nil || dstIface.Subnet != s {
+			return nil, nil, nil, stepUnassigned
+		}
+		return dstIface.Router, dstIface, out, stepDelivered
+	}
+	hops := n.rt.nextHops(cur, s)
+	if len(hops) == 0 {
+		return nil, nil, nil, stepNoRoute
+	}
+	var salt uint64
+	if n.cfg.Mode == PerPacket {
+		salt = n.clock
+	}
+	e := hops[ecmpIndex(pkt, cur, salt, len(hops))]
+	return e.to, e.remote, e.local, stepForwarded
+}
+
+// directReply answers a probe delivered to iface on router r.
+func (n *Network) directReply(r *Router, iface, in *Iface, pkt *wire.Packet, raw []byte) *wire.Packet {
+	if iface.Subnet.Unresponsive {
+		// Firewalled subnet: probes into its range die silently, including
+		// at the hosting router itself.
+		return nil
+	}
+	if !iface.Responsive {
+		return nil
+	}
+	if r.DirectPolicy == PolicyNil || !r.DirectProtos.Has(pkt.IP.Protocol) {
+		return nil
+	}
+	if !r.RateLimit.Allow(n.clock) {
+		return nil
+	}
+	if r.ReplyLoss > 0 && n.rng.Float64() < r.ReplyLoss {
+		return nil
+	}
+	src := n.rt.replySource(r, r.DirectPolicy, iface, in, pkt.IP.Src)
+	if src == nil {
+		return nil
+	}
+	n.responder = r
+	switch {
+	case pkt.ICMP != nil && pkt.ICMP.Type == wire.ICMPEchoRequest:
+		return wire.NewEchoReply(src.Addr, pkt)
+	case pkt.UDP != nil:
+		// No listener on traceroute-style high ports: port unreachable.
+		return wire.NewICMPError(src.Addr, wire.ICMPDestUnreach, wire.CodePortUnreach, quoteBytes(pkt, raw))
+	case pkt.TCP != nil:
+		// Unsolicited ACK probe: RST from the probed address (TCP replies
+		// always come from the addressed endpoint).
+		return wire.NewTCPReset(iface.Addr, pkt)
+	}
+	return nil
+}
+
+// ttlExceeded answers a probe whose TTL expired at router r.
+func (n *Network) ttlExceeded(r *Router, in *Iface, pkt *wire.Packet, raw []byte) *wire.Packet {
+	if r.IndirectPolicy == PolicyNil || !r.IndirectProtos.Has(pkt.IP.Protocol) {
+		return nil
+	}
+	if !r.RateLimit.Allow(n.clock) {
+		return nil
+	}
+	if r.ReplyLoss > 0 && n.rng.Float64() < r.ReplyLoss {
+		return nil
+	}
+	src := n.rt.replySource(r, r.IndirectPolicy, nil, in, pkt.IP.Src)
+	if src == nil {
+		return nil
+	}
+	n.responder = r
+	return wire.NewICMPError(src.Addr, wire.ICMPTimeExceeded, wire.CodeTTLExceeded, quoteBytes(pkt, raw))
+}
+
+// unreachable answers a probe that cannot be delivered past router r.
+func (n *Network) unreachable(r *Router, in *Iface, pkt *wire.Packet, raw []byte, code uint8) *wire.Packet {
+	if !r.EmitUnreachable {
+		return nil
+	}
+	if r.IndirectPolicy == PolicyNil || !r.IndirectProtos.Has(pkt.IP.Protocol) {
+		return nil
+	}
+	if !r.RateLimit.Allow(n.clock) {
+		return nil
+	}
+	if r.ReplyLoss > 0 && n.rng.Float64() < r.ReplyLoss {
+		return nil
+	}
+	src := n.rt.replySource(r, r.IndirectPolicy, nil, in, pkt.IP.Src)
+	if src == nil {
+		return nil
+	}
+	n.responder = r
+	return wire.NewICMPError(src.Addr, wire.ICMPDestUnreach, code, quoteBytes(pkt, raw))
+}
+
+// DistanceTo returns the observed hop distance from the named host to addr:
+// the smallest TTL at which a lossless ICMP echo probe is answered with an
+// echo reply. It returns -1 when addr never answers (unassigned,
+// unresponsive, firewalled, or unreachable). The measurement walk shares the
+// routing state but does not perturb the network's clock, counters, or
+// random stream. Exposed for tests and ground-truth computation.
+func (n *Network) DistanceTo(hostName string, addr ipv4.Addr) int {
+	h := n.Topo.HostByName(hostName)
+	if h == nil || h.Addr() == addr {
+		if h != nil {
+			return 0
+		}
+		return -1
+	}
+	probe := &Network{Topo: n.Topo, rt: n.rt, rng: rand.New(rand.NewSource(0))}
+	for ttl := 1; ttl <= maxHops; ttl++ {
+		pkt := wire.NewEchoRequest(h.Addr(), addr, uint8(ttl), 0xfffe, uint16(ttl))
+		raw, err := pkt.Encode()
+		if err != nil {
+			return -1
+		}
+		reply := probe.walk(pkt, raw, h)
+		if reply != nil && reply.ICMP != nil && reply.ICMP.Type == wire.ICMPEchoReply {
+			return ttl
+		}
+		if reply == nil && ttl > 1 {
+			// Once past the expiry region replies stop entirely; keep walking
+			// to maxHops anyway — silence at a hop does not imply silence at
+			// the destination (anonymous intermediate routers).
+			continue
+		}
+	}
+	return -1
+}

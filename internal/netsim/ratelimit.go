@@ -1,0 +1,45 @@
+package netsim
+
+// TokenBucket is a deterministic token bucket driven by the network's virtual
+// clock (one tick per injected probe). It models ICMP rate limiting on
+// routers, which the paper identifies as a cause of cross-vantage
+// disagreement (§4.2).
+type TokenBucket struct {
+	// Rate is tokens added per clock tick; Burst is the bucket capacity.
+	Rate  float64
+	Burst float64
+
+	level    float64
+	lastTick uint64
+	primed   bool
+}
+
+// NewTokenBucket returns a bucket that starts full.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	return &TokenBucket{Rate: rate, Burst: burst}
+}
+
+// Allow consumes one token at virtual time tick, reporting whether the
+// response may be sent.
+func (tb *TokenBucket) Allow(tick uint64) bool {
+	if tb == nil {
+		return true
+	}
+	if !tb.primed {
+		tb.level = tb.Burst
+		tb.lastTick = tick
+		tb.primed = true
+	}
+	if tick > tb.lastTick {
+		tb.level += float64(tick-tb.lastTick) * tb.Rate
+		if tb.level > tb.Burst {
+			tb.level = tb.Burst
+		}
+		tb.lastTick = tick
+	}
+	if tb.level >= 1 {
+		tb.level--
+		return true
+	}
+	return false
+}

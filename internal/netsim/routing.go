@@ -1,0 +1,234 @@
+package netsim
+
+import (
+	"hash/fnv"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/wire"
+)
+
+// unreachableDist marks a (router, subnet) pair with no route.
+const unreachableDist int32 = 1 << 30
+
+// routingState holds the precomputed hop-count distances from every router to
+// every subnet, the basis of shortest-path (and equal-cost multipath)
+// forwarding. Distances are computed with a multi-source BFS over the
+// bipartite router↔subnet graph, which stays linear in the number of
+// interfaces even when subnets are large multi-access LANs (a clique-based
+// BFS would be quadratic in LAN size).
+type routingState struct {
+	topo *Topology
+	// dist[s.idx][r.idx] = forwarding steps from router r until attached to
+	// subnet s (0 if attached).
+	dist [][]int32
+	// hops memoizes equal-cost candidate edges per (router, subnet).
+	hops map[hopKey][]edge
+}
+
+type hopKey struct{ rIdx, sIdx int }
+
+func newRoutingState(t *Topology) *routingState {
+	rs := &routingState{
+		topo: t,
+		dist: make([][]int32, len(t.Subnets)),
+		hops: make(map[hopKey][]edge),
+	}
+	routerQ := make([]*Router, 0, len(t.Routers))
+	subnetSeen := make([]bool, len(t.Subnets))
+	for _, s := range t.Subnets {
+		d := make([]int32, len(t.Routers))
+		for i := range d {
+			d[i] = unreachableDist
+		}
+		for i := range subnetSeen {
+			subnetSeen[i] = false
+		}
+		routerQ = routerQ[:0]
+		for _, i := range s.Ifaces {
+			if d[i.Router.idx] != 0 {
+				d[i.Router.idx] = 0
+				routerQ = append(routerQ, i.Router)
+			}
+		}
+		subnetSeen[s.idx] = true
+		// Alternating BFS: routers at distance k expand through their
+		// subnets to routers at distance k+1. Hosts never forward transit
+		// traffic, so they are sources (when attached) but never expanded.
+		for head := 0; head < len(routerQ); head++ {
+			r := routerQ[head]
+			if r.IsHost && d[r.idx] != 0 {
+				continue
+			}
+			if r.IsHost {
+				continue // hosts do not provide transit even at distance 0
+			}
+			for _, ri := range r.Ifaces {
+				sn := ri.Subnet
+				if subnetSeen[sn.idx] {
+					continue
+				}
+				subnetSeen[sn.idx] = true
+				for _, ni := range sn.Ifaces {
+					nb := ni.Router
+					if nb.IsHost {
+						continue
+					}
+					if d[nb.idx] > d[r.idx]+1 {
+						d[nb.idx] = d[r.idx] + 1
+						routerQ = append(routerQ, nb)
+					}
+				}
+			}
+		}
+		// Hosts not attached to s originate traffic through their single
+		// access subnet.
+		for _, h := range t.Hosts {
+			if d[h.idx] != unreachableDist {
+				continue
+			}
+			best := unreachableDist
+			for _, hi := range h.Ifaces {
+				for _, ni := range hi.Subnet.Ifaces {
+					nb := ni.Router
+					if nb.IsHost {
+						continue
+					}
+					if d[nb.idx] != unreachableDist && d[nb.idx]+1 < best {
+						best = d[nb.idx] + 1
+					}
+				}
+			}
+			d[h.idx] = best
+		}
+		rs.dist[s.idx] = d
+	}
+	return rs
+}
+
+// distTo returns the forwarding distance from r to subnet s.
+func (rs *routingState) distTo(r *Router, s *Subnet) int32 { return rs.dist[s.idx][r.idx] }
+
+// nextHops returns the equal-cost candidate edges from r toward subnet s.
+// The result is ordered as the router's edge list, so selection by flow hash
+// is deterministic. Results are memoized: the edge scan over a router with a
+// large LAN attachment would otherwise dominate every forwarding step.
+func (rs *routingState) nextHops(r *Router, s *Subnet) []edge {
+	d := rs.dist[s.idx][r.idx]
+	if d == unreachableDist || d == 0 {
+		return nil
+	}
+	key := hopKey{r.idx, s.idx}
+	if out, ok := rs.hops[key]; ok {
+		return out
+	}
+	var out []edge
+	for _, e := range r.edges {
+		if e.to.IsHost {
+			continue
+		}
+		if rs.dist[s.idx][e.to.idx] == d-1 {
+			out = append(out, e)
+		}
+	}
+	rs.hops[key] = out
+	return out
+}
+
+// flowKey extracts the fields of a probe that identify its "flow" for
+// equal-cost multipath hashing. ICMP flows are keyed by (src, dst, ID) — the
+// sequence number is excluded, which is why ICMP probing is the least
+// affected by load balancing (paper §3.7 and [15]): a prober that holds its
+// ICMP ID constant keeps a stable path. UDP and TCP flows are keyed by the
+// port pair, so classic UDP traceroute (which increments the destination
+// port per probe) fluctuates under ECMP.
+func flowKey(p *wire.Packet) (a, b uint16) {
+	switch {
+	case p.ICMP != nil:
+		return p.ICMP.ID, 0
+	case p.UDP != nil:
+		return p.UDP.SrcPort, p.UDP.DstPort
+	case p.TCP != nil:
+		return p.TCP.SrcPort, p.TCP.DstPort
+	}
+	return 0, 0
+}
+
+// ecmpIndex hashes the flow (plus the deciding router and, in per-packet
+// mode, the virtual clock) onto one of n equal-cost candidates.
+func ecmpIndex(p *wire.Packet, r *Router, perPacketSalt uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [26]byte
+	put32 := func(off int, v uint32) {
+		buf[off] = byte(v >> 24)
+		buf[off+1] = byte(v >> 16)
+		buf[off+2] = byte(v >> 8)
+		buf[off+3] = byte(v)
+	}
+	put32(0, uint32(p.IP.Src))
+	put32(4, uint32(p.IP.Dst))
+	buf[8] = p.IP.Protocol
+	ka, kb := flowKey(p)
+	buf[9] = byte(ka >> 8)
+	buf[10] = byte(ka)
+	buf[11] = byte(kb >> 8)
+	buf[12] = byte(kb)
+	put32(13, uint32(r.idx))
+	buf[17] = byte(perPacketSalt >> 56)
+	buf[18] = byte(perPacketSalt >> 48)
+	buf[19] = byte(perPacketSalt >> 40)
+	buf[20] = byte(perPacketSalt >> 32)
+	buf[21] = byte(perPacketSalt >> 24)
+	buf[22] = byte(perPacketSalt >> 16)
+	buf[23] = byte(perPacketSalt >> 8)
+	buf[24] = byte(perPacketSalt)
+	h.Write(buf[:25])
+	return int(h.Sum64() % uint64(n))
+}
+
+// replySource resolves the source address a router uses for a reply under the
+// given policy. probed is the locally delivered destination interface (direct
+// probes), in is the interface the probe arrived on, and src is the probe
+// originator (for shortest-path resolution). Returns nil when the policy
+// yields no usable interface (the router stays silent).
+func (rs *routingState) replySource(r *Router, policy ResponsePolicy, probed, in *Iface, src ipv4.Addr) *Iface {
+	switch policy {
+	case PolicyProbed:
+		return probed
+	case PolicyIncoming:
+		return in
+	case PolicyDefault:
+		return r.DefaultIface
+	case PolicyShortestPath:
+		return rs.shortestPathIface(r, src)
+	}
+	return nil
+}
+
+// shortestPathIface returns r's interface on the first hop of the shortest
+// path from r back to addr.
+func (rs *routingState) shortestPathIface(r *Router, addr ipv4.Addr) *Iface {
+	s := rs.targetSubnet(addr)
+	if s == nil {
+		return r.DefaultIface
+	}
+	if i := r.IfaceOn(s); i != nil {
+		return i
+	}
+	hops := rs.nextHops(r, s)
+	if len(hops) == 0 {
+		return r.DefaultIface
+	}
+	return hops[0].local
+}
+
+// targetSubnet resolves the subnet a destination address routes toward:
+// the assigned interface's subnet, or the longest covering prefix.
+func (rs *routingState) targetSubnet(addr ipv4.Addr) *Subnet {
+	if i := rs.topo.IfaceByAddr(addr); i != nil {
+		return i.Subnet
+	}
+	return rs.topo.SubnetContaining(addr)
+}

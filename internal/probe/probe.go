@@ -1,0 +1,324 @@
+// Package probe implements the two probing primitives tracenet is built on
+// (paper §3.1): direct probing — a large-TTL packet testing whether an
+// address is alive — and indirect probing — a small-TTL packet soliciting an
+// ICMP time-exceeded from the router at that distance. Probes can be carried
+// over ICMP, UDP, or TCP, and silent probes are retried once by default
+// (paper §3.8: "we re-probe an IP address if we do not get a response for the
+// first probe").
+//
+// The prober talks to the network through the Transport interface, which the
+// simulated substrate (internal/netsim) implements; a raw-socket transport
+// would satisfy the same contract on a live network.
+package probe
+
+import (
+	"errors"
+	"fmt"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/wire"
+)
+
+// Transport carries one encoded probe to the network and returns the encoded
+// reply, or (nil, nil) when the network stays silent (timeout).
+type Transport interface {
+	Exchange(raw []byte) ([]byte, error)
+}
+
+// Protocol selects the probe carrier.
+type Protocol uint8
+
+const (
+	ICMP Protocol = iota
+	UDP
+	TCP
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ICMP:
+		return "icmp"
+	case UDP:
+		return "udp"
+	case TCP:
+		return "tcp"
+	}
+	return fmt.Sprintf("protocol(%d)", uint8(p))
+}
+
+// Kind classifies the outcome of a probe.
+type Kind uint8
+
+const (
+	// None: no response within the timeout (after retries).
+	None Kind = iota
+	// EchoReply: ICMP echo reply — the probed address is alive.
+	EchoReply
+	// TTLExceeded: ICMP time exceeded from an intermediate router.
+	TTLExceeded
+	// PortUnreachable: ICMP port unreachable — a live UDP-probed endpoint.
+	PortUnreachable
+	// HostUnreachable: ICMP host/net unreachable from the last router.
+	HostUnreachable
+	// TCPReset: TCP RST — a live TCP-probed endpoint.
+	TCPReset
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case EchoReply:
+		return "echo-reply"
+	case TTLExceeded:
+		return "ttl-exceeded"
+	case PortUnreachable:
+		return "port-unreachable"
+	case HostUnreachable:
+		return "host-unreachable"
+	case TCPReset:
+		return "tcp-reset"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Result is the outcome of one logical probe (including retries).
+type Result struct {
+	Kind Kind
+	// From is the source address of the reply; Zero when silent.
+	From ipv4.Addr
+	// Recorded holds the record-route stamps carried back by the reply (an
+	// echoed option, or the quoted header of an ICMP error) when the prober
+	// runs with Options.RecordRoute. The stamps are the outgoing interfaces
+	// of the compliant routers the probe traversed, in path order.
+	Recorded []ipv4.Addr
+	// IPID is the IP identifier of the reply datagram. Routers that share
+	// one IP-ID counter across interfaces expose their identity through it
+	// (the Ally alias-resolution signal).
+	IPID uint16
+}
+
+// Alive reports whether the result proves the probed address is in use: for
+// ICMP probing an echo reply, for UDP a port unreachable, for TCP a reset.
+func (r Result) Alive() bool {
+	return r.Kind == EchoReply || r.Kind == PortUnreachable || r.Kind == TCPReset
+}
+
+// Expired reports whether the probe died at an intermediate router.
+func (r Result) Expired() bool { return r.Kind == TTLExceeded }
+
+// Silent reports whether nothing came back.
+func (r Result) Silent() bool { return r.Kind == None }
+
+// Stats accumulates probe accounting across a prober's lifetime; tracenet's
+// probing-overhead model (paper §3.6) is validated against these counters.
+type Stats struct {
+	Sent     uint64 // packets put on the wire, including retries
+	Answered uint64 // packets that drew any response
+	Retries  uint64 // additional packets sent after silence
+	Cached   uint64 // logical probes served from the response cache
+}
+
+// ErrBudgetExceeded is returned once a prober exhausts its probe budget.
+var ErrBudgetExceeded = errors.New("probe: budget exceeded")
+
+// Options configure a Prober.
+type Options struct {
+	// Protocol selects ICMP (default), UDP, or TCP probes.
+	Protocol Protocol
+	// Retries is how many times a silent probe is re-sent. Default 1.
+	Retries int
+	// NoRetry disables retrying entirely (Retries is ignored).
+	NoRetry bool
+	// FlowID seeds the ICMP identifier / source port. Probes with the same
+	// FlowID hash to the same equal-cost path (Paris-style stability); a
+	// prober holds it constant for its lifetime.
+	FlowID uint16
+	// VaryFlow makes every probe use a fresh flow identifier, reproducing
+	// classic (non-Paris) traceroute behaviour under load balancing.
+	VaryFlow bool
+	// Budget caps the number of packets sent (0 = unlimited).
+	Budget uint64
+	// Cache memoizes (destination, TTL) outcomes so repeated logical probes
+	// cost no packets. tracenet's rule merging (§3.5: "both H3 and H6
+	// require the same single probe") relies on this.
+	Cache bool
+	// RecordRoute sets the IP record-route option on every probe, the
+	// DisCarte mechanism: compliant routers stamp their outgoing interface,
+	// yielding a second address per hop for the first nine hops.
+	RecordRoute bool
+}
+
+// Prober issues direct and indirect probes through a Transport.
+// It is not safe for concurrent use.
+type Prober struct {
+	tr   Transport
+	src  ipv4.Addr
+	opts Options
+
+	seq   uint16
+	stats Stats
+	cache map[cacheKey]Result
+}
+
+type cacheKey struct {
+	dst ipv4.Addr
+	ttl uint8
+}
+
+// DirectTTL is the "large enough TTL value" (paper §3.1(i)) used for direct
+// probes.
+const DirectTTL = 64
+
+// New creates a prober sourcing probes from src.
+func New(tr Transport, src ipv4.Addr, opts Options) *Prober {
+	if opts.Retries == 0 {
+		opts.Retries = 1
+	}
+	if opts.NoRetry {
+		opts.Retries = 0
+	}
+	if opts.FlowID == 0 {
+		opts.FlowID = 0x7a7a
+	}
+	p := &Prober{tr: tr, src: src, opts: opts}
+	if opts.Cache {
+		p.cache = make(map[cacheKey]Result)
+	}
+	return p
+}
+
+// Src returns the prober's source address.
+func (p *Prober) Src() ipv4.Addr { return p.src }
+
+// Protocol returns the probe carrier protocol.
+func (p *Prober) Protocol() Protocol { return p.opts.Protocol }
+
+// Stats returns a snapshot of the probe accounting.
+func (p *Prober) Stats() Stats { return p.stats }
+
+// Direct sends a direct probe (large TTL) testing whether dst is alive.
+func (p *Prober) Direct(dst ipv4.Addr) (Result, error) {
+	return p.Probe(dst, DirectTTL)
+}
+
+// Probe sends one logical probe to dst with the given TTL, retrying on
+// silence, and classifies the response.
+func (p *Prober) Probe(dst ipv4.Addr, ttl int) (Result, error) {
+	if ttl < 1 || ttl > 255 {
+		return Result{}, fmt.Errorf("probe: ttl %d out of range", ttl)
+	}
+	key := cacheKey{dst, uint8(ttl)}
+	if p.cache != nil {
+		if r, ok := p.cache[key]; ok {
+			p.stats.Cached++
+			return r, nil
+		}
+	}
+	var res Result
+	for attempt := 0; ; attempt++ {
+		if p.opts.Budget > 0 && p.stats.Sent >= p.opts.Budget {
+			return Result{}, ErrBudgetExceeded
+		}
+		r, err := p.once(dst, uint8(ttl))
+		if err != nil {
+			return Result{}, err
+		}
+		res = r
+		if !r.Silent() || attempt >= p.opts.Retries {
+			break
+		}
+		p.stats.Retries++
+	}
+	if p.cache != nil {
+		p.cache[key] = res
+	}
+	return res, nil
+}
+
+// once sends exactly one packet and classifies its reply.
+func (p *Prober) once(dst ipv4.Addr, ttl uint8) (Result, error) {
+	p.seq++
+	flow := p.opts.FlowID
+	if p.opts.VaryFlow {
+		flow = p.opts.FlowID + p.seq
+	}
+	var pkt *wire.Packet
+	switch p.opts.Protocol {
+	case ICMP:
+		pkt = wire.NewEchoRequest(p.src, dst, ttl, flow, p.seq)
+	case UDP:
+		// Classic traceroute aims at the unused high-port range; the
+		// destination port doubles as the flow discriminator.
+		dstPort := uint16(33434)
+		if p.opts.VaryFlow {
+			dstPort += p.seq % 256
+		}
+		pkt = wire.NewUDPProbe(p.src, dst, ttl, flow, dstPort)
+	case TCP:
+		pkt = wire.NewTCPProbe(p.src, dst, ttl, flow, 80, uint32(p.seq))
+	default:
+		return Result{}, fmt.Errorf("probe: unknown protocol %v", p.opts.Protocol)
+	}
+	if p.opts.RecordRoute {
+		pkt.IP.Options = wire.MakeRecordRoute(wire.MaxRecordRouteSlots)
+	}
+	raw, err := pkt.Encode()
+	if err != nil {
+		return Result{}, err
+	}
+	p.stats.Sent++
+	rawReply, err := p.tr.Exchange(raw)
+	if err != nil {
+		return Result{}, fmt.Errorf("probe: transport: %w", err)
+	}
+	if rawReply == nil {
+		return Result{}, nil
+	}
+	reply, err := wire.Decode(rawReply)
+	if err != nil {
+		// A mangled reply is treated as silence, like a failed checksum on a
+		// real socket.
+		return Result{}, nil
+	}
+	res := p.classify(pkt, reply, dst)
+	if res.Kind != None {
+		p.stats.Answered++
+	}
+	return res, nil
+}
+
+// classify maps a decoded reply onto a Result, verifying it answers our probe
+// (echo ID match, or embedded-quote destination match for ICMP errors).
+func (p *Prober) classify(sent, reply *wire.Packet, dst ipv4.Addr) Result {
+	switch {
+	case reply.ICMP != nil && reply.ICMP.Type == wire.ICMPEchoReply:
+		if sent.ICMP == nil || reply.ICMP.ID != sent.ICMP.ID || reply.ICMP.Seq != sent.ICMP.Seq {
+			return Result{}
+		}
+		return Result{Kind: EchoReply, From: reply.IP.Src, Recorded: wire.RecordedRoute(reply.IP.Options), IPID: reply.IP.ID}
+	case reply.ICMP != nil && reply.ICMP.IsError():
+		orig, _, err := reply.ICMP.EmbeddedOriginal()
+		if err != nil || orig.Dst != dst || orig.Src != p.src {
+			return Result{}
+		}
+		// The quoted header carries the record-route stamps accumulated up
+		// to the point where the error was generated.
+		recorded := wire.RecordedRoute(orig.Options)
+		switch {
+		case reply.ICMP.Type == wire.ICMPTimeExceeded:
+			return Result{Kind: TTLExceeded, From: reply.IP.Src, Recorded: recorded, IPID: reply.IP.ID}
+		case reply.ICMP.Type == wire.ICMPDestUnreach && reply.ICMP.Code == wire.CodePortUnreach:
+			return Result{Kind: PortUnreachable, From: reply.IP.Src, Recorded: recorded, IPID: reply.IP.ID}
+		case reply.ICMP.Type == wire.ICMPDestUnreach:
+			return Result{Kind: HostUnreachable, From: reply.IP.Src, Recorded: recorded, IPID: reply.IP.ID}
+		}
+		return Result{}
+	case reply.TCP != nil && reply.TCP.Flags&wire.TCPFlagRST != 0:
+		if sent.TCP == nil || reply.TCP.DstPort != sent.TCP.SrcPort {
+			return Result{}
+		}
+		return Result{Kind: TCPReset, From: reply.IP.Src, IPID: reply.IP.ID}
+	}
+	return Result{}
+}

@@ -1,0 +1,118 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tracenet/internal/experiments"
+)
+
+var (
+	once sync.Once
+	isp  *experiments.ISPResult
+	err  error
+)
+
+func ispRes(t *testing.T) *experiments.ISPResult {
+	t.Helper()
+	once.Do(func() { isp, err = experiments.RunISP(7) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return isp
+}
+
+func TestResearchTableRendering(t *testing.T) {
+	res, err := experiments.Table1Internet2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	ResearchTable(&b, res)
+	out := b.String()
+	for _, want := range []string{
+		"Internet2", "orgl", "exmt", `miss\unrs`, `undes\unrs`, "ovres",
+		"/24", "/31", "179", "132", "exact match rate", "73.7%",
+		"prefix similarity", "size similarity",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVennRendering(t *testing.T) {
+	var b strings.Builder
+	Venn(&b, ispRes(t))
+	out := b.String()
+	for _, want := range []string{"Figure 6", "rice", "uoregon", "umass", "all three", "paper: ~60%", "paper: ~80%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("venn lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIPDistributionRendering(t *testing.T) {
+	var b strings.Builder
+	IPDistribution(&b, ispRes(t))
+	out := b.String()
+	for _, want := range []string{"Figure 7", "SprintLink", "NTTAmerica", "un-subnetized", "targets"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "Figure 7") != 3 {
+		t.Error("one panel per vantage expected")
+	}
+}
+
+func TestSubnetAndPrefixRendering(t *testing.T) {
+	res := ispRes(t)
+	var b strings.Builder
+	SubnetPerISP(&b, res)
+	PrefixDistribution(&b, res)
+	out := b.String()
+	for _, want := range []string{"Figure 8", "Figure 9", "Level3", "/30", "/29"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProtocolTableRendering(t *testing.T) {
+	rows := []experiments.Table3Row{
+		{ISP: "SprintLink", ICMP: 100, UDP: 40, TCP: 1},
+		{ISP: "NTTAmerica", ICMP: 50, UDP: 3, TCP: 0},
+	}
+	var b strings.Builder
+	ProtocolTable(&b, rows)
+	out := b.String()
+	for _, want := range []string{"Table 3", "ICMP", "UDP", "TCP", "Total", "150", "43"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOverheadAndAblationRendering(t *testing.T) {
+	var b strings.Builder
+	OverheadTable(&b, []experiments.OverheadPoint{
+		{Members: 2, Probes: 5, PaperUpperBound: 21, PointToPoint: true},
+		{Members: 10, Probes: 40, PaperUpperBound: 77},
+	})
+	Ablations(&b, []experiments.AblationResult{
+		{Name: "x", Baseline: 1, Ablated: 2, Metric: "probes"},
+	})
+	Coverage(&b, &experiments.CoverageResult{
+		TracerouteAddrs: 10, TracenetAddrs: 30,
+		TracerouteProbes: 100, TracenetProbes: 250,
+		Subnets: 9, MultiAccess: 2,
+	})
+	out := b.String()
+	for _, want := range []string{"7|S|+7", "Ablations", "Coverage", "traceroute", "tracenet"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package subnetinfer
+
+import (
+	"testing"
+
+	"tracenet/internal/ipv4"
+)
+
+func addr(s string) ipv4.Addr  { return ipv4.MustParseAddr(s) }
+func pfx(s string) ipv4.Prefix { return ipv4.MustParsePrefix(s) }
+
+func TestInferP2PPair(t *testing.T) {
+	obs := []Observation{
+		{addr("10.0.1.0"), 1},
+		{addr("10.0.1.1"), 2},
+	}
+	got := Infer(obs, Options{})
+	if len(got) != 1 || got[0].Prefix != pfx("10.0.1.0/31") {
+		t.Fatalf("inferred = %+v", got)
+	}
+}
+
+func TestInferSlash30UsableHosts(t *testing.T) {
+	obs := []Observation{
+		{addr("10.0.1.1"), 3},
+		{addr("10.0.1.2"), 4},
+	}
+	got := Infer(obs, Options{})
+	if len(got) != 1 || got[0].Prefix != pfx("10.0.1.0/30") {
+		t.Fatalf("inferred = %+v", got)
+	}
+}
+
+func TestDistanceConditionSeparates(t *testing.T) {
+	// Mate addresses two hops apart cannot share a subnet.
+	obs := []Observation{
+		{addr("10.0.1.0"), 2},
+		{addr("10.0.1.1"), 5},
+	}
+	if got := Infer(obs, Options{}); len(got) != 0 {
+		t.Fatalf("inferred across a 3-hop gap: %+v", got)
+	}
+}
+
+func TestBoundarySeparates(t *testing.T) {
+	// 10.0.1.7 would be the broadcast of 10.0.1.0/29: the /29 candidate is
+	// rejected; the /31 and /30 pairs survive.
+	obs := []Observation{
+		{addr("10.0.1.1"), 3},
+		{addr("10.0.1.2"), 3},
+		{addr("10.0.1.7"), 3},
+	}
+	got := Infer(obs, Options{})
+	if len(got) != 1 || got[0].Prefix != pfx("10.0.1.0/30") {
+		t.Fatalf("inferred = %+v", got)
+	}
+}
+
+func TestCompletenessCondition(t *testing.T) {
+	// Two addresses spread over a /28 range (2 of 14 hosts) fail the
+	// completeness condition at every level past their own /31s.
+	obs := []Observation{
+		{addr("10.0.1.1"), 3},
+		{addr("10.0.1.9"), 3},
+	}
+	if got := Infer(obs, Options{}); len(got) != 0 {
+		t.Fatalf("sparse range inferred: %+v", got)
+	}
+}
+
+func TestInferLAN(t *testing.T) {
+	// Five members of a /29, distances 2 (contra side) and 3.
+	obs := []Observation{
+		{addr("10.0.2.1"), 2},
+		{addr("10.0.2.2"), 3},
+		{addr("10.0.2.3"), 3},
+		{addr("10.0.2.4"), 3},
+		{addr("10.0.2.5"), 3},
+	}
+	got := Infer(obs, Options{})
+	if len(got) != 1 || got[0].Prefix != pfx("10.0.2.0/29") {
+		t.Fatalf("inferred = %+v", got)
+	}
+	if len(got[0].Addrs) != 5 {
+		t.Fatalf("members = %v", got[0].Addrs)
+	}
+}
+
+func TestEachAddressAssignedOnce(t *testing.T) {
+	obs := []Observation{
+		{addr("10.0.1.0"), 1},
+		{addr("10.0.1.1"), 2},
+		{addr("10.0.1.2"), 2},
+		{addr("10.0.1.3"), 3},
+	}
+	got := Infer(obs, Options{})
+	seen := map[ipv4.Addr]bool{}
+	for _, s := range got {
+		for _, a := range s.Addrs {
+			if seen[a] {
+				t.Fatalf("address %v assigned twice: %+v", a, got)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if got := Infer(nil, Options{}); len(got) != 0 {
+		t.Fatalf("inferred from nothing: %+v", got)
+	}
+}

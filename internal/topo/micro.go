@@ -1,0 +1,148 @@
+// Package topo builds the topologies the evaluation runs against: the
+// paper-figure micro-topologies used by tests and examples, Internet2-like
+// and GEANT-like research networks with the paper's exact original subnet
+// distributions (Tables 1 and 2), four ISP-like cores for the multi-vantage
+// experiments (Figures 6–9, Table 3), and a seeded random generator.
+package topo
+
+import (
+	"tracenet/internal/netsim"
+)
+
+// Figure3 builds the subnet-exploration scene of the paper's Figure 3: a
+// vantage host behind R1, ingress router R2, a multi-access subnet S
+// (10.0.2.0/24) hosting R2/R3/R4/R6, a close-fringe /31 R2–R7, a far-fringe
+// /31 R4–R5, and a destination host behind R4.
+//
+//	vantage --A-- R1 --P1-- R2 ==S== {R3, R4, R6}
+//	                        |T               |F    \DS
+//	                        R7               R5     dest
+//
+// Addresses: vantage 10.0.0.1, dest 10.0.5.2; S members 10.0.2.1 (R2,
+// contra-pivot), 10.0.2.2 (R3), 10.0.2.3 (R4), 10.0.2.4 (R6).
+func Figure3() *netsim.Topology {
+	b := netsim.NewBuilder()
+	v := b.Host("vantage")
+	r1 := b.Router("R1")
+	r2 := b.Router("R2")
+	r3 := b.Router("R3")
+	r4 := b.Router("R4")
+	r5 := b.Router("R5")
+	r6 := b.Router("R6")
+	r7 := b.Router("R7")
+	d := b.Host("dest")
+
+	a := b.Subnet("10.0.0.0/30")
+	b.Attach(v, a, "10.0.0.1")
+	b.Attach(r1, a, "10.0.0.2")
+
+	p1 := b.Subnet("10.0.1.0/31")
+	b.Attach(r1, p1, "10.0.1.0")
+	b.Attach(r2, p1, "10.0.1.1")
+
+	s := b.Subnet("10.0.2.0/24")
+	b.Attach(r2, s, "10.0.2.1")
+	b.Attach(r3, s, "10.0.2.2")
+	b.Attach(r4, s, "10.0.2.3")
+	b.Attach(r6, s, "10.0.2.4")
+
+	t := b.Subnet("10.0.3.0/31")
+	b.Attach(r2, t, "10.0.3.0")
+	b.Attach(r7, t, "10.0.3.1")
+
+	f := b.Subnet("10.0.4.0/31")
+	b.Attach(r4, f, "10.0.4.0")
+	b.Attach(r5, f, "10.0.4.1")
+
+	ds := b.Subnet("10.0.5.0/30")
+	b.Attach(r4, ds, "10.0.5.1")
+	b.Attach(d, ds, "10.0.5.2")
+
+	return b.MustBuild()
+}
+
+// Chain builds a linear chain of n routers joined by /31 point-to-point
+// links, with a vantage host in front and a destination host at the end —
+// the minimal workload for trace and overhead tests.
+//
+//	vantage --/30-- R1 --/31-- R2 --/31-- ... --Rn --/30-- dest
+func Chain(n int) *netsim.Topology {
+	b := netsim.NewBuilder()
+	v := b.Host("vantage")
+	a := b.Subnet("10.9.0.0/30")
+	b.Attach(v, a, "10.9.0.1")
+
+	prev := b.Router("R1")
+	b.Attach(prev, a, "10.9.0.2")
+	for i := 2; i <= n; i++ {
+		r := b.Router(routerName(i))
+		link := b.SubnetP(p2pPrefix(i))
+		b.AttachA(prev, link, p2pPrefix(i).Base())
+		b.AttachA(r, link, p2pPrefix(i).Base()+1)
+		prev = r
+	}
+	d := b.Host("dest")
+	ds := b.Subnet("10.9.255.0/30")
+	b.Attach(prev, ds, "10.9.255.1")
+	b.Attach(d, ds, "10.9.255.2")
+	return b.MustBuild()
+}
+
+// Figure2 builds the overlay-network motivation scene of the paper's
+// Figure 2: hosts A, B, C, D around a core where routers R2, R4, R5, R8
+// share one multi-access LAN, so the seemingly disjoint paths P1 (A→D via
+// R1,R2,R5,R9) and P3 (B→C via R6,R3,R4,R8) in fact share a link.
+func Figure2() *netsim.Topology {
+	b := netsim.NewBuilder()
+	hostA := b.Host("A")
+	hostB := b.Host("B")
+	hostC := b.Host("C")
+	hostD := b.Host("D")
+	r1 := b.Router("R1")
+	r2 := b.Router("R2")
+	r3 := b.Router("R3")
+	r4 := b.Router("R4")
+	r5 := b.Router("R5")
+	r6 := b.Router("R6")
+	r8 := b.Router("R8")
+	r9 := b.Router("R9")
+
+	// Access LANs.
+	la := b.Subnet("10.2.0.0/29") // A's LAN: R1 and R3 both attached
+	b.Attach(hostA, la, "10.2.0.1")
+	b.Attach(r1, la, "10.2.0.2")
+	b.Attach(r3, la, "10.2.0.3")
+
+	lb := b.Subnet("10.2.1.0/30")
+	b.Attach(hostB, lb, "10.2.1.1")
+	b.Attach(r6, lb, "10.2.1.2")
+
+	lc := b.Subnet("10.2.2.0/30")
+	b.Attach(hostC, lc, "10.2.2.1")
+	b.Attach(r8, lc, "10.2.2.2")
+
+	ld := b.Subnet("10.2.3.0/30")
+	b.Attach(hostD, ld, "10.2.3.1")
+	b.Attach(r9, ld, "10.2.3.2")
+
+	// The shared multi-access LAN between R2, R4, R5, R8 — the link that
+	// breaks the disjointness inference.
+	shared := b.Subnet("10.2.4.0/29")
+	b.Attach(r2, shared, "10.2.4.1")
+	b.Attach(r4, shared, "10.2.4.2")
+	b.Attach(r5, shared, "10.2.4.3")
+	b.Attach(r8, shared, "10.2.4.4")
+
+	// Point-to-point core links.
+	p2p := func(cidr, aAddr, bAddr string, ra, rb *netsim.Router) {
+		s := b.Subnet(cidr)
+		b.Attach(ra, s, aAddr)
+		b.Attach(rb, s, bAddr)
+	}
+	p2p("10.2.5.0/31", "10.2.5.0", "10.2.5.1", r1, r2)
+	p2p("10.2.5.2/31", "10.2.5.2", "10.2.5.3", r3, r4)
+	p2p("10.2.5.4/31", "10.2.5.4", "10.2.5.5", r5, r9)
+	p2p("10.2.5.6/31", "10.2.5.6", "10.2.5.7", r6, r3)
+
+	return b.MustBuild()
+}

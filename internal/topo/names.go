@@ -1,0 +1,16 @@
+package topo
+
+import (
+	"fmt"
+
+	"tracenet/internal/ipv4"
+)
+
+func routerName(i int) string { return fmt.Sprintf("R%d", i) }
+
+// p2pPrefix deterministically allocates the /31 link prefix for chain hop i
+// out of 10.9.1.0/24.
+func p2pPrefix(i int) ipv4.Prefix {
+	base := ipv4.MustParseAddr("10.9.1.0") + ipv4.Addr((i-2)*2)
+	return ipv4.NewPrefix(base, 31)
+}

@@ -1,0 +1,122 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/netsim"
+)
+
+// RandomSpec parameterizes the seeded random topology generator, used for
+// property-style testing (tracenet must behave sanely on arbitrary
+// topologies) and by cmd/topogen.
+type RandomSpec struct {
+	// Seed drives every random choice; equal specs generate equal networks.
+	Seed int64
+	// Backbone is the number of backbone routers (connected as a random
+	// tree plus extra cross links). Default 8.
+	Backbone int
+	// Leaves is the number of stub routers hanging off the backbone.
+	// Default 24.
+	Leaves int
+	// LANFraction is the probability that an attachment subnet is a
+	// multi-access LAN (/29…/27) rather than a point-to-point link.
+	// Default 0.25.
+	LANFraction float64
+	// ExtraLinks adds redundant backbone cross links (creating ECMP).
+	// Default 2.
+	ExtraLinks int
+	// Unresponsive is the probability that a payload subnet is firewalled.
+	Unresponsive float64
+}
+
+func (s RandomSpec) withDefaults() RandomSpec {
+	if s.Backbone == 0 {
+		s.Backbone = 8
+	}
+	if s.Leaves == 0 {
+		s.Leaves = 24
+	}
+	if s.LANFraction == 0 {
+		s.LANFraction = 0.25
+	}
+	if s.ExtraLinks == 0 {
+		s.ExtraLinks = 2
+	}
+	return s
+}
+
+// Random generates a connected random topology with a vantage host and a set
+// of traceable destination addresses.
+func Random(spec RandomSpec) (*netsim.Topology, []ipv4.Addr) {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	b := netsim.NewBuilder()
+	al := &allocator{next: ipv4.MustParseAddr("10.128.0.0")}
+
+	v := b.Host("vantage")
+	access := b.Subnet("192.168.100.0/30")
+	b.Attach(v, access, "192.168.100.1")
+
+	backbone := make([]*netsim.Router, spec.Backbone)
+	for i := range backbone {
+		backbone[i] = b.Router(fmt.Sprintf("bb%d", i))
+	}
+	b.Attach(backbone[0], access, "192.168.100.2")
+
+	// spacedP2P places each point-to-point link in its own /28-aligned block
+	// so that same-head-end links never sit in adjacent ranges (see the
+	// same-head-end merge analysis in the ISP generator).
+	spacedP2P := func(a, c *netsim.Router) ipv4.Prefix {
+		block := al.alloc(28)
+		p := ipv4.NewPrefix(block.Base(), 31)
+		s := b.SubnetP(p)
+		b.AttachA(a, s, p.Base())
+		b.AttachA(c, s, p.Base()+1)
+		return p
+	}
+
+	// Random tree over the backbone, then extra cross links for ECMP.
+	for i := 1; i < spec.Backbone; i++ {
+		parent := backbone[rng.Intn(i)]
+		spacedP2P(parent, backbone[i])
+	}
+	for i := 0; i < spec.ExtraLinks; i++ {
+		x, y := rng.Intn(spec.Backbone), rng.Intn(spec.Backbone)
+		if x == y {
+			continue
+		}
+		spacedP2P(backbone[x], backbone[y])
+	}
+
+	var targets []ipv4.Addr
+	for i := 0; i < spec.Leaves; i++ {
+		hub := backbone[rng.Intn(spec.Backbone)]
+		if rng.Float64() < spec.LANFraction {
+			bits := 27 + rng.Intn(3) // /27…/29
+			p := al.alloc(bits)
+			s := b.SubnetP(p)
+			members := int(p.Size())/2 + 1
+			b.AttachA(hub, s, p.Base()+1)
+			for m := 2; m <= members; m++ {
+				r := b.Router(fmt.Sprintf("lan%d-%d", i, m))
+				b.AttachA(r, s, p.Base()+ipv4.Addr(m))
+			}
+			if rng.Float64() < spec.Unresponsive {
+				s.Unresponsive = true
+			}
+			targets = append(targets, p.Base()+2)
+		} else {
+			leaf := b.Router(fmt.Sprintf("leaf%d", i))
+			p := spacedP2P(hub, leaf)
+			if rng.Float64() < spec.Unresponsive {
+				// The builder returned the subnet indirectly; look it up on
+				// the leaf's interface.
+				leaf.Ifaces[0].Subnet.Unresponsive = true
+			}
+			targets = append(targets, p.Base()+1)
+		}
+	}
+	return b.MustBuild(), targets
+}

@@ -1,0 +1,315 @@
+package topo
+
+import (
+	"fmt"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/netsim"
+)
+
+// Original is one ground-truth subnet of a research network, with the
+// responsiveness annotations the evaluation needs to attribute misses and
+// underestimations (paper §4.1.1 distinguishes algorithm-caused from
+// unresponsiveness-caused errors).
+type Original struct {
+	Prefix ipv4.Prefix
+	// Target is the evaluation destination drawn from this subnet ("we build
+	// destination IP address sets by selecting a random IP address from each
+	// of their original subnets", §4.1). Like the paper's random picks, the
+	// target of a sparsely utilized subnet may be an unassigned address.
+	Target ipv4.Addr
+	// TotallyUnresponsive marks a subnet behind a probe-blocking firewall.
+	TotallyUnresponsive bool
+	// PartiallyUnresponsive marks a subnet with a mix of responsive and
+	// unresponsive interfaces.
+	PartiallyUnresponsive bool
+}
+
+// Research is a generated research network (Internet2-like or GEANT-like):
+// the simulated topology plus its ground-truth subnet inventory.
+type Research struct {
+	Name      string
+	Topo      *netsim.Topology
+	Originals []Original
+}
+
+// Targets returns the evaluation destination set, one address per original
+// subnet.
+func (r *Research) Targets() []ipv4.Addr {
+	out := make([]ipv4.Addr, len(r.Originals))
+	for i, o := range r.Originals {
+		out[i] = o.Target
+	}
+	return out
+}
+
+// planKind describes how one original subnet is realized, chosen so that the
+// collected distribution reproduces the corresponding Table 1/2 row.
+type planKind uint8
+
+const (
+	planExact       planKind = iota // well utilized, fully responsive
+	planTotallyUnrs                 // firewalled: miss\unrs row
+	planPartialUnrs                 // responsive/unresponsive mix: undes\unrs row
+	planSparse                      // sparsely utilized, assigned target: undes row
+	planSparseMiss                  // sparsely utilized, unassigned target: miss row
+	planOverres                     // /30 with an unpublished parallel link: ovres row
+)
+
+type plan struct {
+	bits int
+	kind planKind
+}
+
+// researchSpec is the blueprint of a research network.
+type researchSpec struct {
+	name  string
+	hubs  int
+	plans []plan
+	// backboneBits is the prefix length of the inventory subnets used as
+	// hub-to-hub backbone links.
+	backboneBits int
+	// base is the inventory address block.
+	base ipv4.Addr
+}
+
+func repeat(dst []plan, bits int, kind planKind, n int) []plan {
+	for i := 0; i < n; i++ {
+		dst = append(dst, plan{bits: bits, kind: kind})
+	}
+	return dst
+}
+
+// internet2Spec reproduces the original subnet distribution of Table 1
+// (179 subnets: 6 /24, 1 /25, 2 /27, 26 /28, 20 /29, 101 /30, 23 /31) with
+// the responsiveness mix that yields the paper's collected rows.
+func internet2Spec() researchSpec {
+	var p []plan
+	// /24: 4 firewalled, 1 sparse-missed, 1 sparse-underestimated.
+	p = repeat(p, 24, planTotallyUnrs, 4)
+	p = repeat(p, 24, planSparseMiss, 1)
+	p = repeat(p, 24, planSparse, 1)
+	// /25: firewalled.
+	p = repeat(p, 25, planTotallyUnrs, 1)
+	// /27: firewalled.
+	p = repeat(p, 27, planTotallyUnrs, 2)
+	// /28: 2 exact, 1 firewalled, 2 sparse-missed, 2 sparse, 19 partial.
+	p = repeat(p, 28, planExact, 2)
+	p = repeat(p, 28, planTotallyUnrs, 1)
+	p = repeat(p, 28, planSparseMiss, 2)
+	p = repeat(p, 28, planSparse, 2)
+	p = repeat(p, 28, planPartialUnrs, 19)
+	// /29: 16 exact, 4 firewalled.
+	p = repeat(p, 29, planExact, 16)
+	p = repeat(p, 29, planTotallyUnrs, 4)
+	// /30: 92 exact (10 of them realized as the hub backbone links),
+	// 8 firewalled, 1 overestimated.
+	p = repeat(p, 30, planExact, 82)
+	p = repeat(p, 30, planTotallyUnrs, 8)
+	p = repeat(p, 30, planOverres, 1)
+	// /31: 22 exact, 1 firewalled.
+	p = repeat(p, 31, planExact, 22)
+	p = repeat(p, 31, planTotallyUnrs, 1)
+	return researchSpec{
+		name:         "Internet2",
+		hubs:         11,
+		plans:        p,
+		backboneBits: 30,
+		base:         ipv4.MustParseAddr("172.16.0.0"),
+	}
+}
+
+// geantSpec reproduces the original subnet distribution of Table 2
+// (271 subnets: 24 /28, 109 /29, 138 /30).
+func geantSpec() researchSpec {
+	var p []plan
+	// /28: 10 firewalled, 3 sparse, 11 partial.
+	p = repeat(p, 28, planTotallyUnrs, 10)
+	p = repeat(p, 28, planSparse, 3)
+	p = repeat(p, 28, planPartialUnrs, 11)
+	// /29: 41 exact, 1 sparse-missed, 53 firewalled, 14 partial.
+	p = repeat(p, 29, planExact, 41)
+	p = repeat(p, 29, planSparseMiss, 1)
+	p = repeat(p, 29, planTotallyUnrs, 53)
+	p = repeat(p, 29, planPartialUnrs, 14)
+	// /30: 104 exact (11 of them realized as the hub backbone links),
+	// 34 firewalled.
+	p = repeat(p, 30, planExact, 93)
+	p = repeat(p, 30, planTotallyUnrs, 34)
+	return researchSpec{
+		name:         "GEANT",
+		hubs:         12,
+		plans:        p,
+		backboneBits: 30,
+		base:         ipv4.MustParseAddr("172.20.0.0"),
+	}
+}
+
+// Internet2 generates the Internet2-like research network of Table 1.
+func Internet2() *Research { return buildResearch(internet2Spec()) }
+
+// GEANT generates the GEANT-like research network of Table 2.
+func GEANT() *Research { return buildResearch(geantSpec()) }
+
+// allocator hands out address blocks from a base, aligned to their size.
+type allocator struct{ next ipv4.Addr }
+
+func (a *allocator) alloc(bits int) ipv4.Prefix {
+	size := ipv4.Addr(uint32(1) << (32 - bits))
+	// Align up.
+	if rem := a.next % size; rem != 0 {
+		a.next += size - rem
+	}
+	p := ipv4.NewPrefix(a.next, bits)
+	a.next += size
+	return p
+}
+
+// buildResearch lays the inventory out as a caterpillar: a chain of hub
+// routers joined by inventory backbone links, with every other inventory
+// subnet hanging off a hub — point-to-point subnets toward a fresh leaf
+// router, multi-access subnets toward several. Consecutive allocations go to
+// consecutive hubs, so address-adjacent subnets sit at different hop depths;
+// that staggering is what lets heuristics H2–H8 separate neighbouring
+// address ranges, just as depth variation does in real networks.
+func buildResearch(spec researchSpec) *Research {
+	b := netsim.NewBuilder()
+	al := &allocator{next: spec.base}
+	res := &Research{Name: spec.name}
+
+	v := b.Host("vantage")
+	access := b.Subnet("192.168.0.0/30")
+	b.Attach(v, access, "192.168.0.1")
+
+	hubs := make([]*netsim.Router, spec.hubs)
+	for i := range hubs {
+		hubs[i] = b.Router(fmt.Sprintf("hub%d", i))
+	}
+	b.Attach(hubs[0], access, "192.168.0.2")
+
+	// Backbone: hub_i—hub_i+1 links drawn from the inventory. They are fully
+	// utilized point-to-point subnets and collect exactly.
+	leafN := 0
+	newLeaf := func() *netsim.Router {
+		leafN++
+		return b.Router(fmt.Sprintf("leaf%d", leafN))
+	}
+	attachP2P := func(p ipv4.Prefix, near, far *netsim.Router) (*netsim.Subnet, ipv4.Addr) {
+		s := b.SubnetP(p)
+		var a0, a1 ipv4.Addr
+		if p.Bits() == 31 {
+			a0, a1 = p.Base(), p.Base()+1
+		} else {
+			a0, a1 = p.Base()+1, p.Base()+2
+		}
+		b.AttachA(near, s, a0)
+		b.AttachA(far, s, a1)
+		return s, a1
+	}
+
+	for i := 0; i+1 < len(hubs); i++ {
+		p := al.alloc(spec.backboneBits)
+		_, far := attachP2P(p, hubs[i], hubs[i+1])
+		res.Originals = append(res.Originals, Original{Prefix: p, Target: far})
+	}
+
+	hubAt := func(i int) *netsim.Router { return hubs[i%len(hubs)] }
+
+	for idx, pl := range spec.plans {
+		hub := hubAt(idx)
+		p := al.alloc(pl.bits)
+		o := Original{Prefix: p}
+		switch {
+		case pl.bits >= 30 && pl.kind != planOverres:
+			// Point-to-point.
+			s, far := attachP2P(p, hub, newLeaf())
+			o.Target = far
+			if pl.kind == planTotallyUnrs {
+				s.Unresponsive = true
+				o.TotallyUnresponsive = true
+			}
+		case pl.kind == planOverres:
+			// A /30 plus an unpublished parallel /30 between the same router
+			// pair in the adjacent address block: the parallel link passes
+			// every heuristic (its interfaces are on the same two routers at
+			// the same distances), so the inventory subnet is collected as
+			// the covering /29 — the paper's overestimation class.
+			leaf := newLeaf()
+			_, far := attachP2P(p, hub, leaf)
+			hidden := al.alloc(30)
+			attachP2P(hidden, hub, leaf)
+			o.Target = far
+		default:
+			// Multi-access: member count per kind.
+			s := b.SubnetP(p)
+			members := memberOffsets(pl)
+			var ifaces []*netsim.Iface
+			for i, off := range members {
+				var r *netsim.Router
+				if i == 0 {
+					r = hub
+				} else {
+					r = newLeaf()
+				}
+				ifaces = append(ifaces, b.AttachA(r, s, p.Base()+ipv4.Addr(off)))
+			}
+			switch pl.kind {
+			case planExact:
+				o.Target = ifaces[1].Addr
+			case planTotallyUnrs:
+				s.Unresponsive = true
+				o.TotallyUnresponsive = true
+				o.Target = ifaces[1].Addr
+			case planPartialUnrs:
+				// The upper half of the members stays silent; the subnet is
+				// observed at roughly half its true size and the collected
+				// covering prefix lands one level short.
+				o.PartiallyUnresponsive = true
+				for _, ifc := range ifaces[len(ifaces)/2:] {
+					ifc.Responsive = false
+				}
+				o.Target = ifaces[1].Addr
+			case planSparse:
+				o.Target = ifaces[1].Addr
+			case planSparseMiss:
+				// Like the paper's random pick landing on an unassigned
+				// address of a sparsely utilized subnet: the trace dies at
+				// the ingress and the subnet is never explored.
+				o.Target = p.Last() - 1
+			}
+		}
+		res.Originals = append(res.Originals, o)
+	}
+
+	res.Topo = b.MustBuild()
+	return res
+}
+
+// memberOffsets returns the assigned host offsets for a multi-access plan.
+func memberOffsets(pl plan) []int {
+	switch pl.kind {
+	case planExact, planTotallyUnrs:
+		// Well utilized: more than half of each growth level, spanning both
+		// halves of the prefix, e.g. 9 members for a /28 and 5 for a /29.
+		n := 1<<(32-pl.bits)/2 + 1
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	case planPartialUnrs:
+		// Well utilized on paper, but half the interfaces won't answer.
+		n := 1<<(32-pl.bits)/2 + 3
+		if max := 1<<(32-pl.bits) - 2; n > max {
+			n = max
+		}
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	default: // planSparse, planSparseMiss
+		// A handful of assigned addresses with gaps.
+		return []int{1, 2, 5}
+	}
+}

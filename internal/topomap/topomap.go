@@ -1,0 +1,268 @@
+// Package topomap assembles tracenet session results into a subnet-level
+// topology map — the artifact the paper positions tracenet as the collector
+// for (§1: subnet-level maps "enrich the router level maps with subnet level
+// connectivity info"). The map answers the questions that motivated
+// Figure 2: which addresses share a LAN, and whether two paths are really
+// link-disjoint.
+//
+// Sessions from multiple vantage points or campaigns can be merged into one
+// map; overlapping observations of the same subnet are reconciled by keeping
+// the larger prefix's membership union.
+package topomap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tracenet/internal/core"
+	"tracenet/internal/ipv4"
+)
+
+// Map is an accumulating subnet-level topology map.
+// The zero value is not usable; call New.
+type Map struct {
+	// subnets by canonical prefix.
+	subnets map[ipv4.Prefix]*Entry
+	// addrToPrefix resolves a member address to its subnet.
+	addrToPrefix map[ipv4.Addr]ipv4.Prefix
+	// hops records every trace adjacency observed: an (earlier hop, later
+	// hop) pair of responding addresses on some path.
+	hops map[[2]ipv4.Addr]int
+	// anon records anonymous hops by their responding neighbours, the
+	// standard anonymous-router resolution heuristic ([8]: two '*' nodes
+	// with the same known neighbours are one router).
+	anon map[[2]ipv4.Addr]int
+}
+
+// Entry is one subnet of the map with its accumulated observations.
+type Entry struct {
+	Prefix ipv4.Prefix
+	// Addrs is the union of member addresses over all observations.
+	Addrs []ipv4.Addr
+	// Observations counts how many sessions contributed.
+	Observations int
+	// OnPath reports whether any observation found the subnet on its trace
+	// path.
+	OnPath bool
+}
+
+// New returns an empty map.
+func New() *Map {
+	return &Map{
+		subnets:      make(map[ipv4.Prefix]*Entry),
+		addrToPrefix: make(map[ipv4.Addr]ipv4.Prefix),
+		hops:         make(map[[2]ipv4.Addr]int),
+		anon:         make(map[[2]ipv4.Addr]int),
+	}
+}
+
+// AddSubnets merges collected subnets into the map without trace-path
+// context (no adjacency or anonymous-router bookkeeping) — useful when
+// merging observations from several vantage points or campaigns.
+func (m *Map) AddSubnets(subnets []*core.Subnet) {
+	for _, s := range subnets {
+		if s.Prefix.Bits() >= 32 {
+			continue
+		}
+		m.addSubnet(s)
+	}
+}
+
+// AddSession merges one tracenet result into the map.
+func (m *Map) AddSession(res *core.Result) {
+	for _, s := range res.Subnets {
+		if s.Prefix.Bits() >= 32 {
+			continue
+		}
+		m.addSubnet(s)
+	}
+	var prev ipv4.Addr
+	pendingAnon := false
+	var anonPrev ipv4.Addr
+	for _, h := range res.Hops {
+		if h.Anonymous() {
+			if !prev.IsZero() {
+				pendingAnon, anonPrev = true, prev
+			}
+			prev = ipv4.Zero
+			continue
+		}
+		if pendingAnon {
+			// One anonymous hop between two responders: record the
+			// placeholder router by its neighbour pair.
+			m.anon[[2]ipv4.Addr{anonPrev, h.Addr}]++
+			pendingAnon = false
+		}
+		if !prev.IsZero() {
+			m.hops[[2]ipv4.Addr{prev, h.Addr}]++
+		}
+		prev = h.Addr
+	}
+}
+
+func (m *Map) addSubnet(s *core.Subnet) {
+	// Reconcile overlapping prefixes: the same physical subnet may have been
+	// observed at different sizes from different campaigns; one entry keyed
+	// by the larger (shorter) prefix holds the union.
+	var e *Entry
+	for p, cand := range m.subnets {
+		if p.Overlaps(s.Prefix) {
+			e = cand
+			break
+		}
+	}
+	if e == nil {
+		e = &Entry{Prefix: s.Prefix}
+		m.subnets[e.Prefix] = e
+	} else if s.Prefix.Bits() < e.Prefix.Bits() {
+		// The new observation is larger: re-key the entry and re-point its
+		// existing members.
+		delete(m.subnets, e.Prefix)
+		e.Prefix = s.Prefix
+		m.subnets[e.Prefix] = e
+		for _, a := range e.Addrs {
+			m.addrToPrefix[a] = e.Prefix
+		}
+	}
+	have := map[ipv4.Addr]bool{}
+	for _, a := range e.Addrs {
+		have[a] = true
+	}
+	for _, a := range s.Addrs {
+		if !have[a] {
+			e.Addrs = append(e.Addrs, a)
+			have[a] = true
+		}
+		m.addrToPrefix[a] = e.Prefix
+	}
+	sort.Slice(e.Addrs, func(i, j int) bool { return e.Addrs[i] < e.Addrs[j] })
+	e.Observations++
+	e.OnPath = e.OnPath || s.OnPath
+}
+
+// Subnets returns the map's entries ordered by prefix base address.
+func (m *Map) Subnets() []*Entry {
+	out := make([]*Entry, 0, len(m.subnets))
+	for _, e := range m.subnets {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Base() != out[j].Prefix.Base() {
+			return out[i].Prefix.Base() < out[j].Prefix.Base()
+		}
+		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+	})
+	return out
+}
+
+// SubnetOf returns the map's subnet containing addr (as an observed member
+// or by prefix), or nil.
+func (m *Map) SubnetOf(addr ipv4.Addr) *Entry {
+	if p, ok := m.addrToPrefix[addr]; ok {
+		return m.subnets[p]
+	}
+	for p, e := range m.subnets {
+		if p.Contains(addr) {
+			return e
+		}
+	}
+	return nil
+}
+
+// SameLAN reports whether two addresses were observed on the same subnet —
+// the "being on the same LAN" relationship of the paper's abstract.
+func (m *Map) SameLAN(a, b ipv4.Addr) bool {
+	ea, eb := m.SubnetOf(a), m.SubnetOf(b)
+	return ea != nil && ea == eb
+}
+
+// AddrCount returns the number of distinct member addresses in the map.
+func (m *Map) AddrCount() int { return len(m.addrToPrefix) }
+
+// LinkDisjoint reports whether two paths (given as their responding hop
+// addresses) share no subnet: the overlay-network question of Figure 2.
+// Paths that look disjoint address-wise may still share a LAN; the subnet
+// map catches that. The second return value lists the shared subnets.
+func (m *Map) LinkDisjoint(pathA, pathB []ipv4.Addr) (bool, []*Entry) {
+	inA := map[*Entry]bool{}
+	for _, a := range pathA {
+		if e := m.SubnetOf(a); e != nil {
+			inA[e] = true
+		}
+	}
+	var shared []*Entry
+	seen := map[*Entry]bool{}
+	for _, b := range pathB {
+		if e := m.SubnetOf(b); e != nil && inA[e] && !seen[e] {
+			shared = append(shared, e)
+			seen[e] = true
+		}
+	}
+	return len(shared) == 0, shared
+}
+
+// AdjacentSubnets reports subnet pairs observed consecutively on some trace
+// path: the subnet-level links of the map.
+func (m *Map) AdjacentSubnets() [][2]*Entry {
+	seen := map[[2]ipv4.Prefix]bool{}
+	var out [][2]*Entry
+	for pair := range m.hops {
+		ea, eb := m.SubnetOf(pair[0]), m.SubnetOf(pair[1])
+		if ea == nil || eb == nil || ea == eb {
+			continue
+		}
+		key := [2]ipv4.Prefix{ea.Prefix, eb.Prefix}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, [2]*Entry{ea, eb})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0].Prefix.Base() != out[j][0].Prefix.Base() {
+			return out[i][0].Prefix.Base() < out[j][0].Prefix.Base()
+		}
+		return out[i][1].Prefix.Base() < out[j][1].Prefix.Base()
+	})
+	return out
+}
+
+// AnonymousRouter is a placeholder for a router that never answered
+// indirect probes, identified by its responding neighbours. Observations
+// with the same neighbour pair are merged into one placeholder — the
+// neighbour-matching heuristic of anonymous router resolution [8].
+type AnonymousRouter struct {
+	Prev, Next   ipv4.Addr
+	Observations int
+}
+
+// AnonymousRouters returns the resolved placeholders, ordered by neighbours.
+func (m *Map) AnonymousRouters() []AnonymousRouter {
+	out := make([]AnonymousRouter, 0, len(m.anon))
+	for pair, n := range m.anon {
+		out = append(out, AnonymousRouter{Prev: pair[0], Next: pair[1], Observations: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prev != out[j].Prev {
+			return out[i].Prev < out[j].Prev
+		}
+		return out[i].Next < out[j].Next
+	})
+	return out
+}
+
+// String renders the map, one subnet per line.
+func (m *Map) String() string {
+	var b strings.Builder
+	entries := m.Subnets()
+	fmt.Fprintf(&b, "subnet map: %d subnets, %d addresses\n", len(entries), m.AddrCount())
+	for _, e := range entries {
+		kind := "lan"
+		if e.Prefix.Bits() >= 30 {
+			kind = "p2p"
+		}
+		fmt.Fprintf(&b, "  %-18v %s x%d %v\n", e.Prefix, kind, e.Observations, e.Addrs)
+	}
+	return b.String()
+}

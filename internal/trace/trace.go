@@ -1,0 +1,141 @@
+// Package trace implements the traceroute baseline tracenet is compared
+// against (paper §1, §2): TTL-scoped probing that records one responding IP
+// address per hop. Both classic traceroute (per-probe flow variation, as the
+// original UDP tool behaves) and Paris-style traceroute (constant flow
+// identifier, immune to per-flow load balancing) are supported through the
+// prober's flow options.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/probe"
+)
+
+// Hop is one row of a traceroute: the responder at a TTL, or anonymous.
+type Hop struct {
+	// TTL is the probe TTL that produced this hop (1-based hop index).
+	TTL int
+	// Addr is the responding interface address; Zero for an anonymous hop.
+	Addr ipv4.Addr
+	// Kind is the raw probe outcome at this hop.
+	Kind probe.Kind
+	// Responders lists every distinct address that answered at this TTL
+	// when ProbesPerHop > 1 (load-balanced paths answer with several).
+	Responders []ipv4.Addr
+}
+
+// Anonymous reports whether the hop did not respond.
+func (h Hop) Anonymous() bool { return h.Addr.IsZero() }
+
+// Route is a completed path trace.
+type Route struct {
+	Dst  ipv4.Addr
+	Hops []Hop
+	// Reached reports whether the destination itself answered.
+	Reached bool
+}
+
+// Addrs returns the non-anonymous addresses on the route, in hop order.
+func (r *Route) Addrs() []ipv4.Addr {
+	var out []ipv4.Addr
+	for _, h := range r.Hops {
+		if !h.Anonymous() {
+			out = append(out, h.Addr)
+		}
+	}
+	return out
+}
+
+// String renders the route in the familiar one-line-per-hop format.
+func (r *Route) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace to %v (%d hops, reached=%v)\n", r.Dst, len(r.Hops), r.Reached)
+	for _, h := range r.Hops {
+		if h.Anonymous() {
+			fmt.Fprintf(&b, "%3d  *\n", h.TTL)
+		} else {
+			fmt.Fprintf(&b, "%3d  %v\n", h.TTL, h.Addr)
+		}
+	}
+	return b.String()
+}
+
+// Options configure a trace run.
+type Options struct {
+	// MaxTTL bounds the trace length. Default 30.
+	MaxTTL int
+	// MaxConsecutiveGaps stops the trace after this many anonymous hops in a
+	// row (the path is presumed dead). Default 4.
+	MaxConsecutiveGaps int
+	// ProbesPerHop is how many probes are sent at each TTL, like classic
+	// traceroute's three. Under load-balanced paths a hop may answer with
+	// several different addresses; all distinct responders are recorded on
+	// the hop. Default 1.
+	ProbesPerHop int
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxTTL == 0 {
+		o.MaxTTL = 30
+	}
+	if o.MaxConsecutiveGaps == 0 {
+		o.MaxConsecutiveGaps = 4
+	}
+	if o.ProbesPerHop == 0 {
+		o.ProbesPerHop = 1
+	}
+}
+
+// Run performs a traceroute to dst using the given prober.
+func Run(p *probe.Prober, dst ipv4.Addr, opts Options) (*Route, error) {
+	opts.setDefaults()
+	route := &Route{Dst: dst}
+	gaps := 0
+	for ttl := 1; ttl <= opts.MaxTTL; ttl++ {
+		hop := Hop{TTL: ttl}
+		for i := 0; i < opts.ProbesPerHop; i++ {
+			res, err := p.Probe(dst, ttl)
+			if err != nil {
+				return route, err
+			}
+			if res.Kind == probe.None {
+				continue
+			}
+			if hop.Kind == probe.None || res.Alive() {
+				hop.Addr, hop.Kind = res.From, res.Kind
+			}
+			if !res.From.IsZero() && !containsAddr(hop.Responders, res.From) {
+				hop.Responders = append(hop.Responders, res.From)
+			}
+		}
+		route.Hops = append(route.Hops, hop)
+		switch {
+		case hop.Kind == probe.EchoReply, hop.Kind == probe.PortUnreachable, hop.Kind == probe.TCPReset:
+			route.Reached = true
+			return route, nil
+		case hop.Kind == probe.HostUnreachable:
+			// The path ends here; the destination is unreachable.
+			return route, nil
+		case hop.Kind == probe.None:
+			gaps++
+			if gaps >= opts.MaxConsecutiveGaps {
+				return route, nil
+			}
+		default:
+			gaps = 0
+		}
+	}
+	return route, nil
+}
+
+func containsAddr(list []ipv4.Addr, a ipv4.Addr) bool {
+	for _, x := range list {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}

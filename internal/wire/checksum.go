@@ -1,0 +1,59 @@
+// Package wire implements marshaling and unmarshaling of the on-the-wire
+// packet formats tracenet exchanges with the network: the IPv4 header, ICMP
+// (echo request/reply, time exceeded, destination unreachable), UDP, and a
+// minimal TCP header. The simulated network substrate (internal/netsim)
+// carries these encoded packets, so the prober and the simulated routers
+// communicate only through real serialized bytes, as a raw-socket deployment
+// would.
+//
+// All multi-byte fields are big-endian (network byte order). Checksums follow
+// RFC 1071.
+package wire
+
+import "encoding/binary"
+
+// Checksum computes the RFC 1071 Internet checksum over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the partial sum of the IPv4 pseudo-header used by
+// the UDP and TCP checksums.
+func pseudoHeaderSum(src, dst [4]byte, proto uint8, length uint16) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// checksumWithPseudo computes the Internet checksum of b seeded with an IPv4
+// pseudo-header.
+func checksumWithPseudo(src, dst [4]byte, proto uint8, b []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, uint16(len(b)))
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"testing"
+
+	"tracenet/internal/ipv4"
+)
+
+// FuzzDecode throws arbitrary bytes at the packet decoder: it must never
+// panic, and every successfully decoded packet must re-encode.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: one valid packet of each kind, plus truncations.
+	echo, _ := NewEchoRequest(testSrc, testDst, 9, 1, 2).Encode()
+	udp, _ := NewUDPProbe(testSrc, testDst, 3, 40000, 33434).Encode()
+	tcp, _ := NewTCPProbe(testSrc, testDst, 3, 55000, 80, 7).Encode()
+	rr := NewEchoRequest(testSrc, testDst, 9, 1, 2)
+	rr.IP.Options = MakeRecordRoute(9)
+	rrRaw, _ := rr.Encode()
+	errPkt, _ := NewICMPError(testSrc, ICMPTimeExceeded, 0, echo).Encode()
+	for _, seed := range [][]byte{echo, udp, tcp, rrRaw, errPkt, echo[:10], nil} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		if _, err := p.Encode(); err != nil {
+			t.Fatalf("decoded packet failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzRecordRoute exercises the options parser with arbitrary bytes.
+func FuzzRecordRoute(f *testing.F) {
+	f.Add(MakeRecordRoute(9))
+	f.Add([]byte{OptNOP, OptNOP, OptRecordRoute, 7, 4, 1, 2, 3, 4})
+	f.Add([]byte{OptRecordRoute, 0})
+	f.Fuzz(func(t *testing.T, opts []byte) {
+		buf := append([]byte(nil), opts...)
+		StampRecordRoute(buf, ipv4.MustParseAddr("10.0.0.1")) // must not panic
+		RecordedRoute(buf)                                    // must not panic
+	})
+}

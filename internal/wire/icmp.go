@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP message types and codes used by the probers (RFC 792).
+const (
+	ICMPEchoReply      = 0
+	ICMPDestUnreach    = 3
+	ICMPEchoRequest    = 8
+	ICMPTimeExceeded   = 11
+	CodeNetUnreach     = 0
+	CodeHostUnreach    = 1
+	CodePortUnreach    = 3
+	CodeTTLExceeded    = 0
+	CodeFragReassembly = 1
+)
+
+// ICMPHeaderLen is the fixed part of every ICMP message we emit.
+const ICMPHeaderLen = 8
+
+// ICMP is a decoded ICMP message. For echo request/reply, ID and Seq carry
+// the identifier and sequence number; for error messages (time exceeded,
+// destination unreachable) Payload carries the embedded original IP header
+// plus at least 8 bytes of its payload, per RFC 792.
+type ICMP struct {
+	Type    uint8
+	Code    uint8
+	ID      uint16 // echo only
+	Seq     uint16 // echo only
+	Payload []byte // echo data, or embedded original datagram for errors
+}
+
+// IsError reports whether the message is an ICMP error (carries an embedded
+// original datagram) rather than an echo.
+func (m *ICMP) IsError() bool {
+	return m.Type == ICMPDestUnreach || m.Type == ICMPTimeExceeded
+}
+
+// Marshal appends the encoded message to dst and returns the extended slice.
+func (m *ICMP) Marshal(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, ICMPHeaderLen)...)
+	dst = append(dst, m.Payload...)
+	b := dst[off:]
+	b[0] = m.Type
+	b[1] = m.Code
+	if !m.IsError() {
+		binary.BigEndian.PutUint16(b[4:], m.ID)
+		binary.BigEndian.PutUint16(b[6:], m.Seq)
+	}
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return dst
+}
+
+// Unmarshal decodes an ICMP message from b, verifying the checksum.
+func (m *ICMP) Unmarshal(b []byte) error {
+	if len(b) < ICMPHeaderLen {
+		return ErrTruncated
+	}
+	if Checksum(b) != 0 {
+		return fmt.Errorf("icmp: %w", ErrBadChecksum)
+	}
+	m.Type = b[0]
+	m.Code = b[1]
+	if b[0] == ICMPEchoRequest || b[0] == ICMPEchoReply {
+		m.ID = binary.BigEndian.Uint16(b[4:])
+		m.Seq = binary.BigEndian.Uint16(b[6:])
+	} else {
+		m.ID, m.Seq = 0, 0
+	}
+	m.Payload = b[ICMPHeaderLen:]
+	return nil
+}
+
+// EmbeddedOriginal extracts the original datagram header (and its leading
+// payload bytes) embedded in an ICMP error message. Routers quote the full IP
+// header plus at least the first 8 payload bytes of the packet that triggered
+// the error; probers use the quote to match replies to outstanding probes.
+func (m *ICMP) EmbeddedOriginal() (IPHeader, []byte, error) {
+	if !m.IsError() {
+		return IPHeader{}, nil, fmt.Errorf("wire: icmp type %d carries no embedded datagram", m.Type)
+	}
+	var h IPHeader
+	payload, err := h.UnmarshalQuoted(m.Payload)
+	if err != nil {
+		return IPHeader{}, nil, fmt.Errorf("wire: embedded datagram: %w", err)
+	}
+	return h, payload, nil
+}

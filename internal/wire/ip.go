@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"tracenet/internal/ipv4"
+)
+
+// IP protocol numbers used by the probers.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// HeaderLen is the length of an IPv4 header without options.
+const HeaderLen = 20
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated   = errors.New("wire: truncated packet")
+	ErrBadVersion  = errors.New("wire: not an IPv4 packet")
+	ErrBadChecksum = errors.New("wire: bad checksum")
+	ErrBadHeader   = errors.New("wire: malformed header")
+)
+
+// IPHeader is an IPv4 header (RFC 791), optionally carrying IP options
+// (padded to a 4-byte multiple on the wire).
+type IPHeader struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the fragment word
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Src      ipv4.Addr
+	Dst      ipv4.Addr
+	// Options holds the raw IP options (e.g. a record-route option); it is
+	// padded with end-of-options bytes to a 4-byte boundary when marshaled.
+	Options []byte
+}
+
+// headerLen returns the on-wire header length including padded options.
+func (h *IPHeader) headerLen() int {
+	return HeaderLen + (len(h.Options)+3)/4*4
+}
+
+// Marshal appends the encoded header to dst and returns the extended slice.
+// The header checksum is computed; TotalLen must already include the payload.
+func (h *IPHeader) Marshal(dst []byte) []byte {
+	hl := h.headerLen()
+	if hl > 60 {
+		hl = 60 // RFC 791 maximum; options beyond this are truncated
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, hl)...)
+	b := dst[off:]
+	b[0] = 4<<4 | uint8(hl/4)
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	binary.BigEndian.PutUint16(b[6:], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	// checksum at b[10:12] left zero for computation
+	so, do := h.Src.Octets(), h.Dst.Octets()
+	copy(b[12:16], so[:])
+	copy(b[16:20], do[:])
+	copy(b[HeaderLen:hl], h.Options) // remaining bytes stay 0 = end-of-options
+	binary.BigEndian.PutUint16(b[10:], Checksum(b[:hl]))
+	return dst
+}
+
+// Unmarshal decodes an IPv4 header from b, verifying version, length, and
+// checksum. It returns the header and the payload slice (aliasing b).
+func (h *IPHeader) Unmarshal(b []byte) (payload []byte, err error) {
+	if len(b) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < HeaderLen || len(b) < ihl {
+		return nil, ErrBadHeader
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return nil, fmt.Errorf("ip header: %w", ErrBadChecksum)
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:])
+	h.ID = binary.BigEndian.Uint16(b[4:])
+	frag := binary.BigEndian.Uint16(b[6:])
+	h.Flags = uint8(frag >> 13)
+	h.FragOff = frag & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Src = ipv4.AddrFromOctets([4]byte(b[12:16]))
+	h.Dst = ipv4.AddrFromOctets([4]byte(b[16:20]))
+	if ihl > HeaderLen {
+		h.Options = append([]byte(nil), b[HeaderLen:ihl]...)
+	} else {
+		h.Options = nil
+	}
+	if int(h.TotalLen) < ihl || int(h.TotalLen) > len(b) {
+		return nil, ErrBadHeader
+	}
+	return b[ihl:h.TotalLen], nil
+}
+
+// UnmarshalQuoted decodes an IPv4 header from the quote inside an ICMP error
+// message. RFC 792 routers embed only the header plus the leading 8 payload
+// bytes, so TotalLen usually exceeds the quoted bytes; the truncation is
+// accepted and the available payload prefix returned. The header checksum is
+// still verified.
+func (h *IPHeader) UnmarshalQuoted(b []byte) (payload []byte, err error) {
+	if len(b) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < HeaderLen || len(b) < ihl {
+		return nil, ErrBadHeader
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return nil, fmt.Errorf("ip header quote: %w", ErrBadChecksum)
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:])
+	h.ID = binary.BigEndian.Uint16(b[4:])
+	frag := binary.BigEndian.Uint16(b[6:])
+	h.Flags = uint8(frag >> 13)
+	h.FragOff = frag & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Src = ipv4.AddrFromOctets([4]byte(b[12:16]))
+	h.Dst = ipv4.AddrFromOctets([4]byte(b[16:20]))
+	if ihl > HeaderLen {
+		h.Options = append([]byte(nil), b[HeaderLen:ihl]...)
+	} else {
+		h.Options = nil
+	}
+	if int(h.TotalLen) < ihl {
+		return nil, ErrBadHeader
+	}
+	end := int(h.TotalLen)
+	if end > len(b) {
+		end = len(b)
+	}
+	return b[ihl:end], nil
+}

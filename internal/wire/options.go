@@ -1,0 +1,93 @@
+package wire
+
+import "tracenet/internal/ipv4"
+
+// IP option types (RFC 791).
+const (
+	OptEnd         = 0
+	OptNOP         = 1
+	OptRecordRoute = 7
+)
+
+// MaxRecordRouteSlots is the largest slot count that fits the 40-byte IP
+// option space (3 bytes of option header + 9 × 4 address slots = 39).
+const MaxRecordRouteSlots = 9
+
+// MakeRecordRoute builds an empty record-route option with the given number
+// of address slots (clamped to MaxRecordRouteSlots). Compliant routers stamp
+// the address of the outgoing interface as they forward the packet — the
+// mechanism the DisCarte project uses to obtain a second address per hop.
+func MakeRecordRoute(slots int) []byte {
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > MaxRecordRouteSlots {
+		slots = MaxRecordRouteSlots
+	}
+	opt := make([]byte, 3+4*slots)
+	opt[0] = OptRecordRoute
+	opt[1] = byte(len(opt)) // option length
+	opt[2] = 4              // pointer: 1-based offset of the next free slot
+	return opt
+}
+
+// findRecordRoute locates the record-route option inside an options block,
+// returning its offset or -1.
+func findRecordRoute(opts []byte) int {
+	i := 0
+	for i < len(opts) {
+		switch opts[i] {
+		case OptEnd:
+			return -1
+		case OptNOP:
+			i++
+		default:
+			if i+1 >= len(opts) {
+				return -1
+			}
+			l := int(opts[i+1])
+			if l < 2 || i+l > len(opts) {
+				return -1
+			}
+			if opts[i] == OptRecordRoute {
+				return i
+			}
+			i += l
+		}
+	}
+	return -1
+}
+
+// StampRecordRoute records addr into the next free slot of the record-route
+// option inside opts, mutating it in place. It reports whether a stamp was
+// written (false when no option is present or all slots are full).
+func StampRecordRoute(opts []byte, addr ipv4.Addr) bool {
+	i := findRecordRoute(opts)
+	if i < 0 {
+		return false
+	}
+	length := int(opts[i+1])
+	ptr := int(opts[i+2])
+	if ptr+3 > length {
+		return false // full
+	}
+	o := addr.Octets()
+	copy(opts[i+ptr-1:], o[:])
+	opts[i+2] = byte(ptr + 4)
+	return true
+}
+
+// RecordedRoute extracts the stamped addresses from the record-route option
+// inside opts, in stamping order. It returns nil when no option is present.
+func RecordedRoute(opts []byte) []ipv4.Addr {
+	i := findRecordRoute(opts)
+	if i < 0 {
+		return nil
+	}
+	ptr := int(opts[i+2])
+	var out []ipv4.Addr
+	for off := 4; off+3 < ptr; off += 4 {
+		out = append(out, ipv4.AddrFromOctets([4]byte(opts[i+off-1:i+off+3])))
+	}
+	return out
+}

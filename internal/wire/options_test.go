@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"testing"
+
+	"tracenet/internal/ipv4"
+)
+
+func TestRecordRouteStampAndParse(t *testing.T) {
+	opt := MakeRecordRoute(3)
+	addrs := []ipv4.Addr{
+		ipv4.MustParseAddr("10.0.0.1"),
+		ipv4.MustParseAddr("10.0.0.2"),
+		ipv4.MustParseAddr("10.0.0.3"),
+	}
+	for i, a := range addrs {
+		if !StampRecordRoute(opt, a) {
+			t.Fatalf("stamp %d rejected", i)
+		}
+	}
+	// Full: further stamps must be refused, not overwrite.
+	if StampRecordRoute(opt, ipv4.MustParseAddr("10.9.9.9")) {
+		t.Fatal("stamp accepted into a full option")
+	}
+	got := RecordedRoute(opt)
+	if len(got) != 3 {
+		t.Fatalf("recorded %d addrs, want 3", len(got))
+	}
+	for i := range addrs {
+		if got[i] != addrs[i] {
+			t.Errorf("stamp %d = %v, want %v", i, got[i], addrs[i])
+		}
+	}
+}
+
+func TestRecordRoutePartial(t *testing.T) {
+	opt := MakeRecordRoute(9)
+	StampRecordRoute(opt, ipv4.MustParseAddr("192.0.2.1"))
+	got := RecordedRoute(opt)
+	if len(got) != 1 || got[0] != ipv4.MustParseAddr("192.0.2.1") {
+		t.Fatalf("recorded = %v", got)
+	}
+}
+
+func TestRecordRouteSlotClamping(t *testing.T) {
+	if got := len(MakeRecordRoute(100)); got != 3+4*MaxRecordRouteSlots {
+		t.Errorf("oversized request produced %d bytes", got)
+	}
+	if got := len(MakeRecordRoute(0)); got != 3+4 {
+		t.Errorf("undersized request produced %d bytes", got)
+	}
+}
+
+func TestFindRecordRouteWithPadding(t *testing.T) {
+	// NOP padding before the option must be skipped.
+	opt := append([]byte{OptNOP, OptNOP}, MakeRecordRoute(2)...)
+	if !StampRecordRoute(opt, ipv4.MustParseAddr("10.1.1.1")) {
+		t.Fatal("stamp failed behind NOP padding")
+	}
+	if got := RecordedRoute(opt); len(got) != 1 {
+		t.Fatalf("recorded = %v", got)
+	}
+}
+
+func TestRecordRouteAbsent(t *testing.T) {
+	if StampRecordRoute(nil, ipv4.MustParseAddr("10.0.0.1")) {
+		t.Fatal("stamp into nil options succeeded")
+	}
+	if RecordedRoute(nil) != nil {
+		t.Fatal("recorded route from nil options")
+	}
+	// End-of-options terminates the scan.
+	opts := []byte{OptEnd, OptRecordRoute, 7, 4, 0, 0, 0, 0}
+	if RecordedRoute(opts) != nil {
+		t.Fatal("option found past end-of-options")
+	}
+	// A malformed option length must not panic or loop.
+	if RecordedRoute([]byte{9, 0}) != nil {
+		t.Fatal("malformed option parsed")
+	}
+}
+
+func TestOptionsSurviveEncodeDecode(t *testing.T) {
+	p := NewEchoRequest(testSrc, testDst, 9, 1, 1)
+	p.IP.Options = MakeRecordRoute(4)
+	StampRecordRoute(p.IP.Options, ipv4.MustParseAddr("10.5.5.5"))
+	raw, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := RecordedRoute(got.IP.Options)
+	if len(rec) != 1 || rec[0] != ipv4.MustParseAddr("10.5.5.5") {
+		t.Fatalf("options after round trip = %v", rec)
+	}
+	if got.ICMP == nil || got.ICMP.Seq != 1 {
+		t.Fatal("transport layer lost behind options")
+	}
+}
+
+func TestQuotedHeaderCarriesOptions(t *testing.T) {
+	p := NewEchoRequest(testSrc, testDst, 9, 1, 1)
+	p.IP.Options = MakeRecordRoute(4)
+	StampRecordRoute(p.IP.Options, ipv4.MustParseAddr("10.5.5.5"))
+	raw, _ := p.Encode()
+	errPkt := NewICMPError(ipv4.MustParseAddr("203.0.113.1"), ICMPTimeExceeded, 0, raw)
+	rawErr, err := errPkt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(rawErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, err := dec.ICMP.EmbeddedOriginal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := RecordedRoute(hdr.Options)
+	if len(rec) != 1 || rec[0] != ipv4.MustParseAddr("10.5.5.5") {
+		t.Fatalf("quoted stamps = %v", rec)
+	}
+}
+
+func TestQuotedTCPHeaderParses(t *testing.T) {
+	// RFC 792 quotes only header + 8 bytes, so a quoted 20-byte TCP header
+	// is truncated; the quote parser must tolerate that.
+	p := NewTCPProbe(testSrc, testDst, 3, 55000, 80, 1)
+	raw, _ := p.Encode()
+	errPkt := NewICMPError(ipv4.MustParseAddr("203.0.113.1"), ICMPTimeExceeded, 0, raw)
+	rawErr, _ := errPkt.Encode()
+	dec, err := Decode(rawErr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, payload, err := dec.ICMP.EmbeddedOriginal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Protocol != ProtoTCP || hdr.Dst != testDst {
+		t.Fatalf("quoted header = %+v", hdr)
+	}
+	if len(payload) != 8 {
+		t.Fatalf("quoted payload = %d bytes, want the 8-byte RFC 792 prefix", len(payload))
+	}
+}

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"fmt"
+
+	"tracenet/internal/ipv4"
+)
+
+// Packet is a fully decoded probe or reply: an IPv4 header plus exactly one
+// transport layer. It is the unit exchanged between the prober and the
+// simulated network.
+type Packet struct {
+	IP   IPHeader
+	ICMP *ICMP
+	UDP  *UDP
+	TCP  *TCP
+}
+
+// Encode serializes the packet (IP header plus its single transport layer)
+// and fixes up TotalLen.
+func (p *Packet) Encode() ([]byte, error) {
+	var body []byte
+	switch {
+	case p.ICMP != nil:
+		p.IP.Protocol = ProtoICMP
+		body = p.ICMP.Marshal(nil)
+	case p.UDP != nil:
+		p.IP.Protocol = ProtoUDP
+		body = p.UDP.Marshal(nil, p.IP.Src, p.IP.Dst)
+	case p.TCP != nil:
+		p.IP.Protocol = ProtoTCP
+		body = p.TCP.Marshal(nil, p.IP.Src, p.IP.Dst)
+	default:
+		return nil, fmt.Errorf("wire: packet has no transport layer")
+	}
+	hl := p.IP.headerLen()
+	if hl > 60 {
+		hl = 60
+	}
+	p.IP.TotalLen = uint16(hl + len(body))
+	out := p.IP.Marshal(make([]byte, 0, int(p.IP.TotalLen)))
+	return append(out, body...), nil
+}
+
+// Decode parses raw bytes into a Packet, dispatching on the IP protocol.
+func Decode(raw []byte) (*Packet, error) {
+	var p Packet
+	payload, err := p.IP.Unmarshal(raw)
+	if err != nil {
+		return nil, err
+	}
+	switch p.IP.Protocol {
+	case ProtoICMP:
+		p.ICMP = new(ICMP)
+		if err := p.ICMP.Unmarshal(payload); err != nil {
+			return nil, err
+		}
+	case ProtoUDP:
+		p.UDP = new(UDP)
+		if err := p.UDP.Unmarshal(payload, p.IP.Src, p.IP.Dst); err != nil {
+			return nil, err
+		}
+	case ProtoTCP:
+		p.TCP = new(TCP)
+		if err := p.TCP.Unmarshal(payload, p.IP.Src, p.IP.Dst); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("wire: unsupported protocol %d", p.IP.Protocol)
+	}
+	return &p, nil
+}
+
+// NewEchoRequest builds an ICMP echo-request probe packet.
+func NewEchoRequest(src, dst ipv4.Addr, ttl uint8, id, seq uint16) *Packet {
+	return &Packet{
+		IP:   IPHeader{TTL: ttl, Src: src, Dst: dst, ID: seq},
+		ICMP: &ICMP{Type: ICMPEchoRequest, ID: id, Seq: seq},
+	}
+}
+
+// NewUDPProbe builds a UDP probe to a (likely unused) high destination port.
+func NewUDPProbe(src, dst ipv4.Addr, ttl uint8, srcPort, dstPort uint16) *Packet {
+	return &Packet{
+		IP:  IPHeader{TTL: ttl, Src: src, Dst: dst, ID: srcPort},
+		UDP: &UDP{SrcPort: srcPort, DstPort: dstPort},
+	}
+}
+
+// NewTCPProbe builds a TCP ACK probe (the "second packet of the TCP handshake
+// protocol" per paper §3.1) soliciting a RST from a live destination.
+func NewTCPProbe(src, dst ipv4.Addr, ttl uint8, srcPort, dstPort uint16, seq uint32) *Packet {
+	return &Packet{
+		IP:  IPHeader{TTL: ttl, Src: src, Dst: dst, ID: srcPort},
+		TCP: &TCP{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Flags: TCPFlagACK, Window: 1024},
+	}
+}
+
+// NewICMPError builds the ICMP error message a router at routerAddr sends in
+// response to the original (encoded) datagram orig: time-exceeded when the
+// TTL ran out, or destination/port unreachable. Per RFC 792 the error embeds
+// the original IP header (including any options) plus its first 8 payload
+// bytes.
+func NewICMPError(routerAddr ipv4.Addr, icmpType, code uint8, orig []byte) *Packet {
+	quoteLen := HeaderLen + 8
+	if len(orig) >= 1 {
+		if ihl := int(orig[0]&0x0f) * 4; ihl >= HeaderLen {
+			quoteLen = ihl + 8
+		}
+	}
+	quote := orig
+	if len(quote) > quoteLen {
+		quote = quote[:quoteLen]
+	}
+	var origHdr IPHeader
+	// Best effort: the quote must be addressed back to the probe source.
+	if _, err := origHdr.UnmarshalQuoted(orig); err != nil {
+		origHdr.Src = ipv4.Zero
+	}
+	embedded := make([]byte, len(quote))
+	copy(embedded, quote)
+	return &Packet{
+		IP:   IPHeader{TTL: 64, Src: routerAddr, Dst: origHdr.Src},
+		ICMP: &ICMP{Type: icmpType, Code: code, Payload: embedded},
+	}
+}
+
+// NewEchoReply builds the echo reply to a decoded echo request. IP options
+// (such as an accumulated record route) are copied into the reply, as ping -R
+// relies on.
+func NewEchoReply(replyFrom ipv4.Addr, req *Packet) *Packet {
+	var opts []byte
+	if len(req.IP.Options) > 0 {
+		opts = append(opts, req.IP.Options...)
+	}
+	return &Packet{
+		IP:   IPHeader{TTL: 64, Src: replyFrom, Dst: req.IP.Src, Options: opts},
+		ICMP: &ICMP{Type: ICMPEchoReply, ID: req.ICMP.ID, Seq: req.ICMP.Seq},
+	}
+}
+
+// NewTCPReset builds the RST|ACK a live host returns for an unsolicited ACK
+// probe.
+func NewTCPReset(replyFrom ipv4.Addr, req *Packet) *Packet {
+	return &Packet{
+		IP: IPHeader{TTL: 64, Src: replyFrom, Dst: req.IP.Src},
+		TCP: &TCP{
+			SrcPort: req.TCP.DstPort,
+			DstPort: req.TCP.SrcPort,
+			Seq:     req.TCP.Ack,
+			Ack:     req.TCP.Seq + 1,
+			Flags:   TCPFlagRST | TCPFlagACK,
+		},
+	}
+}

@@ -1,0 +1,254 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"tracenet/internal/ipv4"
+)
+
+var (
+	testSrc = ipv4.MustParseAddr("10.0.0.1")
+	testDst = ipv4.MustParseAddr("192.0.2.77")
+)
+
+func TestIPHeaderRoundTrip(t *testing.T) {
+	h := IPHeader{
+		TOS: 0x10, TotalLen: 28, ID: 0xbeef, Flags: 2, FragOff: 0,
+		TTL: 7, Protocol: ProtoICMP, Src: testSrc, Dst: testDst,
+	}
+	raw := h.Marshal(nil)
+	raw = append(raw, make([]byte, 8)...) // payload space to satisfy TotalLen
+	var got IPHeader
+	payload, err := got.Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TOS != h.TOS || got.TotalLen != h.TotalLen || got.ID != h.ID ||
+		got.Flags != h.Flags || got.FragOff != h.FragOff || got.TTL != h.TTL ||
+		got.Protocol != h.Protocol || got.Src != h.Src || got.Dst != h.Dst ||
+		len(got.Options) != 0 {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+	if len(payload) != 8 {
+		t.Fatalf("payload len = %d, want 8", len(payload))
+	}
+}
+
+func TestIPHeaderChecksumDetectsCorruption(t *testing.T) {
+	h := IPHeader{TotalLen: HeaderLen, TTL: 64, Protocol: ProtoUDP, Src: testSrc, Dst: testDst}
+	raw := h.Marshal(nil)
+	for i := 0; i < HeaderLen; i++ {
+		corrupted := bytes.Clone(raw)
+		corrupted[i] ^= 0x01
+		var got IPHeader
+		if _, err := got.Unmarshal(corrupted); err == nil && i != 10 && i != 11 {
+			// flipping a non-checksum bit must fail verification
+			t.Errorf("corruption at byte %d not detected", i)
+		}
+	}
+}
+
+func TestIPHeaderErrors(t *testing.T) {
+	var h IPHeader
+	if _, err := h.Unmarshal(make([]byte, 10)); err != ErrTruncated {
+		t.Errorf("short packet: err = %v, want ErrTruncated", err)
+	}
+	raw := (&IPHeader{TotalLen: HeaderLen, Src: testSrc, Dst: testDst}).Marshal(nil)
+	raw[0] = 6 << 4 // IPv6 version nibble
+	if _, err := h.Unmarshal(raw); err != ErrBadVersion {
+		t.Errorf("bad version: err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestEchoRequestRoundTrip(t *testing.T) {
+	p := NewEchoRequest(testSrc, testDst, 5, 0x1234, 9)
+	raw, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ICMP == nil {
+		t.Fatal("decoded packet has no ICMP layer")
+	}
+	if got.ICMP.Type != ICMPEchoRequest || got.ICMP.ID != 0x1234 || got.ICMP.Seq != 9 {
+		t.Fatalf("icmp fields = %+v", got.ICMP)
+	}
+	if got.IP.TTL != 5 || got.IP.Src != testSrc || got.IP.Dst != testDst {
+		t.Fatalf("ip fields = %+v", got.IP)
+	}
+}
+
+func TestUDPProbeRoundTrip(t *testing.T) {
+	p := NewUDPProbe(testSrc, testDst, 3, 40000, 33434)
+	raw, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UDP == nil {
+		t.Fatal("decoded packet has no UDP layer")
+	}
+	if got.UDP.SrcPort != 40000 || got.UDP.DstPort != 33434 {
+		t.Fatalf("udp ports = %+v", got.UDP)
+	}
+}
+
+func TestTCPProbeRoundTrip(t *testing.T) {
+	p := NewTCPProbe(testSrc, testDst, 9, 55000, 80, 0xdeadbeef)
+	raw, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TCP == nil {
+		t.Fatal("decoded packet has no TCP layer")
+	}
+	if got.TCP.Flags&TCPFlagACK == 0 {
+		t.Fatal("probe must carry ACK flag")
+	}
+	if got.TCP.Seq != 0xdeadbeef || got.TCP.SrcPort != 55000 || got.TCP.DstPort != 80 {
+		t.Fatalf("tcp fields = %+v", got.TCP)
+	}
+}
+
+func TestUDPChecksumDetectsCorruption(t *testing.T) {
+	p := NewUDPProbe(testSrc, testDst, 3, 40000, 33434)
+	raw, _ := p.Encode()
+	raw[HeaderLen] ^= 0xff // corrupt UDP source port
+	if _, err := Decode(raw); err == nil {
+		t.Fatal("corrupted UDP packet decoded without error")
+	}
+}
+
+func TestTCPChecksumDetectsCorruption(t *testing.T) {
+	p := NewTCPProbe(testSrc, testDst, 3, 40000, 80, 1)
+	raw, _ := p.Encode()
+	raw[HeaderLen+4] ^= 0xff // corrupt sequence number
+	if _, err := Decode(raw); err == nil {
+		t.Fatal("corrupted TCP packet decoded without error")
+	}
+}
+
+func TestICMPChecksumDetectsCorruption(t *testing.T) {
+	p := NewEchoRequest(testSrc, testDst, 3, 1, 1)
+	raw, _ := p.Encode()
+	raw[HeaderLen+4] ^= 0xff // corrupt echo ID
+	if _, err := Decode(raw); err == nil {
+		t.Fatal("corrupted ICMP packet decoded without error")
+	}
+}
+
+func TestICMPErrorEmbedsOriginal(t *testing.T) {
+	orig := NewUDPProbe(testSrc, testDst, 1, 40001, 33434)
+	rawOrig, _ := orig.Encode()
+	router := ipv4.MustParseAddr("203.0.113.9")
+	errPkt := NewICMPError(router, ICMPTimeExceeded, CodeTTLExceeded, rawOrig)
+	raw, err := errPkt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IP.Src != router || got.IP.Dst != testSrc {
+		t.Fatalf("error addressed %v -> %v, want %v -> %v", got.IP.Src, got.IP.Dst, router, testSrc)
+	}
+	embHdr, embPayload, err := got.ICMP.EmbeddedOriginal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if embHdr.Src != testSrc || embHdr.Dst != testDst || embHdr.Protocol != ProtoUDP {
+		t.Fatalf("embedded header = %+v", embHdr)
+	}
+	if len(embPayload) != 8 {
+		t.Fatalf("embedded payload len = %d, want 8 (RFC 792 quote)", len(embPayload))
+	}
+}
+
+func TestEmbeddedOriginalOnEchoFails(t *testing.T) {
+	m := &ICMP{Type: ICMPEchoReply}
+	if _, _, err := m.EmbeddedOriginal(); err == nil {
+		t.Fatal("EmbeddedOriginal on echo reply must fail")
+	}
+}
+
+func TestEchoReplyMatchesRequest(t *testing.T) {
+	req := NewEchoRequest(testSrc, testDst, 64, 42, 7)
+	rep := NewEchoReply(testDst, req)
+	if rep.ICMP.ID != 42 || rep.ICMP.Seq != 7 {
+		t.Fatalf("reply id/seq = %d/%d", rep.ICMP.ID, rep.ICMP.Seq)
+	}
+	if rep.IP.Dst != testSrc || rep.IP.Src != testDst {
+		t.Fatalf("reply addressing = %v -> %v", rep.IP.Src, rep.IP.Dst)
+	}
+}
+
+func TestTCPResetMatchesProbe(t *testing.T) {
+	req := NewTCPProbe(testSrc, testDst, 64, 55000, 80, 100)
+	rst := NewTCPReset(testDst, req)
+	if rst.TCP.Flags&TCPFlagRST == 0 {
+		t.Fatal("reset must carry RST")
+	}
+	if rst.TCP.SrcPort != 80 || rst.TCP.DstPort != 55000 {
+		t.Fatalf("reset ports = %+v", rst.TCP)
+	}
+	if rst.TCP.Ack != 101 {
+		t.Fatalf("reset ack = %d, want 101", rst.TCP.Ack)
+	}
+}
+
+func TestEncodeWithoutTransportFails(t *testing.T) {
+	p := &Packet{IP: IPHeader{Src: testSrc, Dst: testDst}}
+	if _, err := p.Encode(); err == nil {
+		t.Fatal("Encode without transport layer must fail")
+	}
+}
+
+func TestDecodeUnknownProtocol(t *testing.T) {
+	h := IPHeader{TotalLen: HeaderLen, TTL: 1, Protocol: 99, Src: testSrc, Dst: testDst}
+	raw := h.Marshal(nil)
+	if _, err := Decode(raw); err == nil {
+		t.Fatal("unknown protocol must fail to decode")
+	}
+}
+
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = Decode(raw) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEchoRoundTripProperty(t *testing.T) {
+	f := func(srcRaw, dstRaw uint32, ttl uint8, id, seq uint16) bool {
+		p := NewEchoRequest(ipv4.Addr(srcRaw), ipv4.Addr(dstRaw), ttl, id, seq)
+		raw, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		return got.IP.Src == ipv4.Addr(srcRaw) && got.IP.Dst == ipv4.Addr(dstRaw) &&
+			got.IP.TTL == ttl && got.ICMP.ID == id && got.ICMP.Seq == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tracenet/internal/ipv4"
+)
+
+// TCPHeaderLen is the length of a TCP header without options.
+const TCPHeaderLen = 20
+
+// TCP flag bits.
+const (
+	TCPFlagFIN = 1 << 0
+	TCPFlagSYN = 1 << 1
+	TCPFlagRST = 1 << 2
+	TCPFlagPSH = 1 << 3
+	TCPFlagACK = 1 << 4
+)
+
+// TCP is a minimal decoded TCP segment: TCP probing sends an ACK (the second
+// packet of the handshake, per paper §3.1(i)) to solicit a RST from a live
+// destination; no payload or options are carried.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+}
+
+// Marshal appends the encoded segment to dst. srcAddr and dstAddr feed the
+// pseudo-header checksum.
+func (t *TCP) Marshal(dst []byte, srcAddr, dstAddr ipv4.Addr) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, TCPHeaderLen)...)
+	b := dst[off:]
+	binary.BigEndian.PutUint16(b[0:], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:], t.Seq)
+	binary.BigEndian.PutUint32(b[8:], t.Ack)
+	b[12] = TCPHeaderLen / 4 << 4
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:], t.Window)
+	binary.BigEndian.PutUint16(b[16:], checksumWithPseudo(srcAddr.Octets(), dstAddr.Octets(), ProtoTCP, b))
+	return dst
+}
+
+// Unmarshal decodes a TCP segment from b, verifying the checksum.
+func (t *TCP) Unmarshal(b []byte, srcAddr, dstAddr ipv4.Addr) error {
+	if len(b) < TCPHeaderLen {
+		return ErrTruncated
+	}
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < TCPHeaderLen || dataOff > len(b) {
+		return fmt.Errorf("tcp: %w", ErrBadHeader)
+	}
+	if checksumWithPseudo(srcAddr.Octets(), dstAddr.Octets(), ProtoTCP, b) != 0 {
+		return fmt.Errorf("tcp: %w", ErrBadChecksum)
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:])
+	t.DstPort = binary.BigEndian.Uint16(b[2:])
+	t.Seq = binary.BigEndian.Uint32(b[4:])
+	t.Ack = binary.BigEndian.Uint32(b[8:])
+	t.Flags = b[13]
+	t.Window = binary.BigEndian.Uint16(b[14:])
+	return nil
+}

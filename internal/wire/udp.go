@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tracenet/internal/ipv4"
+)
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// UDP is a decoded UDP datagram. Traceroute-style UDP probing sends to a
+// likely-unused high port, soliciting an ICMP port-unreachable from the
+// destination (paper §3.1(i)).
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// Marshal appends the encoded datagram (header + payload) to dst. src and dst
+// addresses are needed for the pseudo-header checksum.
+func (u *UDP) Marshal(dst []byte, srcAddr, dstAddr ipv4.Addr) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, UDPHeaderLen)...)
+	dst = append(dst, u.Payload...)
+	b := dst[off:]
+	binary.BigEndian.PutUint16(b[0:], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:], uint16(UDPHeaderLen+len(u.Payload)))
+	sum := checksumWithPseudo(srcAddr.Octets(), dstAddr.Octets(), ProtoUDP, b)
+	if sum == 0 {
+		sum = 0xffff // RFC 768: transmitted as all ones
+	}
+	binary.BigEndian.PutUint16(b[6:], sum)
+	return dst
+}
+
+// Unmarshal decodes a UDP datagram from b, verifying length and checksum.
+func (u *UDP) Unmarshal(b []byte, srcAddr, dstAddr ipv4.Addr) error {
+	if len(b) < UDPHeaderLen {
+		return ErrTruncated
+	}
+	length := binary.BigEndian.Uint16(b[4:])
+	if int(length) < UDPHeaderLen || int(length) > len(b) {
+		return fmt.Errorf("udp: %w", ErrBadHeader)
+	}
+	if binary.BigEndian.Uint16(b[6:]) != 0 { // checksum 0 = disabled
+		if checksumWithPseudo(srcAddr.Octets(), dstAddr.Octets(), ProtoUDP, b[:length]) != 0 {
+			return fmt.Errorf("udp: %w", ErrBadChecksum)
+		}
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:])
+	u.DstPort = binary.BigEndian.Uint16(b[2:])
+	u.Payload = b[UDPHeaderLen:length]
+	return nil
+}
