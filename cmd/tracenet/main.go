@@ -15,6 +15,16 @@
 //	-subnets          print the collected subnet inventory after the trace
 //	-debug            log every probe exchange to stderr
 //
+// Fault injection and resilience:
+//
+//	-faults file      install a fault plan (JSON, see netsim.FaultPlan)
+//	-chaos seed       install a random fault plan generated from seed
+//	-backoff          retry silent probes with exponential backoff + jitter
+//	-breaker          shed load to silent zones with a circuit breaker
+//	-checkpoint file  write a session checkpoint after tracing
+//	-resume file      preload the session from a checkpoint and skip
+//	                  destinations it already completed
+//
 // Without destinations, the topology's suggested targets are traced.
 package main
 
@@ -31,33 +41,57 @@ import (
 	"tracenet/internal/probe"
 )
 
+// options carries every CLI knob into run, keeping the flag surface testable.
+type options struct {
+	topo    string
+	vantage string
+	proto   string
+	maxTTL  int
+	seed    int64
+	subnets bool
+	debug   bool
+	faults  string // fault-plan JSON file
+	chaos   int64  // random fault-plan seed, 0 = off
+	backoff bool
+	breaker bool
+	ckptOut string // write checkpoint here after the run
+	ckptIn  string // resume from this checkpoint
+	dests   []string
+}
+
 func main() {
-	var (
-		topoName = flag.String("topo", "figure3", "built-in topology name or JSON file")
-		vantage  = flag.String("vantage", "", "vantage host name")
-		protoStr = flag.String("proto", "icmp", "probe protocol: icmp, udp, tcp")
-		maxTTL   = flag.Int("maxttl", 30, "maximum trace length")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		subnets  = flag.Bool("subnets", false, "print the collected subnet inventory")
-		debug    = flag.Bool("debug", false, "log every probe exchange to stderr")
-	)
+	var o options
+	flag.StringVar(&o.topo, "topo", "figure3", "built-in topology name or JSON file")
+	flag.StringVar(&o.vantage, "vantage", "", "vantage host name")
+	flag.StringVar(&o.proto, "proto", "icmp", "probe protocol: icmp, udp, tcp")
+	flag.IntVar(&o.maxTTL, "maxttl", 30, "maximum trace length")
+	flag.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.BoolVar(&o.subnets, "subnets", false, "print the collected subnet inventory")
+	flag.BoolVar(&o.debug, "debug", false, "log every probe exchange to stderr")
+	flag.StringVar(&o.faults, "faults", "", "fault plan JSON file to install")
+	flag.Int64Var(&o.chaos, "chaos", 0, "install a random fault plan from this seed")
+	flag.BoolVar(&o.backoff, "backoff", false, "retry silent probes with exponential backoff")
+	flag.BoolVar(&o.breaker, "breaker", false, "circuit-break probing into persistently silent zones")
+	flag.StringVar(&o.ckptOut, "checkpoint", "", "write a session checkpoint to this file")
+	flag.StringVar(&o.ckptIn, "resume", "", "resume the session from this checkpoint file")
 	flag.Parse()
-	if err := run(os.Stdout, *topoName, *vantage, *protoStr, *maxTTL, *seed, *subnets, *debug, flag.Args()); err != nil {
+	o.dests = flag.Args()
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "tracenet:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, topoName, vantage, protoStr string, maxTTL int, seed int64, printSubnets, debug bool, args []string) error {
-	sc, err := cli.Load(topoName, seed)
+func run(w io.Writer, o options) error {
+	sc, err := cli.Load(o.topo, o.seed)
 	if err != nil {
 		return err
 	}
-	if vantage == "" {
-		vantage = sc.Vantage
+	if o.vantage == "" {
+		o.vantage = sc.Vantage
 	}
 	var proto probe.Protocol
-	switch protoStr {
+	switch o.proto {
 	case "icmp":
 		proto = probe.ICMP
 	case "udp":
@@ -65,13 +99,13 @@ func run(w io.Writer, topoName, vantage, protoStr string, maxTTL int, seed int64
 	case "tcp":
 		proto = probe.TCP
 	default:
-		return fmt.Errorf("unknown protocol %q", protoStr)
+		return fmt.Errorf("unknown protocol %q", o.proto)
 	}
 
 	dests := sc.Destinations
-	if len(args) > 0 {
+	if len(o.dests) > 0 {
 		dests = dests[:0]
-		for _, a := range args {
+		for _, a := range o.dests {
 			d, err := ipv4.ParseAddr(a)
 			if err != nil {
 				return err
@@ -83,35 +117,126 @@ func run(w io.Writer, topoName, vantage, protoStr string, maxTTL int, seed int64
 		return fmt.Errorf("no destinations: pass one or more addresses")
 	}
 
-	net := netsim.New(sc.Topo, netsim.Config{Seed: seed})
-	port, err := net.PortFor(vantage)
+	net := netsim.New(sc.Topo, netsim.Config{Seed: o.seed})
+	faulted := false
+	if o.faults != "" {
+		f, err := os.Open(o.faults)
+		if err != nil {
+			return err
+		}
+		plan, err := netsim.ReadFaultPlan(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := net.InstallFaults(plan); err != nil {
+			return err
+		}
+		faulted = true
+	}
+	if o.chaos != 0 {
+		if faulted {
+			return fmt.Errorf("-faults and -chaos are mutually exclusive")
+		}
+		if err := net.InstallFaults(netsim.RandomFaultPlan(sc.Topo, o.chaos)); err != nil {
+			return err
+		}
+		faulted = true
+	}
+
+	port, err := net.PortFor(o.vantage)
 	if err != nil {
 		return err
 	}
 	var tr probe.Transport = port
-	if debug {
+	if o.debug {
 		tr = probe.LoggingTransport{Inner: port, W: os.Stderr}
 	}
-	pr := probe.New(tr, port.LocalAddr(), probe.Options{Protocol: proto, Cache: true})
-	sess := core.NewSession(pr, core.Config{MaxTTL: maxTTL})
+	popts := probe.Options{Protocol: proto, Cache: true}
+	if o.backoff {
+		popts.Retry = &probe.RetryPolicy{MaxRetries: 2, BackoffBase: 4, BackoffMax: 64, Jitter: 0.25}
+	}
+	if o.breaker {
+		popts.Breaker = &probe.BreakerConfig{}
+	}
+	pr := probe.New(tr, port.LocalAddr(), popts)
+
+	cfg := core.Config{MaxTTL: o.maxTTL}
+	var sess *core.Session
+	if o.ckptIn != "" {
+		f, err := os.Open(o.ckptIn)
+		if err != nil {
+			return err
+		}
+		cp, err := core.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		sess, err = core.NewSessionFromCheckpoint(pr, cfg, cp)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "resumed from %s: %d subnets, %d destinations done\n",
+			o.ckptIn, len(sess.Subnets()), len(sess.Done()))
+	} else {
+		sess = core.NewSession(pr, cfg)
+	}
 
 	fmt.Fprintf(w, "tracenet over %s, vantage %s (%v), %s probes\n",
-		sc.Description, vantage, port.LocalAddr(), proto)
+		sc.Description, o.vantage, port.LocalAddr(), proto)
+	var recovered uint64
 	for _, dst := range dests {
+		if sess.IsDone(dst) {
+			fmt.Fprintf(w, "tracenet to %v: already completed in checkpoint, skipped\n", dst)
+			continue
+		}
 		res, err := sess.Trace(dst)
 		if err != nil {
 			return err
 		}
+		recovered += res.Recovered
 		fmt.Fprint(w, res)
 	}
-	if printSubnets {
+	if o.subnets {
 		fmt.Fprintf(w, "\ncollected subnets (%d):\n", len(sess.Subnets()))
 		for _, s := range sess.Subnets() {
 			fmt.Fprintln(w, " ", s)
 		}
 	}
+	if deg := sess.DegradedSubnets(); len(deg) > 0 {
+		fmt.Fprintf(w, "\ndegraded subnets (%d):\n", len(deg))
+		for _, s := range deg {
+			fmt.Fprintln(w, " ", s)
+		}
+	}
+
 	st := pr.Stats()
 	fmt.Fprintf(w, "\nprobes sent %d, answered %d, retried %d, served from cache %d\n",
 		st.Sent, st.Answered, st.Retries, st.Cached)
+	if faulted || st.FaultEvents() > 0 || st.Timeouts > 0 || recovered > 0 {
+		fmt.Fprintf(w, "resilience: timeouts %d, corrupt %d, breaker opens %d, breaker skips %d, backoff ticks %d, recovered errors %d\n",
+			st.Timeouts, st.Corrupt, st.BreakerOpens, st.BreakerSkips, st.BackoffTicks, recovered)
+	}
+	if faulted {
+		fs := net.FaultStats()
+		fmt.Fprintf(w, "faults injected: flap drops %d, blackhole drops %d, corrupted %d, truncated %d, delayed %d, duplicated %d, storm drops %d\n",
+			fs.FlapDrops, fs.BlackholeDrops, fs.Corrupted, fs.Truncated, fs.Delayed, fs.Duplicated, fs.StormDrops)
+	}
+
+	if o.ckptOut != "" {
+		f, err := os.Create(o.ckptOut)
+		if err != nil {
+			return err
+		}
+		if err := sess.WriteCheckpoint(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "checkpoint written to %s\n", o.ckptOut)
+	}
 	return nil
 }

@@ -1,13 +1,15 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestRunDefaultScenario(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "figure3", "", "icmp", 30, 1, true, false, nil); err != nil {
+	if err := run(&b, options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1, subnets: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -17,11 +19,15 @@ func TestRunDefaultScenario(t *testing.T) {
 			t.Errorf("output lacks %q:\n%s", want, out)
 		}
 	}
+	if strings.Contains(out, "degraded subnets") {
+		t.Errorf("fault-free run reports degraded subnets:\n%s", out)
+	}
 }
 
 func TestRunExplicitDestination(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "chain", "", "udp", 30, 1, false, false, []string{"10.9.255.2"}); err != nil {
+	if err := run(&b, options{topo: "chain", proto: "udp", maxTTL: 30, seed: 1,
+		dests: []string{"10.9.255.2"}}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "reached=true") {
@@ -31,16 +37,90 @@ func TestRunExplicitDestination(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "figure3", "", "bogus", 30, 1, false, false, nil); err == nil {
+	base := options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1}
+	bad := base
+	bad.proto = "bogus"
+	if err := run(&b, bad); err == nil {
 		t.Error("bad protocol accepted")
 	}
-	if err := run(&b, "no-such-topo", "", "icmp", 30, 1, false, false, nil); err == nil {
+	bad = base
+	bad.topo = "no-such-topo"
+	if err := run(&b, bad); err == nil {
 		t.Error("bad topology accepted")
 	}
-	if err := run(&b, "figure3", "nobody", "icmp", 30, 1, false, false, nil); err == nil {
+	bad = base
+	bad.vantage = "nobody"
+	if err := run(&b, bad); err == nil {
 		t.Error("bad vantage accepted")
 	}
-	if err := run(&b, "figure3", "", "icmp", 30, 1, false, false, []string{"not-an-ip"}); err == nil {
+	bad = base
+	bad.dests = []string{"not-an-ip"}
+	if err := run(&b, bad); err == nil {
 		t.Error("bad destination accepted")
+	}
+	bad = base
+	bad.faults = filepath.Join(t.TempDir(), "missing.json")
+	if err := run(&b, bad); err == nil {
+		t.Error("missing fault plan accepted")
+	}
+	bad = base
+	bad.ckptIn = filepath.Join(t.TempDir(), "missing.json")
+	if err := run(&b, bad); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}
+
+func TestRunChaosSeed(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, options{topo: "internet2", proto: "icmp", maxTTL: 30, seed: 1,
+		chaos: 7, backoff: true, breaker: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"resilience:", "faults injected:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFaultPlanFile(t *testing.T) {
+	plan := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(plan, []byte(`{"seed": 3, "faults": [
+		{"kind": "corrupt", "prob": 0.4}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(&b, options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1,
+		faults: plan}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "faults injected:") {
+		t.Fatalf("fault plan run lacks fault stats:\n%s", b.String())
+	}
+}
+
+func TestRunCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "session.json")
+	var b1 strings.Builder
+	if err := run(&b1, options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1,
+		ckptOut: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b1.String(), "checkpoint written") {
+		t.Fatalf("no checkpoint confirmation:\n%s", b1.String())
+	}
+	var b2 strings.Builder
+	if err := run(&b2, options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1,
+		ckptIn: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	out := b2.String()
+	if !strings.Contains(out, "resumed from") {
+		t.Fatalf("no resume confirmation:\n%s", out)
+	}
+	if !strings.Contains(out, "already completed in checkpoint, skipped") {
+		t.Fatalf("resumed run did not skip completed destination:\n%s", out)
 	}
 }

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/topo"
+)
+
+// flakyTransport wraps a transport and fails every nth exchange with a
+// transport error — the "socket died mid-walk" failure mode.
+type flakyTransport struct {
+	inner probe.Transport
+	n     int
+	count int
+}
+
+func (f *flakyTransport) Exchange(raw []byte) ([]byte, error) {
+	f.count++
+	if f.n > 0 && f.count%f.n == 0 {
+		return nil, errors.New("simulated socket failure")
+	}
+	return f.inner.Exchange(raw)
+}
+
+// TestSessionNeverAbortsOnTransportErrors: a session over a transport that
+// errors every few packets must complete every trace, absorb the failures as
+// silence, and annotate the affected hops.
+func TestSessionNeverAbortsOnTransportErrors(t *testing.T) {
+	n := netsim.New(topo.Figure3(), netsim.Config{})
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, every := range []int{2, 3, 7, 13} {
+		tr := &flakyTransport{inner: port, n: every}
+		pr := probe.New(tr, port.LocalAddr(), probe.Options{Cache: true})
+		sess := NewSession(pr, Config{})
+		res, err := sess.Trace(addr("10.0.5.2"))
+		if err != nil {
+			t.Fatalf("every=%d: session aborted: %v", every, err)
+		}
+		if res.Recovered == 0 {
+			t.Errorf("every=%d: no recoveries recorded", every)
+		}
+		degradedHop := false
+		for _, h := range res.Hops {
+			if h.Degraded {
+				degradedHop = true
+			}
+		}
+		if !degradedHop {
+			t.Errorf("every=%d: recovered errors but no hop marked degraded:\n%v", every, res)
+		}
+	}
+}
+
+// TestSessionAbortsOnBudget: budget exhaustion is NOT absorbed — it must
+// still propagate, or a runaway session would spin forever.
+func TestSessionAbortsOnBudget(t *testing.T) {
+	pr := prober(t, topo.Figure3(), netsim.Config{}, probe.Options{Budget: 5})
+	if _, err := NewSession(pr, Config{}).Trace(addr("10.0.5.2")); !errors.Is(err, probe.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+}
+
+// TestDegradedAnnotationUnderCorruption: with a corruption fault active the
+// session completes and flags the subnets whose collection saw mangled
+// replies, with confidence below 1.
+func TestDegradedAnnotationUnderCorruption(t *testing.T) {
+	n := netsim.New(topo.Figure3(), netsim.Config{Seed: 2})
+	if err := n.InstallFaults(netsim.FaultPlan{Seed: 5, Faults: []netsim.Fault{
+		{Kind: netsim.FaultCorrupt, Prob: 0.3},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+	sess := NewSession(pr, Config{})
+	res, err := sess.Trace(addr("10.0.5.2"))
+	if err != nil {
+		t.Fatalf("session aborted under corruption: %v", err)
+	}
+	if pr.Stats().Corrupt == 0 {
+		t.Fatal("fault plan injected no corruption; test is vacuous")
+	}
+	deg := sess.DegradedSubnets()
+	if len(deg) == 0 {
+		t.Fatalf("corruption observed (%d mangled) but no subnet flagged degraded:\n%v",
+			pr.Stats().Corrupt, res)
+	}
+	for _, s := range deg {
+		if s.Confidence >= 1 || s.Confidence <= 0 {
+			t.Errorf("degraded subnet %v has confidence %v, want (0,1)", s.Prefix, s.Confidence)
+		}
+		if !strings.Contains(s.String(), "degraded") {
+			t.Errorf("degraded subnet renders without annotation: %s", s)
+		}
+	}
+}
+
+// TestFaultFreeRunsStayClean: without faults no subnet may be flagged
+// degraded and every confidence must be 1 on a lossless network.
+func TestFaultFreeRunsStayClean(t *testing.T) {
+	pr := prober(t, topo.Figure3(), netsim.Config{}, probe.Options{})
+	sess := NewSession(pr, Config{})
+	res, err := sess.Trace(addr("10.0.5.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.DegradedSubnets()) != 0 {
+		t.Errorf("clean run produced degraded subnets:\n%v", res)
+	}
+	if res.Recovered != 0 {
+		t.Errorf("clean run recorded %d recoveries", res.Recovered)
+	}
+	if strings.Contains(res.String(), "degraded") {
+		t.Errorf("clean run renders degraded annotations:\n%v", res)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	pr := prober(t, topo.Figure3(), netsim.Config{}, probe.Options{})
+	sess := NewSession(pr, Config{})
+	if _, err := sess.Trace(addr("10.0.5.2")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sess.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Subnets) != len(sess.Subnets()) {
+		t.Fatalf("checkpoint has %d subnets, session %d", len(cp.Subnets), len(sess.Subnets()))
+	}
+
+	pr2 := prober(t, topo.Figure3(), netsim.Config{}, probe.Options{})
+	resumed, err := NewSessionFromCheckpoint(pr2, Config{}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.IsDone(addr("10.0.5.2")) {
+		t.Error("resumed session lost the done set")
+	}
+	if resumed.IsDone(addr("10.0.3.1")) {
+		t.Error("resumed session claims an untraced destination")
+	}
+	want := sess.Subnets()
+	got := resumed.Subnets()
+	if len(got) != len(want) {
+		t.Fatalf("resumed %d subnets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Prefix != want[i].Prefix {
+			t.Errorf("subnet %d: prefix %v, want %v", i, got[i].Prefix, want[i].Prefix)
+		}
+		if len(got[i].Addrs) != len(want[i].Addrs) {
+			t.Errorf("subnet %d: %d members, want %d", i, len(got[i].Addrs), len(want[i].Addrs))
+		}
+		if got[i].Pivot != want[i].Pivot || got[i].PivotDist != want[i].PivotDist ||
+			got[i].ContraPivot != want[i].ContraPivot || got[i].Stop != want[i].Stop {
+			t.Errorf("subnet %d annotations differ:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+
+	// Resume saves probes: a second trace toward a different host behind the
+	// same backbone reuses the restored subnets via SkipKnown.
+	before := pr2.Stats().Sent
+	res, err := resumed.Trace(addr("10.0.5.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := pr2.Stats().Sent - before
+	freshCost := pr.Stats().Sent // the original session's full cost
+	if cost >= freshCost {
+		t.Errorf("resumed trace cost %d probes, original %d — no reuse", cost, freshCost)
+	}
+	revisits := 0
+	for _, h := range res.Hops {
+		if h.Revisited {
+			revisits++
+		}
+	}
+	if revisits == 0 {
+		t.Errorf("resumed trace never revisited a restored subnet:\n%v", res)
+	}
+}
+
+func TestCheckpointRejectsBadInput(t *testing.T) {
+	if _, err := ReadCheckpoint(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ReadCheckpoint(strings.NewReader(`{"version": 99, "subnets": []}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	pr := prober(t, topo.Figure3(), netsim.Config{}, probe.Options{})
+	for name, cp := range map[string]*Checkpoint{
+		"bad prefix": {Version: CheckpointVersion, Subnets: []CheckpointSubnet{
+			{Prefix: "nope", Pivot: "10.0.0.1"}}},
+		"bad pivot": {Version: CheckpointVersion, Subnets: []CheckpointSubnet{
+			{Prefix: "10.0.0.0/30", Pivot: "x"}}},
+		"member outside prefix": {Version: CheckpointVersion, Subnets: []CheckpointSubnet{
+			{Prefix: "10.0.0.0/30", Pivot: "10.0.0.1", Addrs: []string{"10.9.0.1"}}}},
+		"bad done entry": {Version: CheckpointVersion, Done: []string{"not-an-ip"}},
+	} {
+		if _, err := NewSessionFromCheckpoint(pr, Config{}, cp); err == nil {
+			t.Errorf("%s: checkpoint accepted", name)
+		}
+	}
+	// nil checkpoint is a fresh session, not an error.
+	s, err := NewSessionFromCheckpoint(pr, Config{}, nil)
+	if err != nil || s == nil {
+		t.Errorf("nil checkpoint: (%v, %v)", s, err)
+	}
+}
+
+// TestCheckpointMidCampaignResume splits a two-destination campaign across a
+// checkpoint boundary and verifies the union of collected subnets matches an
+// uninterrupted run.
+func TestCheckpointMidCampaignResume(t *testing.T) {
+	full := NewSession(prober(t, topo.Figure3(), netsim.Config{}, probe.Options{}), Config{})
+	for _, d := range []string{"10.0.5.2", "10.0.3.1"} {
+		if _, err := full.Trace(addr(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	first := NewSession(prober(t, topo.Figure3(), netsim.Config{}, probe.Options{}), Config{})
+	if _, err := first.Trace(addr("10.0.5.2")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := first.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := NewSessionFromCheckpoint(
+		prober(t, topo.Figure3(), netsim.Config{}, probe.Options{}), Config{}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.IsDone(addr("10.0.3.1")) {
+		t.Fatal("destination 10.0.3.1 wrongly marked done")
+	}
+	if _, err := second.Trace(addr("10.0.3.1")); err != nil {
+		t.Fatal(err)
+	}
+
+	wantSet := map[string]bool{}
+	for _, s := range full.Subnets() {
+		wantSet[s.Prefix.String()] = true
+	}
+	gotSet := map[string]bool{}
+	for _, s := range second.Subnets() {
+		gotSet[s.Prefix.String()] = true
+	}
+	for p := range wantSet {
+		if !gotSet[p] {
+			t.Errorf("resumed campaign missing subnet %s", p)
+		}
+	}
+	for p := range gotSet {
+		if !wantSet[p] {
+			t.Errorf("resumed campaign has extra subnet %s", p)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/probe"
+)
+
+// CheckpointVersion is the current checkpoint schema version.
+const CheckpointVersion = 1
+
+// Checkpoint is a serializable snapshot of a partially-collected session:
+// every subnet grown so far plus the destinations already traced to
+// completion. A campaign interrupted mid-run (crash, fault storm, operator
+// stop) resumes from its checkpoint without re-spending the probes that
+// collected the snapshot — the SkipKnown optimization treats restored
+// subnets exactly like subnets grown in this run.
+type Checkpoint struct {
+	Version int                `json:"version"`
+	Subnets []CheckpointSubnet `json:"subnets"`
+	// Done lists destinations whose traces completed, in trace order.
+	Done []string `json:"done,omitempty"`
+}
+
+// CheckpointSubnet is the serialized form of one collected Subnet.
+type CheckpointSubnet struct {
+	Prefix      string   `json:"prefix"`
+	Addrs       []string `json:"addrs"`
+	Pivot       string   `json:"pivot"`
+	PivotDist   int      `json:"pivot_dist"`
+	ContraPivot string   `json:"contra_pivot,omitempty"`
+	Ingress     string   `json:"ingress,omitempty"`
+	TraceEntry  string   `json:"trace_entry,omitempty"`
+	OnPath      bool     `json:"on_path,omitempty"`
+	Stop        string   `json:"stop,omitempty"`
+	Probes      uint64   `json:"probes,omitempty"`
+	Confidence  float64  `json:"confidence,omitempty"`
+	Degraded    bool     `json:"degraded,omitempty"`
+}
+
+// Checkpoint snapshots the session's collected state.
+func (s *Session) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{Version: CheckpointVersion}
+	for _, sub := range s.subnets {
+		cs := CheckpointSubnet{
+			Prefix:     sub.Prefix.String(),
+			Pivot:      sub.Pivot.String(),
+			PivotDist:  sub.PivotDist,
+			OnPath:     sub.OnPath,
+			Stop:       string(sub.Stop),
+			Probes:     sub.Probes,
+			Confidence: sub.Confidence,
+			Degraded:   sub.Degraded,
+		}
+		for _, a := range sub.Addrs {
+			cs.Addrs = append(cs.Addrs, a.String())
+		}
+		if !sub.ContraPivot.IsZero() {
+			cs.ContraPivot = sub.ContraPivot.String()
+		}
+		if !sub.Ingress.IsZero() {
+			cs.Ingress = sub.Ingress.String()
+		}
+		if !sub.TraceEntry.IsZero() {
+			cs.TraceEntry = sub.TraceEntry.String()
+		}
+		cp.Subnets = append(cp.Subnets, cs)
+	}
+	for _, d := range s.done {
+		cp.Done = append(cp.Done, d.String())
+	}
+	return cp
+}
+
+// WriteCheckpoint serializes the session's checkpoint as indented JSON.
+func (s *Session) WriteCheckpoint(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Checkpoint())
+}
+
+// ReadCheckpoint decodes and validates a JSON checkpoint.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	return &cp, nil
+}
+
+// restore converts a checkpointed subnet back to its in-memory form.
+func (cs CheckpointSubnet) restore() (*Subnet, error) {
+	prefix, err := ipv4.ParsePrefix(cs.Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint subnet: %w", err)
+	}
+	pivot, err := ipv4.ParseAddr(cs.Pivot)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint subnet %s: %w", cs.Prefix, err)
+	}
+	sub := &Subnet{
+		Prefix:     prefix,
+		Pivot:      pivot,
+		PivotDist:  cs.PivotDist,
+		OnPath:     cs.OnPath,
+		Stop:       StopReason(cs.Stop),
+		Probes:     cs.Probes,
+		Confidence: cs.Confidence,
+		Degraded:   cs.Degraded,
+	}
+	for _, a := range cs.Addrs {
+		addr, err := ipv4.ParseAddr(a)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint subnet %s: %w", cs.Prefix, err)
+		}
+		if !prefix.Contains(addr) {
+			return nil, fmt.Errorf("core: checkpoint subnet %s: member %s outside prefix", cs.Prefix, a)
+		}
+		sub.Addrs = append(sub.Addrs, addr)
+	}
+	parseOpt := func(s string, dst *ipv4.Addr) error {
+		if s == "" {
+			return nil
+		}
+		a, err := ipv4.ParseAddr(s)
+		if err != nil {
+			return fmt.Errorf("core: checkpoint subnet %s: %w", cs.Prefix, err)
+		}
+		*dst = a
+		return nil
+	}
+	if err := parseOpt(cs.ContraPivot, &sub.ContraPivot); err != nil {
+		return nil, err
+	}
+	if err := parseOpt(cs.Ingress, &sub.Ingress); err != nil {
+		return nil, err
+	}
+	if err := parseOpt(cs.TraceEntry, &sub.TraceEntry); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// NewSessionFromCheckpoint creates a session over pr preloaded with the
+// subnets of a checkpoint: restored subnets are reused by SkipKnown instead
+// of re-explored, and destinations listed in the checkpoint's Done set are
+// reported by IsDone so a resumed campaign can skip them.
+func NewSessionFromCheckpoint(pr *probe.Prober, cfg Config, cp *Checkpoint) (*Session, error) {
+	if cp == nil {
+		return NewSession(pr, cfg), nil
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	s := NewSession(pr, cfg)
+	for _, cs := range cp.Subnets {
+		sub, err := cs.restore()
+		if err != nil {
+			return nil, err
+		}
+		s.subnets = append(s.subnets, sub)
+		for _, a := range sub.Addrs {
+			if _, dup := s.collected[a]; !dup {
+				s.collected[a] = sub
+			}
+		}
+	}
+	for _, d := range cp.Done {
+		addr, err := ipv4.ParseAddr(d)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint done list: %w", err)
+		}
+		s.done = append(s.done, addr)
+	}
+	return s, nil
+}
+
+// IsDone reports whether dst was already traced to completion, either in
+// this run or in the checkpoint this session was resumed from.
+func (s *Session) IsDone(dst ipv4.Addr) bool {
+	for _, d := range s.done {
+		if d == dst {
+			return true
+		}
+	}
+	return false
+}

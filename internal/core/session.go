@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"tracenet/internal/ipv4"
 	"tracenet/internal/probe"
 )
@@ -8,6 +10,13 @@ import (
 // Session collects subnets along paths from one vantage point, accumulating
 // results across multiple destinations so that subnets discovered on one
 // trace are reused (not re-explored) by later traces.
+//
+// A session degrades gracefully under network faults: transport errors are
+// absorbed as silent probes (never aborting the trace), and subnets whose
+// collection observed definite fault evidence are annotated with
+// Degraded/Confidence instead of being silently misreported as clean.
+// Partially collected sessions can be checkpointed and resumed (see
+// Checkpoint).
 type Session struct {
 	pr  *probe.Prober
 	cfg Config
@@ -16,6 +25,7 @@ type Session struct {
 	// the SkipKnown optimization.
 	collected map[ipv4.Addr]*Subnet
 	subnets   []*Subnet
+	done      []ipv4.Addr
 }
 
 // NewSession creates a tracenet session over the given prober.
@@ -29,6 +39,22 @@ func NewSession(pr *probe.Prober, cfg Config) *Session {
 
 // Subnets returns every distinct subnet collected so far, in discovery order.
 func (s *Session) Subnets() []*Subnet { return s.subnets }
+
+// DegradedSubnets returns the collected subnets flagged as degraded.
+func (s *Session) DegradedSubnets() []*Subnet {
+	var out []*Subnet
+	for _, sub := range s.subnets {
+		if sub.Degraded {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// Done returns the destinations whose traces ran to completion, in order.
+// A checkpointed campaign uses this to skip already-traced targets on
+// resume.
+func (s *Session) Done() []ipv4.Addr { return s.done }
 
 // StopStats returns how often each rule terminated subnet growth across the
 // session — the observability counterpart of §3.5's heuristics: H1 shrinks
@@ -45,9 +71,39 @@ func (s *Session) StopStats() map[StopReason]int {
 // Prober exposes the session's prober (for accounting).
 func (s *Session) Prober() *probe.Prober { return s.pr }
 
+// faultDelta snapshots the prober's definite-fault counters so a hop's work
+// can be attributed its own fault events.
+type faultDelta struct {
+	pr     *probe.Prober
+	events uint64
+}
+
+func (s *Session) faultMark() faultDelta {
+	return faultDelta{pr: s.pr, events: s.pr.Stats().FaultEvents()}
+}
+
+func (d faultDelta) events2() uint64 { return d.pr.Stats().FaultEvents() - d.events }
+
+// recoverable reports whether err is a fault the session absorbs (treating
+// the probe as silent) rather than an abort condition. Budget exhaustion and
+// programming errors still propagate.
+func recoverable(err error) bool {
+	return errors.Is(err, probe.ErrTransport)
+}
+
 // Trace runs one tracenet session toward dst: a path trace that grows the
-// subnet at every responsive hop.
+// subnet at every responsive hop. Under network faults the trace never
+// aborts: faulty probes read as silence, affected hops and subnets are
+// annotated as degraded, and the partial result stays usable.
 func (s *Session) Trace(dst ipv4.Addr) (*Result, error) {
+	res, err := s.trace(dst)
+	if err == nil {
+		s.done = append(s.done, dst)
+	}
+	return res, err
+}
+
+func (s *Session) trace(dst ipv4.Addr) (*Result, error) {
 	res := &Result{Dst: dst}
 	u := ipv4.Zero // interface obtained at the previous hop
 	gaps := 0
@@ -56,12 +112,20 @@ func (s *Session) Trace(dst ipv4.Addr) (*Result, error) {
 	for d := 1; d <= s.cfg.MaxTTL; d++ {
 		// Trace collection: one indirect probe at TTL d.
 		before := s.pr.Stats().Sent
+		fd := s.faultMark()
+		recoveredHere := false
 		r, err := s.pr.Probe(dst, d)
 		if err != nil {
-			return res, err
+			if !recoverable(err) {
+				return res, err
+			}
+			// Faulty transport: absorb as a silent hop and keep going.
+			res.Recovered++
+			recoveredHere = true
+			r = probe.Result{}
 		}
 		res.TraceProbes += s.pr.Stats().Sent - before
-		hop := Hop{TTL: d, Addr: r.From, Kind: r.Kind}
+		hop := Hop{TTL: d, Addr: r.From, Kind: r.Kind, Degraded: fd.events2() > 0 || recoveredHere}
 
 		switch {
 		case r.Expired() || r.Alive():
@@ -117,25 +181,54 @@ func (s *Session) exploreHop(hop *Hop, u, v ipv4.Addr, d int, res *Result) error
 		}
 	}
 
-	before := s.pr.Stats().Sent
+	st0 := s.pr.Stats()
 	pos, err := findPosition(s.pr, u, v, d, s.cfg)
-	positionCost := s.pr.Stats().Sent - before
+	positionCost := s.pr.Stats().Sent - st0.Sent
 	res.PositionProbes += positionCost
 	if err != nil {
+		if recoverable(err) {
+			// Positioning died on a faulty transport: record the hop bare
+			// and degraded instead of aborting the session.
+			res.Recovered++
+			hop.Degraded = true
+			return nil
+		}
 		return err
 	}
 	if !pos.ok {
 		return nil // v unpositionable: hop recorded without a subnet
 	}
 
-	before = s.pr.Stats().Sent
+	st1 := s.pr.Stats()
 	sub, err := explore(s.pr, pos, u, s.cfg)
-	exploreCost := s.pr.Stats().Sent - before
+	exploreCost := s.pr.Stats().Sent - st1.Sent
 	res.ExploreProbes += exploreCost
 	if err != nil {
+		if recoverable(err) {
+			res.Recovered++
+			hop.Degraded = true
+			return nil
+		}
 		return err
 	}
 	sub.Probes = positionCost + exploreCost
+
+	// Degradation annotation: the subnet's own share of answered probes and
+	// any definite fault evidence observed while positioning/exploring it.
+	st2 := s.pr.Stats()
+	answered := st2.Answered - st0.Answered
+	silent := st2.Timeouts - st0.Timeouts
+	faults := st2.FaultEvents() - st0.FaultEvents()
+	if logical := answered + silent + faults; logical > 0 {
+		sub.Confidence = float64(answered) / float64(logical)
+	} else {
+		sub.Confidence = 1
+	}
+	if faults > 0 {
+		sub.Degraded = true
+		hop.Degraded = true
+	}
+
 	hop.Subnet = sub
 	s.subnets = append(s.subnets, sub)
 	res.Subnets = append(res.Subnets, sub)

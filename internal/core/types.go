@@ -66,6 +66,16 @@ type Subnet struct {
 	// Probes is the number of packets spent positioning and exploring this
 	// subnet (the §3.6 overhead accounting).
 	Probes uint64
+	// Confidence is the answered fraction of the logical probes spent
+	// positioning and exploring this subnet, in (0,1]. It degrades as the
+	// network fails to answer — whether from unassigned space, rate
+	// limiting, or injected faults — and is 1 for a fully answered growth.
+	Confidence float64
+	// Degraded marks a subnet collected under definite fault evidence
+	// (corrupted replies, circuit-breaker load shedding, or recovered
+	// transport errors): its membership is a lower bound, not a clean
+	// observation, and evaluation should weigh it accordingly.
+	Degraded bool
 }
 
 // Contains reports whether addr is a member of the collected subnet.
@@ -95,6 +105,9 @@ func (s *Subnet) String() string {
 			fmt.Fprintf(&b, " %v", a)
 		}
 	}
+	if s.Degraded {
+		fmt.Fprintf(&b, " [degraded conf=%.2f]", s.Confidence)
+	}
 	return b.String()
 }
 
@@ -113,6 +126,10 @@ type Hop struct {
 	// Revisited is set when Addr already belonged to a subnet collected at an
 	// earlier hop, which is then reused instead of re-explored.
 	Revisited bool
+	// Degraded is set when this hop's collection observed definite fault
+	// evidence (corrupt replies, breaker skips, or a recovered transport
+	// error); the hop and its subnet are degraded-but-usable, not clean.
+	Degraded bool
 }
 
 // Anonymous reports whether the hop did not respond in trace collection.
@@ -129,6 +146,20 @@ type Result struct {
 	TraceProbes    uint64
 	PositionProbes uint64
 	ExploreProbes  uint64
+	// Recovered counts transport errors the session absorbed by treating
+	// the probe as silent instead of aborting (graceful degradation).
+	Recovered uint64
+}
+
+// DegradedSubnets returns the subnets of this result flagged as degraded.
+func (r *Result) DegradedSubnets() []*Subnet {
+	var out []*Subnet
+	for _, s := range r.Subnets {
+		if s.Degraded {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // TotalProbes returns the packets spent across all phases.
@@ -170,6 +201,9 @@ func (r *Result) String() string {
 				mark = " (revisited)"
 			}
 			fmt.Fprintf(&b, "  subnet %v [%d addrs]%s", h.Subnet.Prefix, len(h.Subnet.Addrs), mark)
+		}
+		if h.Degraded {
+			b.WriteString("  (degraded)")
 		}
 		b.WriteByte('\n')
 	}

@@ -77,6 +77,10 @@ type Outcome struct {
 	// matched to this original (empty for missing): one entry for
 	// exact/under/over/merged, several for split.
 	CollectedBits []int
+	// Matched are the collected prefixes behind CollectedBits, in the same
+	// order, so callers can join the outcome back to per-subnet annotations
+	// (e.g. the degraded flag for fault attribution).
+	Matched []ipv4.Prefix
 }
 
 // Classify matches every original subnet against the collected prefixes and
@@ -113,19 +117,19 @@ func classifyOne(o Original, originals []Original, collected []ipv4.Prefix) Outc
 	}
 	switch {
 	case exact:
-		return Outcome{Class: Exact, CollectedBits: []int{o.Prefix.Bits()}}
+		return Outcome{Class: Exact, CollectedBits: []int{o.Prefix.Bits()}, Matched: []ipv4.Prefix{o.Prefix}}
 	case len(inside) == 1:
 		cls := Under
 		if o.PartiallyUnresponsive {
 			cls = UnderUnresponsive
 		}
-		return Outcome{Class: cls, CollectedBits: []int{inside[0].Bits()}}
+		return Outcome{Class: cls, CollectedBits: []int{inside[0].Bits()}, Matched: inside}
 	case len(inside) > 1:
 		bits := make([]int, len(inside))
 		for i, c := range inside {
 			bits[i] = c.Bits()
 		}
-		return Outcome{Class: SplitClass, CollectedBits: bits}
+		return Outcome{Class: SplitClass, CollectedBits: bits, Matched: inside}
 	case len(containing) > 0:
 		c := containing[0]
 		// Count originals swallowed by c.
@@ -139,7 +143,7 @@ func classifyOne(o Original, originals []Original, collected []ipv4.Prefix) Outc
 		if n >= 2 {
 			cls = Merged
 		}
-		return Outcome{Class: cls, CollectedBits: []int{c.Bits()}}
+		return Outcome{Class: cls, CollectedBits: []int{c.Bits()}, Matched: []ipv4.Prefix{c}}
 	default:
 		cls := Missing
 		if o.TotallyUnresponsive {

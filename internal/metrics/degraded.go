@@ -1,0 +1,75 @@
+package metrics
+
+import "tracenet/internal/ipv4"
+
+// DegradedRow is one row of the degraded-attribution cross-tab: of the
+// originals in a class, how many were matched (at least partly) by a
+// collected subnet the session flagged as degraded, and the mean confidence
+// over the matched collected subnets.
+type DegradedRow struct {
+	// Total is the number of originals assigned to the class.
+	Total int
+	// Degraded is how many of them were matched by ≥1 degraded collected
+	// subnet. Missing originals have no match and never count here.
+	Degraded int
+	// MeanConfidence averages the matched subnets' confidence annotations
+	// (1 when a class had no matched subnets with annotations).
+	MeanConfidence float64
+}
+
+// CollectedAnnotation carries the per-subnet session annotations the
+// evaluation joins against (core.Subnet.Degraded / Confidence, keyed by the
+// collected prefix).
+type CollectedAnnotation struct {
+	Degraded   bool
+	Confidence float64
+}
+
+// AttributeDegraded cross-tabulates classification outcomes against the
+// session's degradation annotations: for each class it reports how many
+// originals were served by degraded collections. This separates "the
+// heuristics got it wrong" from "the network was faulting while we measured"
+// — an under-estimation matched by a degraded subnet is evidence of fault
+// impact, not a heuristic failure.
+//
+// annotations maps collected prefixes to their session annotations; outcomes
+// must come from Classify over the same collected set. Matched prefixes with
+// no annotation entry count as clean with confidence 1.
+func AttributeDegraded(outcomes []Outcome, annotations map[ipv4.Prefix]CollectedAnnotation) map[Class]DegradedRow {
+	out := map[Class]DegradedRow{}
+	confSum := map[Class]float64{}
+	confN := map[Class]int{}
+	for _, o := range outcomes {
+		row := out[o.Class]
+		row.Total++
+		degraded := false
+		for _, p := range o.Matched {
+			ann, ok := annotations[p]
+			if !ok {
+				ann = CollectedAnnotation{Confidence: 1}
+			}
+			if ann.Degraded {
+				degraded = true
+			}
+			conf := ann.Confidence
+			if conf == 0 {
+				conf = 1 // unannotated collections are assumed clean
+			}
+			confSum[o.Class] += conf
+			confN[o.Class]++
+		}
+		if degraded {
+			row.Degraded++
+		}
+		out[o.Class] = row
+	}
+	for cls, row := range out {
+		if confN[cls] > 0 {
+			row.MeanConfidence = confSum[cls] / float64(confN[cls])
+		} else {
+			row.MeanConfidence = 1
+		}
+		out[cls] = row
+	}
+	return out
+}

@@ -307,3 +307,43 @@ func TestMergedDistance(t *testing.T) {
 		t.Fatalf("merged size distance = %v, want |2-4| = 2", got)
 	}
 }
+
+func TestOutcomeMatchedPrefixes(t *testing.T) {
+	o := orig("10.0.0.0/30", "10.0.1.0/28", "10.0.2.0/29")
+	collected := []ipv4.Prefix{pfx("10.0.0.0/30"), pfx("10.0.1.0/30"), pfx("10.0.1.8/30"), pfx("10.0.2.0/28")}
+	got := Classify(o, collected)
+	if len(got[0].Matched) != 1 || got[0].Matched[0] != pfx("10.0.0.0/30") {
+		t.Errorf("exact Matched = %v", got[0].Matched)
+	}
+	if len(got[1].Matched) != 2 {
+		t.Errorf("split Matched = %v", got[1].Matched)
+	}
+	if len(got[2].Matched) != 1 || got[2].Matched[0] != pfx("10.0.2.0/28") {
+		t.Errorf("over Matched = %v", got[2].Matched)
+	}
+}
+
+func TestAttributeDegraded(t *testing.T) {
+	o := orig("10.0.0.0/30", "10.0.1.0/30", "10.0.2.0/30", "10.0.3.0/29")
+	collected := []ipv4.Prefix{pfx("10.0.0.0/30"), pfx("10.0.1.0/30"), pfx("10.0.3.0/30")}
+	outcomes := Classify(o, collected)
+	ann := map[ipv4.Prefix]CollectedAnnotation{
+		pfx("10.0.0.0/30"): {Degraded: true, Confidence: 0.5},
+		pfx("10.0.1.0/30"): {Confidence: 1},
+		// 10.0.3.0/30 has no annotation: counts as clean, confidence 1.
+	}
+	rows := AttributeDegraded(outcomes, ann)
+	ex := rows[Exact]
+	if ex.Total != 2 || ex.Degraded != 1 {
+		t.Errorf("exact row = %+v, want total 2 degraded 1", ex)
+	}
+	if ex.MeanConfidence != 0.75 {
+		t.Errorf("exact mean confidence = %v, want 0.75", ex.MeanConfidence)
+	}
+	if m := rows[Missing]; m.Total != 1 || m.Degraded != 0 || m.MeanConfidence != 1 {
+		t.Errorf("missing row = %+v", m)
+	}
+	if u := rows[Under]; u.Total != 1 || u.Degraded != 0 {
+		t.Errorf("under row = %+v", u)
+	}
+}

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"tracenet/internal/ipv4"
 	"tracenet/internal/wire"
@@ -28,31 +29,58 @@ const maxHops = 64
 type Config struct {
 	// Mode selects per-flow or per-packet load balancing. Default PerFlow.
 	Mode LoadBalanceMode
-	// LossRate is the probability in [0,1) that a generated reply is lost.
+	// LossRate is the probability in [0,1] that a generated reply is lost
+	// (1 silences the network completely).
 	LossRate float64
 	// Seed makes loss and per-packet balancing deterministic.
 	Seed int64
 }
 
+// validate rejects out-of-range configuration with a descriptive error.
+func (c Config) validate() error {
+	if c.LossRate < 0 || c.LossRate > 1 {
+		return fmt.Errorf("netsim: Config.LossRate %v outside [0,1]", c.LossRate)
+	}
+	return nil
+}
+
 // Network is a runnable simulation over an immutable Topology.
-// Inject/Exchange are not safe for concurrent use; wrap with a mutex or use
-// one Network per goroutine (topologies may be shared).
+// An internal mutex makes Exchange, Wait, DistanceTo, and the stats
+// accessors safe for concurrent use, so multiple vantage Ports may share one
+// Network (each injection still executes atomically against the single
+// virtual clock).
 type Network struct {
 	Topo *Topology
 
+	mu        sync.Mutex
 	cfg       Config
 	rt        *routingState
 	rng       *rand.Rand
 	clock     uint64
 	responder *Router
+	faults    *faultState
 
 	// Probes counts every injected packet; Replies counts non-silent answers.
+	// Use Counters for a race-free snapshot when the Network is shared.
 	Probes  uint64
 	Replies uint64
 }
 
-// New creates a network simulation over topo.
+// New creates a network simulation over topo. It panics if cfg is out of
+// range (LossRate must be in [0,1)); use NewChecked to handle the error.
 func New(topo *Topology, cfg Config) *Network {
+	n, err := NewChecked(topo, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// NewChecked is New returning configuration errors instead of panicking.
+func NewChecked(topo *Topology, cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	n := &Network{
 		Topo: topo,
 		cfg:  cfg,
@@ -64,7 +92,14 @@ func New(topo *Topology, cfg Config) *Network {
 	for i, r := range topo.Routers {
 		r.ipid = uint16(i * 1021)
 	}
-	return n
+	return n, nil
+}
+
+// Counters returns a race-free snapshot of the probe/reply counters.
+func (n *Network) Counters() (probes, replies uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.Probes, n.Replies
 }
 
 // Port binds a vantage host to the network, exposing the probe.Transport
@@ -90,7 +125,9 @@ func (p *Port) Host() *Router { return p.host }
 func (p *Port) LocalAddr() ipv4.Addr { return p.host.Addr() }
 
 // Exchange injects one encoded probe sourced at the bound host and returns
-// the encoded reply, or (nil, nil) when the network stays silent.
+// the encoded reply, or (nil, nil) when the network stays silent. When a
+// fault plan is installed the reply bytes may come back corrupted or
+// truncated, exactly as a mangled datagram would off a raw socket.
 func (p *Port) Exchange(raw []byte) ([]byte, error) {
 	pkt, err := wire.Decode(raw)
 	if err != nil {
@@ -100,6 +137,8 @@ func (p *Port) Exchange(raw []byte) ([]byte, error) {
 		return nil, fmt.Errorf("netsim: probe source %v is not host %s (%v)",
 			pkt.IP.Src, p.host.Name, p.host.Addr())
 	}
+	p.net.mu.Lock()
+	defer p.net.mu.Unlock()
 	reply := p.net.inject(pkt, raw, p.host)
 	if reply == nil {
 		return nil, nil
@@ -108,7 +147,17 @@ func (p *Port) Exchange(raw []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netsim: encoding reply: %w", err)
 	}
-	return out, nil
+	return p.net.mangleReply(out), nil
+}
+
+// Wait advances the network's virtual clock by ticks without injecting a
+// packet: the probe layer's backoff hook. Rate-limit buckets (including
+// storm buckets) refill against the clock, so backing off genuinely lets a
+// hammered router recover.
+func (p *Port) Wait(ticks uint64) {
+	p.net.mu.Lock()
+	p.net.clock += ticks
+	p.net.mu.Unlock()
 }
 
 // inject walks one probe through the topology and produces its reply.
@@ -119,7 +168,12 @@ func (n *Network) inject(pkt *wire.Packet, raw []byte, origin *Router) *wire.Pac
 	if reply == nil {
 		return nil
 	}
-	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+	lost := n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate
+	if lost && n.duplicateChance() {
+		// A duplicated reply gets a second, independent draw against loss.
+		lost = n.rng.Float64() < n.cfg.LossRate
+	}
+	if lost {
 		return nil
 	}
 	if responder != nil {
@@ -131,6 +185,11 @@ func (n *Network) inject(pkt *wire.Packet, raw []byte, origin *Router) *wire.Pac
 		} else {
 			reply.IP.ID = responder.nextIPID()
 		}
+	}
+	if n.replyDelayed() {
+		// The router answered, but the reply misses the prober's timeout
+		// window; it consumed the router's tokens and IP-ID all the same.
+		return nil
 	}
 	n.Replies++
 	return reply
@@ -161,6 +220,9 @@ func (n *Network) walk(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packe
 		// generate ICMP errors for their own traffic.
 		return nil
 	}
+	if n.subnetDown(in.Subnet) || n.blackholed(cur) {
+		return nil
+	}
 	for hop := 0; hop < maxHops; hop++ {
 		// Local delivery: the packet is addressed to one of cur's interfaces.
 		if iface := cur.IfaceWithAddr(dst); iface != nil {
@@ -181,10 +243,14 @@ func (n *Network) walk(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packe
 			wire.StampRecordRoute(pkt.IP.Options, out.Addr)
 		}
 		switch verdict {
-		case stepForwarded:
-			cur, in = next, nextIn
-		case stepDelivered:
-			// Delivered onto an attached subnet toward the hosting router.
+		case stepForwarded, stepDelivered:
+			// Forwarded to the next router, or delivered onto an attached
+			// subnet toward the hosting router. Either way the packet
+			// crosses nextIn's subnet and enters next — both of which a
+			// fault plan may have taken down.
+			if n.subnetDown(nextIn.Subnet) || n.blackholed(next) {
+				return nil
+			}
 			cur, in = next, nextIn
 		case stepFirewalled:
 			return nil
@@ -245,6 +311,9 @@ func (n *Network) forwardStep(cur *Router, pkt *wire.Packet, in *Iface) (*Router
 	if n.cfg.Mode == PerPacket {
 		salt = n.clock
 	}
+	// An active churn fault reshuffles equal-cost choices per epoch even for
+	// per-flow balancing, modelling mid-session routing changes.
+	salt ^= n.churnSalt()
 	e := hops[ecmpIndex(pkt, cur, salt, len(hops))]
 	return e.to, e.remote, e.local, stepForwarded
 }
@@ -262,7 +331,10 @@ func (n *Network) directReply(r *Router, iface, in *Iface, pkt *wire.Packet, raw
 	if r.DirectPolicy == PolicyNil || !r.DirectProtos.Has(pkt.IP.Protocol) {
 		return nil
 	}
-	if !r.RateLimit.Allow(n.clock) {
+	if n.blackholed(r) {
+		return nil
+	}
+	if !r.RateLimit.Allow(n.clock) || !n.stormAllows(r) {
 		return nil
 	}
 	if r.ReplyLoss > 0 && n.rng.Float64() < r.ReplyLoss {
@@ -292,7 +364,10 @@ func (n *Network) ttlExceeded(r *Router, in *Iface, pkt *wire.Packet, raw []byte
 	if r.IndirectPolicy == PolicyNil || !r.IndirectProtos.Has(pkt.IP.Protocol) {
 		return nil
 	}
-	if !r.RateLimit.Allow(n.clock) {
+	if n.blackholed(r) {
+		return nil
+	}
+	if !r.RateLimit.Allow(n.clock) || !n.stormAllows(r) {
 		return nil
 	}
 	if r.ReplyLoss > 0 && n.rng.Float64() < r.ReplyLoss {
@@ -314,7 +389,10 @@ func (n *Network) unreachable(r *Router, in *Iface, pkt *wire.Packet, raw []byte
 	if r.IndirectPolicy == PolicyNil || !r.IndirectProtos.Has(pkt.IP.Protocol) {
 		return nil
 	}
-	if !r.RateLimit.Allow(n.clock) {
+	if n.blackholed(r) {
+		return nil
+	}
+	if !r.RateLimit.Allow(n.clock) || !n.stormAllows(r) {
 		return nil
 	}
 	if r.ReplyLoss > 0 && n.rng.Float64() < r.ReplyLoss {
@@ -335,6 +413,8 @@ func (n *Network) unreachable(r *Router, in *Iface, pkt *wire.Packet, raw []byte
 // routing state but does not perturb the network's clock, counters, or
 // random stream. Exposed for tests and ground-truth computation.
 func (n *Network) DistanceTo(hostName string, addr ipv4.Addr) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	h := n.Topo.HostByName(hostName)
 	if h == nil || h.Addr() == addr {
 		if h != nil {

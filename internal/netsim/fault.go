@@ -1,0 +1,513 @@
+package netsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// FaultKind enumerates the injectable network pathologies. Each kind models
+// one of the "what cannot be measured" failure modes a production collector
+// faces: silent link failures, dead routers, mangled replies, late replies,
+// ICMP rate-limit storms, and mid-session routing churn.
+type FaultKind uint8
+
+const (
+	// FaultLinkFlap takes a subnet down: any packet that would be forwarded
+	// or delivered across it vanishes silently while the fault is active.
+	// Scope: Subnet (required).
+	FaultLinkFlap FaultKind = iota
+	// FaultBlackhole makes a router drop every packet silently — it neither
+	// forwards nor generates any reply. Scope: Router ("" = all routers).
+	FaultBlackhole
+	// FaultCorrupt flips random bytes of an encoded reply with probability
+	// Prob per reply. Checksums are not fixed up, so the prober sees a
+	// decode failure (a corrupt datagram on a real socket).
+	FaultCorrupt
+	// FaultTruncate cuts an encoded reply to a random shorter length with
+	// probability Prob per reply (a truncated read on a real socket).
+	FaultTruncate
+	// FaultDelay makes a reply arrive after the prober's timeout with
+	// probability Prob per reply: the router answered, but the prober
+	// observes silence.
+	FaultDelay
+	// FaultDuplicate duplicates a reply with probability Prob. The duplicate
+	// gives the reply a second, independent chance to survive the network's
+	// configured loss, so duplication *improves* delivery — the one benign
+	// fault, included because deduplication bugs are a classic collector
+	// failure.
+	FaultDuplicate
+	// FaultRateStorm overrides the reply rate limit of the scoped routers
+	// with a much tighter token bucket (Rate tokens/tick, Burst capacity)
+	// while active. Scope: Router ("" = all routers).
+	FaultRateStorm
+	// FaultChurn reshuffles equal-cost path choices every churnPeriod clock
+	// ticks while active, modelling mid-walk topology/routing churn even
+	// for per-flow (Paris-stable) probing.
+	FaultChurn
+)
+
+var faultKindNames = map[FaultKind]string{
+	FaultLinkFlap:  "link-flap",
+	FaultBlackhole: "blackhole",
+	FaultCorrupt:   "corrupt",
+	FaultTruncate:  "truncate",
+	FaultDelay:     "delay",
+	FaultDuplicate: "duplicate",
+	FaultRateStorm: "rate-storm",
+	FaultChurn:     "churn",
+}
+
+func (k FaultKind) String() string {
+	if s, ok := faultKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind as its stable string name.
+func (k FaultKind) MarshalJSON() ([]byte, error) {
+	s, ok := faultKindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown fault kind %d", uint8(k))
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON parses a fault kind from its string name.
+func (k *FaultKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for kind, name := range faultKindNames {
+		if name == s {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("netsim: unknown fault kind %q", s)
+}
+
+// churnPeriod is how many clock ticks one churn epoch lasts: equal-cost
+// decisions are stable within an epoch and reshuffle at its boundary.
+const churnPeriod = 16
+
+// Fault is one scheduled fault. The window [From, Until) is expressed in the
+// network's virtual clock, which ticks once per injected probe; Until == 0
+// leaves the fault active forever.
+type Fault struct {
+	Kind FaultKind `json:"kind"`
+	// From and Until bound the active window on the virtual clock.
+	From  uint64 `json:"from,omitempty"`
+	Until uint64 `json:"until,omitempty"`
+	// Router scopes blackholes and rate storms to one named router; empty
+	// means every router.
+	Router string `json:"router,omitempty"`
+	// Subnet scopes a link flap to one subnet by CIDR prefix (required for
+	// FaultLinkFlap, ignored otherwise).
+	Subnet string `json:"subnet,omitempty"`
+	// Prob is the per-reply probability for corrupt/truncate/delay/duplicate.
+	Prob float64 `json:"prob,omitempty"`
+	// Rate and Burst configure the override token bucket of a rate storm.
+	Rate  float64 `json:"rate,omitempty"`
+	Burst float64 `json:"burst,omitempty"`
+}
+
+func (f Fault) active(clock uint64) bool {
+	return clock >= f.From && (f.Until == 0 || clock < f.Until)
+}
+
+// validate checks the fields that can be checked without a topology.
+func (f Fault) validate(i int) error {
+	if _, ok := faultKindNames[f.Kind]; !ok {
+		return fmt.Errorf("netsim: fault %d: unknown kind %d", i, uint8(f.Kind))
+	}
+	if f.Until != 0 && f.Until <= f.From {
+		return fmt.Errorf("netsim: fault %d (%v): empty window [%d,%d)", i, f.Kind, f.From, f.Until)
+	}
+	switch f.Kind {
+	case FaultCorrupt, FaultTruncate, FaultDelay, FaultDuplicate:
+		if f.Prob <= 0 || f.Prob > 1 {
+			return fmt.Errorf("netsim: fault %d (%v): prob %v outside (0,1]", i, f.Kind, f.Prob)
+		}
+	case FaultLinkFlap:
+		if f.Subnet == "" {
+			return fmt.Errorf("netsim: fault %d (link-flap): subnet prefix required", i)
+		}
+	case FaultRateStorm:
+		if f.Rate < 0 || f.Burst < 1 {
+			return fmt.Errorf("netsim: fault %d (rate-storm): need rate >= 0 and burst >= 1, got rate=%v burst=%v",
+				i, f.Rate, f.Burst)
+		}
+	}
+	return nil
+}
+
+// FaultPlan is a composable, deterministic schedule of faults. All random
+// draws a plan causes come from a stream seeded with Seed, independent of the
+// network's own loss/IPID stream, so the same plan over the same probe
+// sequence reproduces the same pathologies exactly.
+type FaultPlan struct {
+	Seed   int64   `json:"seed"`
+	Faults []Fault `json:"faults"`
+}
+
+// Validate checks the plan's internal consistency (window ordering,
+// probability ranges, required scopes). Scope names are resolved against a
+// concrete topology by InstallFaults.
+func (p FaultPlan) Validate() error {
+	for i, f := range p.Faults {
+		if err := f.validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFaultPlan decodes a JSON fault plan (the schema documented in
+// DESIGN.md) and validates it.
+func ReadFaultPlan(r io.Reader) (FaultPlan, error) {
+	var p FaultPlan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return FaultPlan{}, fmt.Errorf("netsim: fault plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return FaultPlan{}, err
+	}
+	return p, nil
+}
+
+// WriteFaultPlan encodes the plan as indented JSON.
+func WriteFaultPlan(w io.Writer, p FaultPlan) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// FaultStats counts the pathologies a plan actually inflicted on a run.
+type FaultStats struct {
+	FlapDrops      uint64 // packets dropped on a flapped subnet
+	BlackholeDrops uint64 // packets swallowed by a blackholed router
+	Corrupted      uint64 // replies with flipped bytes
+	Truncated      uint64 // replies cut short
+	Delayed        uint64 // replies arriving after the timeout (seen as silence)
+	Duplicated     uint64 // replies given a duplicate delivery chance
+	StormDrops     uint64 // replies suppressed by a rate-limit storm
+}
+
+// Total returns the number of individual fault events inflicted.
+func (s FaultStats) Total() uint64 {
+	return s.FlapDrops + s.BlackholeDrops + s.Corrupted + s.Truncated +
+		s.Delayed + s.Duplicated + s.StormDrops
+}
+
+// faultState is a fault plan compiled against one network: scope names
+// resolved to topology objects, with a dedicated random stream.
+type faultState struct {
+	plan   FaultPlan
+	rng    *rand.Rand
+	stats  FaultStats
+	flaps  []scopedFault[*Subnet]
+	holes  []scopedFault[*Router] // nil target = every router
+	storms []stormFault
+	churns []Fault
+	// mangles are the per-reply probabilistic faults, applied in plan order.
+	mangles []Fault
+}
+
+type scopedFault[T any] struct {
+	Fault
+	target T
+}
+
+type stormFault struct {
+	Fault
+	target  *Router // nil = every router
+	buckets map[*Router]*TokenBucket
+}
+
+// InstallFaults validates plan, resolves its scopes against the network's
+// topology, and arms it. Installing a plan replaces any previous one and
+// resets the fault statistics; install FaultPlan{} to disarm.
+func (n *Network) InstallFaults(plan FaultPlan) error {
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	fs := &faultState{
+		plan: plan,
+		rng:  rand.New(rand.NewSource(plan.Seed ^ 0x66617531)),
+	}
+	for i, f := range plan.Faults {
+		switch f.Kind {
+		case FaultLinkFlap:
+			// Resolve the CIDR against the topology's subnets.
+			var sub *Subnet
+			for _, s := range n.Topo.Subnets {
+				if s.Prefix.String() == f.Subnet {
+					sub = s
+					break
+				}
+			}
+			if sub == nil {
+				return fmt.Errorf("netsim: fault %d (link-flap): no subnet %q in topology", i, f.Subnet)
+			}
+			fs.flaps = append(fs.flaps, scopedFault[*Subnet]{f, sub})
+		case FaultBlackhole:
+			r, err := n.resolveRouter(i, f)
+			if err != nil {
+				return err
+			}
+			fs.holes = append(fs.holes, scopedFault[*Router]{f, r})
+		case FaultRateStorm:
+			r, err := n.resolveRouter(i, f)
+			if err != nil {
+				return err
+			}
+			fs.storms = append(fs.storms, stormFault{f, r, make(map[*Router]*TokenBucket)})
+		case FaultChurn:
+			fs.churns = append(fs.churns, f)
+		default:
+			fs.mangles = append(fs.mangles, f)
+		}
+	}
+	n.mu.Lock()
+	n.faults = fs
+	n.mu.Unlock()
+	return nil
+}
+
+func (n *Network) resolveRouter(i int, f Fault) (*Router, error) {
+	if f.Router == "" {
+		return nil, nil
+	}
+	for _, r := range n.Topo.Routers {
+		if r.Name == f.Router {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("netsim: fault %d (%v): no router %q in topology", i, f.Kind, f.Router)
+}
+
+// FaultStats returns a snapshot of the fault accounting; zero when no plan is
+// installed.
+func (n *Network) FaultStats() FaultStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.faults == nil {
+		return FaultStats{}
+	}
+	return n.faults.stats
+}
+
+// --- engine-side queries (called with n.mu held) ---
+
+// subnetDown reports whether s is currently flapped.
+func (n *Network) subnetDown(s *Subnet) bool {
+	if n.faults == nil || s == nil {
+		return false
+	}
+	for _, f := range n.faults.flaps {
+		if f.target == s && f.active(n.clock) {
+			n.faults.stats.FlapDrops++
+			return true
+		}
+	}
+	return false
+}
+
+// blackholed reports whether r currently swallows every packet.
+func (n *Network) blackholed(r *Router) bool {
+	if n.faults == nil {
+		return false
+	}
+	for _, f := range n.faults.holes {
+		if (f.target == nil || f.target == r) && f.active(n.clock) {
+			n.faults.stats.BlackholeDrops++
+			return true
+		}
+	}
+	return false
+}
+
+// stormAllows consults any active rate-storm bucket scoped to r; it reports
+// false when a storm suppresses the reply.
+func (n *Network) stormAllows(r *Router) bool {
+	if n.faults == nil {
+		return true
+	}
+	for i := range n.faults.storms {
+		st := &n.faults.storms[i]
+		if st.target != nil && st.target != r {
+			continue
+		}
+		if !st.active(n.clock) {
+			continue
+		}
+		b := st.buckets[r]
+		if b == nil {
+			b = NewTokenBucket(st.Rate, st.Burst)
+			st.buckets[r] = b
+		}
+		if !b.Allow(n.clock) {
+			n.faults.stats.StormDrops++
+			return false
+		}
+	}
+	return true
+}
+
+// churnSalt perturbs the ECMP hash while a churn fault is active: choices
+// stay stable within one churnPeriod epoch and reshuffle at epoch boundaries.
+func (n *Network) churnSalt() uint64 {
+	if n.faults == nil {
+		return 0
+	}
+	for _, f := range n.faults.churns {
+		if f.active(n.clock) {
+			return (n.clock/churnPeriod + 1) * 0x9e3779b97f4a7c15
+		}
+	}
+	return 0
+}
+
+// replyDelayed reports whether an otherwise-delivered reply misses the
+// prober's timeout window.
+func (n *Network) replyDelayed() bool {
+	if n.faults == nil {
+		return false
+	}
+	for _, f := range n.faults.mangles {
+		if f.Kind == FaultDelay && f.active(n.clock) && n.faults.rng.Float64() < f.Prob {
+			n.faults.stats.Delayed++
+			return true
+		}
+	}
+	return false
+}
+
+// duplicateChance reports whether a reply about to be lost gets a second
+// delivery chance from a duplication fault.
+func (n *Network) duplicateChance() bool {
+	if n.faults == nil {
+		return false
+	}
+	for _, f := range n.faults.mangles {
+		if f.Kind == FaultDuplicate && f.active(n.clock) && n.faults.rng.Float64() < f.Prob {
+			n.faults.stats.Duplicated++
+			return true
+		}
+	}
+	return false
+}
+
+// mangleReply applies corruption and truncation faults to an encoded reply.
+// It may return the bytes modified in place, a shorter slice, or nil when
+// truncation consumed the whole datagram.
+func (n *Network) mangleReply(raw []byte) []byte {
+	if n.faults == nil || len(raw) == 0 {
+		return raw
+	}
+	for _, f := range n.faults.mangles {
+		if !f.active(n.clock) {
+			continue
+		}
+		switch f.Kind {
+		case FaultCorrupt:
+			if n.faults.rng.Float64() < f.Prob {
+				// Flip 1–3 bytes with non-zero masks; checksums are left
+				// stale, so the prober's decoder rejects the reply.
+				flips := 1 + n.faults.rng.Intn(3)
+				for j := 0; j < flips; j++ {
+					raw[n.faults.rng.Intn(len(raw))] ^= byte(1 + n.faults.rng.Intn(255))
+				}
+				n.faults.stats.Corrupted++
+			}
+		case FaultTruncate:
+			if n.faults.rng.Float64() < f.Prob {
+				raw = raw[:n.faults.rng.Intn(len(raw))]
+				n.faults.stats.Truncated++
+				if len(raw) == 0 {
+					return nil
+				}
+			}
+		}
+	}
+	return raw
+}
+
+// RandomFaultPlan generates a deterministic, seed-dependent fault plan over
+// t: a handful of scheduled faults whose scopes are drawn from the
+// topology's routers and core subnets. The chaos harness feeds tracenet
+// sessions with these plans to exercise every fault path.
+func RandomFaultPlan(t *Topology, seed int64) FaultPlan {
+	rng := rand.New(rand.NewSource(seed ^ 0x63616f73))
+	var routers []*Router
+	for _, r := range t.Routers {
+		if !r.IsHost {
+			routers = append(routers, r)
+		}
+	}
+	subnets := t.CoreSubnets()
+
+	plan := FaultPlan{Seed: seed}
+	window := func() (uint64, uint64) {
+		from := uint64(rng.Intn(4000))
+		return from, from + 200 + uint64(rng.Intn(3000))
+	}
+	nFaults := 2 + rng.Intn(4)
+	for i := 0; i < nFaults; i++ {
+		from, until := window()
+		switch rng.Intn(8) {
+		case 0:
+			if len(subnets) == 0 {
+				continue
+			}
+			s := subnets[rng.Intn(len(subnets))]
+			plan.Faults = append(plan.Faults, Fault{
+				Kind: FaultLinkFlap, From: from, Until: until, Subnet: s.Prefix.String(),
+			})
+		case 1:
+			if len(routers) == 0 {
+				continue
+			}
+			r := routers[rng.Intn(len(routers))]
+			plan.Faults = append(plan.Faults, Fault{
+				Kind: FaultBlackhole, From: from, Until: until, Router: r.Name,
+			})
+		case 2:
+			plan.Faults = append(plan.Faults, Fault{
+				Kind: FaultCorrupt, From: from, Until: until, Prob: 0.05 + 0.4*rng.Float64(),
+			})
+		case 3:
+			plan.Faults = append(plan.Faults, Fault{
+				Kind: FaultTruncate, From: from, Until: until, Prob: 0.05 + 0.3*rng.Float64(),
+			})
+		case 4:
+			plan.Faults = append(plan.Faults, Fault{
+				Kind: FaultDelay, From: from, Until: until, Prob: 0.05 + 0.3*rng.Float64(),
+			})
+		case 5:
+			plan.Faults = append(plan.Faults, Fault{
+				Kind: FaultDuplicate, From: from, Until: until, Prob: 0.1 + 0.4*rng.Float64(),
+			})
+		case 6:
+			f := Fault{Kind: FaultRateStorm, From: from, Until: until,
+				Rate: 0.02 + 0.1*rng.Float64(), Burst: float64(1 + rng.Intn(4))}
+			if len(routers) > 0 && rng.Intn(2) == 0 {
+				f.Router = routers[rng.Intn(len(routers))].Name
+			}
+			plan.Faults = append(plan.Faults, f)
+		case 7:
+			plan.Faults = append(plan.Faults, Fault{Kind: FaultChurn, From: from, Until: until})
+		}
+	}
+	// Every generated plan must validate by construction.
+	if err := plan.Validate(); err != nil {
+		panic(fmt.Sprintf("netsim: RandomFaultPlan produced an invalid plan: %v", err))
+	}
+	return plan
+}

@@ -1,0 +1,132 @@
+package probe
+
+import (
+	"fmt"
+
+	"tracenet/internal/ipv4"
+)
+
+// BreakerConfig tunes the per-zone circuit breaker. A zone is the group of
+// destination addresses sharing a KeyBits-long prefix — a proxy for "the
+// router(s) serving that address block". After Threshold consecutive silent
+// logical probes into one zone the breaker opens: further probes there are
+// answered locally with silence, without putting packets on the wire, until
+// Cooldown logical probes later the breaker half-opens and lets one trial
+// probe through. A trial answer closes the breaker; trial silence reopens it.
+//
+// This is what stops a collector from hammering rate-limited or dead routers
+// (the probing-load concern of distributed Doubletree deployments): the
+// information gained by the skipped probes is nil, but the load they would
+// have added is not.
+type BreakerConfig struct {
+	// Threshold is how many consecutive silent logical probes open a zone's
+	// breaker. Default 6.
+	Threshold int
+	// Cooldown is how many logical probes (across the whole prober) an open
+	// breaker waits before half-opening. Default 64.
+	Cooldown uint64
+	// KeyBits is the prefix length grouping destinations into zones.
+	// Default 24.
+	KeyBits int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 6
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 64
+	}
+	if c.KeyBits == 0 {
+		c.KeyBits = 24
+	}
+	return c
+}
+
+// Validate rejects out-of-range breaker configuration.
+func (c BreakerConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Threshold < 1 {
+		return fmt.Errorf("probe: breaker threshold %d < 1", c.Threshold)
+	}
+	if c.KeyBits < 0 || c.KeyBits > 32 {
+		return fmt.Errorf("probe: breaker key bits %d outside [0,32]", c.KeyBits)
+	}
+	return nil
+}
+
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type zone struct {
+	state    breakerState
+	fails    int
+	openedAt uint64
+}
+
+// breaker tracks per-zone silence and trips after repeated failures. Time is
+// the prober's logical probe counter, so the breaker is fully deterministic.
+type breaker struct {
+	cfg   BreakerConfig
+	now   uint64
+	zones map[ipv4.Addr]*zone
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), zones: make(map[ipv4.Addr]*zone)}
+}
+
+func (b *breaker) key(dst ipv4.Addr) ipv4.Addr {
+	return ipv4.NewPrefix(dst, b.cfg.KeyBits).Base()
+}
+
+// allow reports whether a logical probe to dst may be sent, advancing the
+// breaker's clock. An open zone transitions to half-open once its cooldown
+// has elapsed, letting a single trial probe through.
+func (b *breaker) allow(dst ipv4.Addr) bool {
+	b.now++
+	z := b.zones[b.key(dst)]
+	if z == nil {
+		return true
+	}
+	switch z.state {
+	case breakerOpen:
+		if b.now-z.openedAt >= b.cfg.Cooldown {
+			z.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// record feeds the outcome of a sent logical probe back. It reports whether
+// this outcome opened (or re-opened) the zone's breaker.
+func (b *breaker) record(dst ipv4.Addr, answered bool) (opened bool) {
+	k := b.key(dst)
+	z := b.zones[k]
+	if answered {
+		if z != nil {
+			z.state = breakerClosed
+			z.fails = 0
+		}
+		return false
+	}
+	if z == nil {
+		z = &zone{}
+		b.zones[k] = z
+	}
+	z.fails++
+	if z.state == breakerHalfOpen || (z.state == breakerClosed && z.fails >= b.cfg.Threshold) {
+		z.state = breakerOpen
+		z.openedAt = b.now
+		return true
+	}
+	return false
+}

@@ -14,6 +14,7 @@ package probe
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"tracenet/internal/ipv4"
 	"tracenet/internal/wire"
@@ -23,6 +24,15 @@ import (
 // reply, or (nil, nil) when the network stays silent (timeout).
 type Transport interface {
 	Exchange(raw []byte) ([]byte, error)
+}
+
+// Waiter is optionally implemented by Transports whose notion of time can
+// advance without sending a packet. The prober's exponential backoff calls
+// Wait between retries; the simulated substrate advances its virtual clock
+// (letting rate-limit buckets refill), and a raw-socket transport would
+// sleep. Transports without Wait simply retry immediately.
+type Waiter interface {
+	Wait(ticks uint64)
 }
 
 // Protocol selects the probe carrier.
@@ -117,18 +127,109 @@ type Stats struct {
 	Answered uint64 // packets that drew any response
 	Retries  uint64 // additional packets sent after silence
 	Cached   uint64 // logical probes served from the response cache
+
+	// Resilience accounting (fault injection & graceful degradation).
+	Timeouts     uint64 // logical probes still silent after all retries
+	Corrupt      uint64 // replies that failed to decode (mangled datagrams)
+	BreakerOpens uint64 // circuit-breaker open (or re-open) transitions
+	BreakerSkips uint64 // logical probes skipped because a breaker was open
+	BackoffTicks uint64 // virtual ticks spent waiting between retries
+}
+
+// FaultEvents returns the number of definite fault observations: mangled
+// replies plus breaker activity. Unlike Timeouts — which silent-by-design
+// addresses (unassigned space, firewalled subnets) also accumulate — these
+// only occur under network pathologies or active load shedding, so the
+// session layer uses them to flag degraded subnets.
+func (s Stats) FaultEvents() uint64 {
+	return s.Corrupt + s.BreakerSkips
 }
 
 // ErrBudgetExceeded is returned once a prober exhausts its probe budget.
 var ErrBudgetExceeded = errors.New("probe: budget exceeded")
 
+// ErrTransport wraps every error the underlying Transport returns, so the
+// session layer can distinguish a faulty network (recoverable: treat the
+// probe as silent and degrade) from programming errors and budget
+// exhaustion (not recoverable).
+var ErrTransport = errors.New("probe: transport")
+
+// RetryPolicy is the consolidated retry configuration: how often a silent
+// probe is re-sent and how long the prober backs off between attempts. It
+// replaces the Options.Retries / Options.NoRetry pair, whose interplay was
+// undocumented at call sites (NoRetry silently overrode Retries).
+type RetryPolicy struct {
+	// MaxRetries is how many times a silent logical probe is re-sent after
+	// its first attempt. 0 disables retrying.
+	MaxRetries int
+	// BackoffBase is the wait, in transport ticks, before the first retry;
+	// each further retry doubles it (exponential backoff). 0 disables
+	// backoff: retries are immediate, the seed repository's §3.8 behaviour.
+	BackoffBase uint64
+	// BackoffMax caps the exponential growth (0 = uncapped).
+	BackoffMax uint64
+	// Jitter in [0,1) randomizes each wait by ±Jitter of its value, drawn
+	// from a deterministic per-prober stream, decorrelating retry storms.
+	Jitter float64
+}
+
+// Validate rejects out-of-range retry policies.
+func (p RetryPolicy) Validate() error {
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("probe: retry policy: MaxRetries %d < 0", p.MaxRetries)
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		return fmt.Errorf("probe: retry policy: Jitter %v outside [0,1)", p.Jitter)
+	}
+	if p.Jitter > 0 && p.BackoffBase == 0 {
+		return fmt.Errorf("probe: retry policy: Jitter without BackoffBase")
+	}
+	return nil
+}
+
+// wait returns the backoff before retry attempt (0-based), jittered by rng.
+func (p RetryPolicy) wait(attempt int, rng *rand.Rand) uint64 {
+	if p.BackoffBase == 0 {
+		return 0
+	}
+	w := p.BackoffBase
+	for i := 0; i < attempt && (p.BackoffMax == 0 || w < p.BackoffMax); i++ {
+		w <<= 1
+	}
+	if p.BackoffMax > 0 && w > p.BackoffMax {
+		w = p.BackoffMax
+	}
+	if p.Jitter > 0 {
+		d := int64(p.Jitter * float64(w) * (2*rng.Float64() - 1))
+		if d < 0 && uint64(-d) >= w {
+			return 1
+		}
+		w = uint64(int64(w) + d)
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
 // Options configure a Prober.
 type Options struct {
 	// Protocol selects ICMP (default), UDP, or TCP probes.
 	Protocol Protocol
+	// Retry is the consolidated retry policy. When nil, it is derived from
+	// the legacy Retries/NoRetry fields (default: one immediate retry, the
+	// paper's §3.8 behaviour). Setting Retry together with a non-zero
+	// legacy field is a configuration error.
+	Retry *RetryPolicy
 	// Retries is how many times a silent probe is re-sent. Default 1.
+	//
+	// Deprecated: use Retry. Kept for existing call sites; NoRetry wins
+	// over Retries when both are set (historical behaviour, now enforced
+	// in exactly one place: Options.retryPolicy).
 	Retries int
 	// NoRetry disables retrying entirely (Retries is ignored).
+	//
+	// Deprecated: use Retry (a zero RetryPolicy disables retrying).
 	NoRetry bool
 	// FlowID seeds the ICMP identifier / source port. Probes with the same
 	// FlowID hash to the same equal-cost path (Paris-style stability); a
@@ -147,6 +248,32 @@ type Options struct {
 	// DisCarte mechanism: compliant routers stamp their outgoing interface,
 	// yielding a second address per hop for the first nine hops.
 	RecordRoute bool
+	// Breaker enables the per-zone circuit breaker (nil = disabled, the
+	// paper's behaviour). See BreakerConfig.
+	Breaker *BreakerConfig
+}
+
+// retryPolicy resolves the consolidated retry policy from the new Retry
+// field and the two legacy knobs, validating the combination.
+func (o Options) retryPolicy() (RetryPolicy, error) {
+	if o.Retry != nil {
+		if o.NoRetry || o.Retries != 0 {
+			return RetryPolicy{}, errors.New(
+				"probe: Options.Retry conflicts with legacy Retries/NoRetry; set only one")
+		}
+		return *o.Retry, o.Retry.Validate()
+	}
+	if o.NoRetry {
+		return RetryPolicy{}, nil
+	}
+	r := o.Retries
+	if r == 0 {
+		r = 1
+	}
+	if r < 0 {
+		return RetryPolicy{}, fmt.Errorf("probe: Options.Retries %d < 0", o.Retries)
+	}
+	return RetryPolicy{MaxRetries: r}, nil
 }
 
 // Prober issues direct and indirect probes through a Transport.
@@ -155,6 +282,11 @@ type Prober struct {
 	tr   Transport
 	src  ipv4.Addr
 	opts Options
+
+	retry  RetryPolicy
+	waiter Waiter // tr's Wait hook, nil when unsupported
+	jitter *rand.Rand
+	br     *breaker
 
 	seq   uint16
 	stats Stats
@@ -170,23 +302,38 @@ type cacheKey struct {
 // probes.
 const DirectTTL = 64
 
-// New creates a prober sourcing probes from src.
+// New creates a prober sourcing probes from src. It panics on inconsistent
+// Options (conflicting retry knobs, out-of-range retry or breaker policy) —
+// these are programming errors at the call site, not runtime conditions.
 func New(tr Transport, src ipv4.Addr, opts Options) *Prober {
-	if opts.Retries == 0 {
-		opts.Retries = 1
-	}
-	if opts.NoRetry {
-		opts.Retries = 0
+	retry, err := opts.retryPolicy()
+	if err != nil {
+		panic(err)
 	}
 	if opts.FlowID == 0 {
 		opts.FlowID = 0x7a7a
 	}
-	p := &Prober{tr: tr, src: src, opts: opts}
+	p := &Prober{tr: tr, src: src, opts: opts, retry: retry}
+	if retry.BackoffBase > 0 {
+		p.waiter, _ = tr.(Waiter)
+		// The jitter stream is seeded from the flow identifier so a rerun
+		// with the same options backs off identically.
+		p.jitter = rand.New(rand.NewSource(int64(opts.FlowID)*2654435761 + 1))
+	}
+	if opts.Breaker != nil {
+		if err := opts.Breaker.Validate(); err != nil {
+			panic(err)
+		}
+		p.br = newBreaker(*opts.Breaker)
+	}
 	if opts.Cache {
 		p.cache = make(map[cacheKey]Result)
 	}
 	return p
 }
+
+// RetryPolicy returns the prober's resolved retry policy.
+func (p *Prober) RetryPolicy() RetryPolicy { return p.retry }
 
 // Src returns the prober's source address.
 func (p *Prober) Src() ipv4.Addr { return p.src }
@@ -215,6 +362,14 @@ func (p *Prober) Probe(dst ipv4.Addr, ttl int) (Result, error) {
 			return r, nil
 		}
 	}
+	if p.br != nil && !p.br.allow(dst) {
+		// The zone's breaker is open: answer locally with silence instead
+		// of hammering a rate-limited or dead router. Skipped outcomes are
+		// not cached, so the address gets a real probe once the breaker
+		// half-opens.
+		p.stats.BreakerSkips++
+		return Result{}, nil
+	}
 	var res Result
 	for attempt := 0; ; attempt++ {
 		if p.opts.Budget > 0 && p.stats.Sent >= p.opts.Budget {
@@ -225,10 +380,22 @@ func (p *Prober) Probe(dst ipv4.Addr, ttl int) (Result, error) {
 			return Result{}, err
 		}
 		res = r
-		if !r.Silent() || attempt >= p.opts.Retries {
+		if !r.Silent() || attempt >= p.retry.MaxRetries {
 			break
 		}
+		if w := p.retry.wait(attempt, p.jitter); w > 0 {
+			p.stats.BackoffTicks += w
+			if p.waiter != nil {
+				p.waiter.Wait(w)
+			}
+		}
 		p.stats.Retries++
+	}
+	if res.Silent() {
+		p.stats.Timeouts++
+	}
+	if p.br != nil && p.br.record(dst, !res.Silent()) {
+		p.stats.BreakerOpens++
 	}
 	if p.cache != nil {
 		p.cache[key] = res
@@ -270,7 +437,7 @@ func (p *Prober) once(dst ipv4.Addr, ttl uint8) (Result, error) {
 	p.stats.Sent++
 	rawReply, err := p.tr.Exchange(raw)
 	if err != nil {
-		return Result{}, fmt.Errorf("probe: transport: %w", err)
+		return Result{}, fmt.Errorf("%w: %w", ErrTransport, err)
 	}
 	if rawReply == nil {
 		return Result{}, nil
@@ -278,7 +445,9 @@ func (p *Prober) once(dst ipv4.Addr, ttl uint8) (Result, error) {
 	reply, err := wire.Decode(rawReply)
 	if err != nil {
 		// A mangled reply is treated as silence, like a failed checksum on a
-		// real socket.
+		// real socket — but counted, because corruption is definite fault
+		// evidence that silence alone is not.
+		p.stats.Corrupt++
 		return Result{}, nil
 	}
 	res := p.classify(pkt, reply, dst)

@@ -1,0 +1,147 @@
+package wire
+
+import "testing"
+
+// samplePackets returns one encoded packet per kind the collector handles.
+func samplePackets(t *testing.T) map[string][]byte {
+	t.Helper()
+	echo, err := NewEchoRequest(testSrc, testDst, 9, 1, 2).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp, err := NewUDPProbe(testSrc, testDst, 3, 40000, 33434).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, err := NewTCPProbe(testSrc, testDst, 3, 55000, 80, 7).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := NewEchoRequest(testSrc, testDst, 9, 1, 2)
+	rr.IP.Options = MakeRecordRoute(9)
+	rrRaw, err := rr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttlx, err := NewICMPError(testSrc, ICMPTimeExceeded, 0, echo).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unreach, err := NewICMPError(testSrc, ICMPDestUnreach, CodePortUnreach, udp).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]byte{
+		"echo":        echo,
+		"udp":         udp,
+		"tcp":         tcp,
+		"recordroute": rrRaw,
+		"ttlexceeded": ttlx,
+		"unreachable": unreach,
+	}
+}
+
+// TestDecodeTruncated feeds every truncation prefix of every packet kind to
+// the decoder: each must return an error (the full length is the only valid
+// framing) and none may panic.
+func TestDecodeTruncated(t *testing.T) {
+	for name, raw := range samplePackets(t) {
+		t.Run(name, func(t *testing.T) {
+			for n := 0; n < len(raw); n++ {
+				if _, err := Decode(raw[:n]); err == nil {
+					t.Errorf("%s truncated to %d/%d bytes decoded without error", name, n, len(raw))
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeCorrupted flips every byte of every packet kind, one at a time.
+// The decoder must never panic; each flip must either be rejected with an
+// error (the common case — the checksums catch it) or produce a packet that
+// still re-encodes.
+func TestDecodeCorrupted(t *testing.T) {
+	for name, raw := range samplePackets(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := range raw {
+				for _, flip := range []byte{0x01, 0x80, 0xff} {
+					mut := append([]byte(nil), raw...)
+					mut[i] ^= flip
+					p, err := Decode(mut)
+					if err != nil {
+						continue
+					}
+					if _, err := p.Encode(); err != nil {
+						t.Errorf("%s with byte %d xor %#x decoded but failed to re-encode: %v",
+							name, i, flip, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEmbeddedOriginalShortQuote truncates the quoted original inside an ICMP
+// error below the 20 bytes an IP header needs: EmbeddedOriginal must reject
+// every such quote with an error, never panic.
+func TestEmbeddedOriginalShortQuote(t *testing.T) {
+	echo, err := NewEchoRequest(testSrc, testDst, 9, 1, 2).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decode(mustEncode(t, NewICMPError(testSrc, ICMPTimeExceeded, 0, echo)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quote := full.ICMP.Payload
+	for n := 0; n < 20 && n <= len(quote); n++ {
+		m := ICMP{Type: ICMPTimeExceeded, Payload: quote[:n]}
+		if _, _, err := m.EmbeddedOriginal(); err == nil {
+			t.Errorf("%d-byte quote accepted by EmbeddedOriginal", n)
+		}
+	}
+}
+
+// TestEmbeddedOriginalCorruptQuote corrupts the quoted header's length fields
+// so the quote claims more bytes than it carries — must error, not panic.
+func TestEmbeddedOriginalCorruptQuote(t *testing.T) {
+	echo, err := NewEchoRequest(testSrc, testDst, 9, 1, 2).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte)
+	}{
+		{"ihl-over-quote", func(q []byte) { q[0] = 0x4f }}, // IHL 15 → 60-byte header claim
+		{"ihl-under-min", func(q []byte) { q[0] = 0x41 }},  // IHL 1 → below minimum
+		{"version-6", func(q []byte) { q[0] = 0x65 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			quote := append([]byte(nil), echo...)
+			tc.mutate(quote)
+			m := ICMP{Type: ICMPTimeExceeded, Payload: quote}
+			if _, _, err := m.EmbeddedOriginal(); err == nil {
+				t.Errorf("corrupt quote (%s) accepted by EmbeddedOriginal", tc.name)
+			}
+		})
+	}
+}
+
+func mustEncode(t *testing.T, p *Packet) []byte {
+	t.Helper()
+	raw, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestDecodeEmpty pins the degenerate framings.
+func TestDecodeEmpty(t *testing.T) {
+	for _, raw := range [][]byte{nil, {}, {0x45}, make([]byte, 19)} {
+		if _, err := Decode(raw); err == nil {
+			t.Errorf("Decode(%d bytes) succeeded", len(raw))
+		}
+	}
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Full verification gate: build, vet, and race-enabled tests.
+# Everything here must stay green; the chaos tests (internal/netsim/chaos_test.go)
+# are deterministic, so a failure is reproducible with the same seed.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "All checks passed."
