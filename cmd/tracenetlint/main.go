@@ -1,0 +1,60 @@
+// Command tracenetlint is tracenet's project-specific static-analysis gate:
+// a multichecker over the internal/lint analyzer suite. It loads the
+// requested packages (default ./...), type-checks them against the standard
+// library, runs every analyzer that matches each package, and prints findings
+// as file:line:col: analyzer: message. The exit status is 0 when the tree is
+// clean, 2 when any invariant is violated, 1 on loader errors — mirroring go
+// vet so scripts/check.sh and CI can treat it as one more vet pass.
+//
+// Usage:
+//
+//	go run ./cmd/tracenetlint ./...
+//	go run ./cmd/tracenetlint -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracenet/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracenetlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracenetlint:", err)
+		os.Exit(1)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracenetlint:", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tracenetlint: %d finding(s)\n", len(diags))
+		os.Exit(2)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"tracenet/internal/invariant"
 	"tracenet/internal/ipv4"
 	"tracenet/internal/probe"
 )
@@ -56,6 +57,10 @@ func (s *Session) Checkpoint() *Checkpoint {
 			Degraded:   sub.Degraded,
 		}
 		for _, a := range sub.Addrs {
+			// The write-side mirror of restore()'s membership validation: a
+			// subnet must never checkpoint members outside its own prefix.
+			invariant.Assertf(sub.Prefix.Contains(a),
+				"core: checkpoint subnet %v holds stray member %v", sub.Prefix, a)
 			cs.Addrs = append(cs.Addrs, a.String())
 		}
 		if !sub.ContraPivot.IsZero() {

@@ -1,0 +1,7 @@
+//go:build !invariants
+
+package invariant
+
+// Enabled reports whether assertions are compiled in. In the default build
+// they are not: Assert/Assertf bodies are dead code the compiler removes.
+const Enabled = false

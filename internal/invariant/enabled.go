@@ -1,0 +1,6 @@
+//go:build invariants
+
+package invariant
+
+// Enabled reports whether assertions are compiled in (`-tags invariants`).
+const Enabled = true

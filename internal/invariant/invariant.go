@@ -1,0 +1,30 @@
+// Package invariant is tracenet's runtime complement to the tracenetlint
+// static analyzers: executable assertions for properties the type system and
+// the linters cannot see (counter monotonicity, state-machine legality,
+// checkpoint well-formedness). Assertions compile to no-ops by default so the
+// paper-scale campaigns pay nothing; the race-enabled test run in
+// scripts/check.sh builds with `-tags invariants`, turning every assertion
+// into a crash-on-violation check. A failed invariant panics: these guard
+// programming errors, not runtime conditions, and a collector that keeps
+// probing past a corrupted engine state produces silently wrong maps — the
+// one outcome worse than crashing.
+package invariant
+
+import "fmt"
+
+// Assert panics with msg when the invariants build tag is set and cond is
+// false. Without the tag it compiles to nothing.
+func Assert(cond bool, msg string) {
+	if Enabled && !cond {
+		panic("invariant violated: " + msg)
+	}
+}
+
+// Assertf is Assert with formatting. The arguments are only evaluated when
+// the invariant fails, but callers should still keep them cheap: the call
+// itself is always present, only the body is gated.
+func Assertf(cond bool, format string, args ...any) {
+	if Enabled && !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,44 @@
+package invariant_test
+
+import (
+	"testing"
+
+	"tracenet/internal/invariant"
+)
+
+// TestAssert exercises both build modes: with -tags invariants a false
+// condition must panic; without it Assert must be inert.
+func TestAssert(t *testing.T) {
+	invariant.Assert(true, "true never panics")
+	invariant.Assertf(true, "true never panics (%s)", "fmt")
+
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		invariant.Assert(false, "boom")
+		return nil
+	}()
+	if invariant.Enabled {
+		want := "invariant violated: boom"
+		if recovered != want {
+			t.Fatalf("Assert(false) with invariants enabled: recovered %v, want %q", recovered, want)
+		}
+	} else if recovered != nil {
+		t.Fatalf("Assert(false) in default build panicked: %v", recovered)
+	}
+}
+
+func TestAssertf(t *testing.T) {
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		invariant.Assertf(false, "bad state %d/%d", 3, 7)
+		return nil
+	}()
+	if invariant.Enabled {
+		want := "invariant violated: bad state 3/7"
+		if recovered != want {
+			t.Fatalf("Assertf(false): recovered %v, want %q", recovered, want)
+		}
+	} else if recovered != nil {
+		t.Fatalf("Assertf(false) in default build panicked: %v", recovered)
+	}
+}

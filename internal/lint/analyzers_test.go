@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tracenet/internal/lint"
+	"tracenet/internal/lint/linttest"
+)
+
+func TestMapRangeAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MapRangeAnalyzer, "maprange")
+}
+
+func TestLockCheckAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata", lint.LockCheckAnalyzer, "lockcheck")
+}
+
+func TestWireErrAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata", lint.WireErrAnalyzer, "wireerr")
+}
+
+func TestIPAliasAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata", lint.IPAliasAnalyzer, "ipalias")
+}

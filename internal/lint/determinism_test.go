@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tracenet/internal/lint"
+	"tracenet/internal/lint/linttest"
+)
+
+func TestDeterminismAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DeterminismAnalyzer, "determinism")
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IPAliasAnalyzer flags decode paths that retain a sub-slice of their input
+// buffer in a struct field. A transport reads every datagram into a reused
+// buffer; a decoded packet whose Payload (or net.IP / []byte field) aliases
+// that buffer is silently rewritten by the next read — the classic
+// "yesterday's reply wearing today's bytes" corruption, unreproducible and
+// seed-dependent. Decoders must copy what they keep:
+// append([]byte(nil), b[i:j]...).
+var IPAliasAnalyzer = &Analyzer{
+	Name: "ipalias",
+	Doc: "flag struct fields retaining sub-slices of a []byte decode " +
+		"parameter without a copy",
+	Run: runIPAlias,
+}
+
+func runIPAlias(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := byteSliceParams(fd, info)
+			if len(params) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					for i, lhs := range s.Lhs {
+						if i >= len(s.Rhs) {
+							break
+						}
+						checkRetention(pass, lhs, s.Rhs[i], params, info)
+					}
+				case *ast.CompositeLit:
+					for _, elt := range s.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if isByteSliceLike(info.Types[kv.Value].Type) && aliasesParam(kv.Value, params, info) {
+							pass.Reportf(kv.Pos(),
+								"composite literal field retains a slice of decode parameter %q without a copy",
+								paramName(kv.Value, params, info))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkRetention flags `x.Field = b[i:j]` (and `x.Field = b`) where b is a
+// []byte parameter of the enclosing function.
+func checkRetention(pass *Pass, lhs, rhs ast.Expr, params map[*types.Var]bool, info *types.Info) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	if !isByteSliceLike(s.Obj().Type()) {
+		return
+	}
+	if aliasesParam(rhs, params, info) {
+		pass.Reportf(lhs.Pos(),
+			"field %s retains a slice of decode parameter %q; copy it (append([]byte(nil), ...))",
+			sel.Sel.Name, paramName(rhs, params, info))
+	}
+}
+
+// aliasesParam reports whether e is a []byte parameter or a slice expression
+// over one (through any nesting of slice expressions and parens). A call on
+// the right-hand side (append, bytes.Clone-style helpers) breaks the alias.
+func aliasesParam(e ast.Expr, params map[*types.Var]bool, info *types.Info) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			v, ok := info.Uses[x].(*types.Var)
+			return ok && params[v]
+		default:
+			return false
+		}
+	}
+}
+
+// paramName names the aliased parameter for the diagnostic.
+func paramName(e ast.Expr, params map[*types.Var]bool, info *types.Info) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return "?"
+		}
+	}
+}
+
+// byteSliceParams collects the function's parameters of type []byte (or a
+// named type whose underlying type is []byte, like net.IP).
+func byteSliceParams(fd *ast.FuncDecl, info *types.Info) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			v, ok := info.Defs[name].(*types.Var)
+			if ok && isByteSliceLike(v.Type()) {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// isByteSliceLike reports whether t's underlying type is []byte.
+func isByteSliceLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint8
+}

@@ -1,0 +1,137 @@
+// Package lint is tracenet's project-specific static-analysis framework: a
+// deliberately small, stdlib-only mirror of golang.org/x/tools/go/analysis.
+// The build environment pins the repo to the standard library, so instead of
+// the upstream framework the package implements the same three ideas from
+// scratch: an Analyzer (a named check with a Run function over one
+// type-checked package), a Pass (the per-package invocation context), and a
+// Diagnostic (one finding at one position).
+//
+// The analyzers encode invariants the compiler cannot see but the paper's
+// methodology depends on: deterministic measurement (§3 subnet inference is
+// only replayable if every probe observation is a pure function of the seed),
+// locking discipline around the shared simulated network, wire-level error
+// hygiene, and no aliasing of decode buffers. See cmd/tracenetlint for the
+// multichecker that applies them to the whole repository.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lowercase, no spaces).
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Match restricts the analyzer to packages whose import path it accepts;
+	// nil applies the analyzer everywhere.
+	Match func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Package is one loaded, type-checked package (non-test files only).
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Pass carries one analyzer's invocation over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package it matches and returns the
+// findings ordered by file, line, and column.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) {
+				diags = append(diags, d)
+			}}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full tracenetlint suite with its per-package scoping
+// configured. The determinism and map-order analyzers apply only to the
+// measurement-critical packages (netsim, core, probe): elsewhere wall-clock
+// time and iteration order are legitimate (e.g. CLI progress output).
+func All() []*Analyzer {
+	measurement := matchPaths(
+		"tracenet/internal/netsim",
+		"tracenet/internal/core",
+		"tracenet/internal/probe",
+	)
+	det := *DeterminismAnalyzer
+	det.Match = measurement
+	mr := *MapRangeAnalyzer
+	mr.Match = measurement
+	lc := *LockCheckAnalyzer
+	lc.Match = matchPaths("tracenet/internal/netsim")
+	return []*Analyzer{&det, &mr, &lc, WireErrAnalyzer, IPAliasAnalyzer}
+}
+
+func matchPaths(paths ...string) func(string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(p string) bool { return set[p] }
+}

@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tracenet/internal/lint"
+)
+
+// TestAnalyzerSuite sanity-checks the configured multichecker surface.
+func TestAnalyzerSuite(t *testing.T) {
+	all := lint.All()
+	if len(all) != 5 {
+		t.Fatalf("lint.All() = %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"determinism", "maprange", "lockcheck", "wireerr", "ipalias"} {
+		if !seen[want] {
+			t.Errorf("missing analyzer %q", want)
+		}
+	}
+}
+
+// TestRepositoryClean runs the full suite over the repository, the same gate
+// scripts/check.sh enforces: the tree must stay free of invariant violations.
+// A failure here reproduces `go run ./cmd/tracenetlint ./...`.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo lint is not short")
+	}
+	root := repoRoot(t)
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,193 @@
+// Package linttest is the testdata-driven harness for the lint analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest with the same
+// convention: each analyzer has a testdata/src/<pkg> directory of Go files
+// annotated with `// want "regexp"` comments on the lines where it must
+// report, and every unannotated line must stay clean. Testdata packages may
+// import standard-library packages and module-local packages (e.g.
+// tracenet/internal/wire); both are type-checked from source.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"tracenet/internal/lint"
+)
+
+// wantRE extracts the expectation list from a `// want` comment; quotedRE
+// then pulls out each double- or backtick-quoted pattern.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.+)`)
+
+var quotedRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads testdata/src/<pkg> relative to dir, applies the analyzer
+// (ignoring its Match scoping — testdata stands in for matched packages), and
+// compares the diagnostics against the file's want annotations.
+func Run(t *testing.T, dir string, a *lint.Analyzer, pkg string) {
+	t.Helper()
+	srcDir := filepath.Join(dir, "src", pkg)
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(srcDir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files under %s", srcDir)
+	}
+
+	loaded, err := lint.CheckFiles(fset, pkg, srcDir, files, newImporter(t, fset))
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	// Strip the analyzer's package scoping: the harness decides applicability.
+	unscoped := *a
+	unscoped.Match = nil
+	diags, err := lint.Run([]*lint.Package{loaded}, []*lint.Analyzer{&unscoped})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	compare(t, fset, files, diags)
+}
+
+// compare matches reported diagnostics against want annotations line by line.
+func compare(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					pat := q[1]
+					if pat == "" {
+						pat = q[2]
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("linttest: %s: bad want pattern %q: %v", pos, pat, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	keys := make([]key, 0, len(wants))
+	for k := range wants {
+		if len(wants[k]) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, rx := range wants[k] {
+			t.Errorf("missing diagnostic at %s:%d matching %q", k.file, k.line, rx)
+		}
+	}
+}
+
+// testImporter satisfies testdata imports: module-local packages come from a
+// process-wide lint.Resolver (one shared type universe, so ipv4.Addr is the
+// same type everywhere), everything else from the stdlib source importer.
+type testImporter struct {
+	t   *testing.T
+	std types.ImporterFrom
+}
+
+var (
+	resolverOnce sync.Once
+	resolver     *lint.Resolver
+	resolverErr  error
+)
+
+func newImporter(t *testing.T, fset *token.FileSet) *testImporter {
+	return &testImporter{
+		t:   t,
+		std: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+func (ti *testImporter) Import(path string) (*types.Package, error) {
+	return ti.ImportFrom(path, "", 0)
+}
+
+func (ti *testImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if !strings.HasPrefix(path, "tracenet/") {
+		return ti.std.ImportFrom(path, dir, mode)
+	}
+	resolverOnce.Do(func() {
+		resolver, resolverErr = lint.NewResolver(moduleRoot(ti.t))
+	})
+	if resolverErr != nil {
+		return nil, fmt.Errorf("linttest: module resolver: %w", resolverErr)
+	}
+	return resolver.Import(path)
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot(t *testing.T) string {
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+}
+
+// Load resolves patterns (e.g. "./...") against the module rooted at dir and
+// returns the matched non-standard-library packages, type-checked in
+// dependency order. Standard-library imports are satisfied by the source
+// importer (no compiled export data required), module-local imports by the
+// packages checked earlier in the same load.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	matched := make(map[string]bool)
+	for _, lp := range listed {
+		if !lp.Standard {
+			matched[lp.ImportPath] = true
+		}
+	}
+	// Pull in module-local dependencies of the matched set so every local
+	// import can be satisfied from this load (patterns like a single package
+	// still need their intra-module deps type-checked first).
+	deps, err := goList(dir, append([]string{"-deps"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPackage)
+	for i := range deps {
+		lp := &deps[i]
+		if !lp.Standard {
+			byPath[lp.ImportPath] = lp
+		}
+	}
+
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	ld := &loader{
+		fset:    fset,
+		listed:  byPath,
+		std:     std,
+		checked: make(map[string]*Package),
+	}
+	var out []*Package
+	// Deterministic order: the dependency walk below is order-insensitive,
+	// but diagnostics and error messages should not depend on map order.
+	paths := make([]string, 0, len(matched))
+	for p := range matched {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -json` with args in dir and decodes the JSON stream.
+func goList(dir string, args []string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// loader type-checks module-local packages recursively, memoizing results.
+type loader struct {
+	fset    *token.FileSet
+	listed  map[string]*listedPackage
+	std     types.ImporterFrom
+	checked map[string]*Package
+	stack   []string
+}
+
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	for _, s := range l.stack {
+		if s == path {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+	}
+	lp, ok := l.listed[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %s not in go list output", path)
+	}
+	l.stack = append(l.stack, path)
+	defer func() { l.stack = l.stack[:len(l.stack)-1] }()
+	for _, imp := range lp.Imports {
+		if _, local := l.listed[imp]; local {
+			if _, err := l.load(imp); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := CheckFiles(l.fset, lp.ImportPath, lp.Dir, files, l)
+	if err != nil {
+		return nil, err
+	}
+	l.checked[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer over the loader's chain: module-local
+// packages come from this load, everything else from the stdlib source
+// importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.checked[path]; ok {
+		return pkg.Types, nil
+	}
+	if _, local := l.listed[path]; local {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// Resolver satisfies imports of module-local packages on demand while
+// sharing one type universe across every load — two packages that both
+// import tracenet/internal/ipv4 see the identical *types.Package. The
+// linttest harness uses one process-wide Resolver so testdata packages can
+// import real module packages.
+type Resolver struct {
+	ld *loader
+}
+
+// NewResolver indexes every package of the module rooted at dir.
+func NewResolver(dir string) (*Resolver, error) {
+	deps, err := goList(dir, []string{"-deps", "./..."})
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPackage)
+	for i := range deps {
+		lp := &deps[i]
+		if !lp.Standard {
+			byPath[lp.ImportPath] = lp
+		}
+	}
+	fset := token.NewFileSet()
+	return &Resolver{ld: &loader{
+		fset:    fset,
+		listed:  byPath,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		checked: make(map[string]*Package),
+	}}, nil
+}
+
+// Import implements types.Importer.
+func (r *Resolver) Import(path string) (*types.Package, error) {
+	return r.ld.Import(path)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (r *Resolver) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return r.ld.ImportFrom(path, dir, mode)
+}
+
+// CheckFiles type-checks parsed files as one package and wraps the result.
+// It is the shared back end of the module loader and the linttest harness.
+func CheckFiles(fset *token.FileSet, path, dir string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

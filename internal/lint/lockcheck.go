@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// LockCheckAnalyzer enforces the mutex-guarded-fields convention on the
+// simulator: in any struct with a sync.Mutex/RWMutex field, the fields
+// declared after the mutex are guarded by it (the standard Go layout
+// convention, and how netsim.Network documents itself). A function that
+// touches a guarded field must either take the lock in its own body or carry
+// a doc comment declaring that its caller holds it (e.g. "called with n.mu
+// held") — making the engine-side helper contract machine-checked instead of
+// a section comment that refactors silently invalidate.
+var LockCheckAnalyzer = &Analyzer{
+	Name: "lockcheck",
+	Doc: "flag access to mutex-guarded struct fields from functions that " +
+		"neither lock the mutex nor document that the caller holds it",
+	Run: runLockCheck,
+}
+
+// heldDocRE matches doc-comment phrasings that transfer lock responsibility
+// to the caller.
+var heldDocRE = regexp.MustCompile(`(?i)(mu|lock|mutex)\s+(is\s+)?held|caller\s+holds|while\s+holding|holds\s+(the\s+)?(lock|mutex)`)
+
+func runLockCheck(pass *Pass) error {
+	guarded := guardedFields(pass.Pkg.Types)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Doc != nil && heldDocRE.MatchString(fd.Doc.Text()) {
+				continue
+			}
+			if locksAMutex(fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := pass.Pkg.Info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				if mutexName, ok := guarded[s.Obj().(*types.Var)]; ok {
+					pass.Reportf(sel.Pos(),
+						"%s is guarded by %s, but this function neither locks it nor documents \"called with %s held\"",
+						sel.Sel.Name, mutexName, mutexName)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// guardedFields maps every mutex-guarded field object in the package to the
+// name of the mutex guarding it: for each struct with a sync.Mutex/RWMutex
+// field, the fields declared after the mutex.
+func guardedFields(pkg *types.Package) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		mutexIdx, mutexName := -1, ""
+		for i := 0; i < st.NumFields(); i++ {
+			if isSyncMutex(st.Field(i).Type()) {
+				mutexIdx, mutexName = i, st.Field(i).Name()
+				break
+			}
+		}
+		if mutexIdx < 0 {
+			continue
+		}
+		for i := mutexIdx + 1; i < st.NumFields(); i++ {
+			out[st.Field(i)] = mutexName
+		}
+	}
+	return out
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly via
+// a pointer).
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// locksAMutex reports whether the body calls Lock or RLock on some mutex
+// field (e.g. n.mu.Lock()): the function manages the lock itself.
+func locksAMutex(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if name := sel.Sel.Name; name == "Lock" || name == "RLock" {
+			if _, viaField := sel.X.(*ast.SelectorExpr); viaField || isIdent(sel.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isIdent(e ast.Expr) bool {
+	_, ok := e.(*ast.Ident)
+	return ok
+}

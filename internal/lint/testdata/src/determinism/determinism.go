@@ -1,0 +1,32 @@
+// Package determinism exercises the determinism analyzer: wall-clock reads
+// and global math/rand draws are flagged; injected seeded streams and pure
+// Duration arithmetic are not.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad: ambient non-determinism.
+func clockAndGlobalRand() (int64, int) {
+	now := time.Now().UnixNano()       // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)       // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Millisecond)     // want `time\.After reads the wall clock`
+	n := rand.Intn(10)                 // want `global rand\.Intn draws from the shared unseeded stream`
+	f := rand.Float64()                // want `global rand\.Float64 draws from the shared unseeded stream`
+	rand.Shuffle(n, func(i, j int) {}) // want `global rand\.Shuffle draws from the shared unseeded stream`
+	return now, n + int(f)
+}
+
+// Good: a seeded local stream, constructed with the allowed constructors,
+// and time.Duration values that never touch the wall clock.
+func seededStream(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	const tick = 10 * time.Millisecond
+	_ = tick
+	return rng.Intn(10) + int(rng.Int63n(4))
+}
+
+// Good: methods on time.Time values (no clock read) stay legal.
+func durationMath(a, b time.Time) time.Duration { return b.Sub(a) }

@@ -1,0 +1,40 @@
+// Package ipalias exercises the decode-buffer-aliasing analyzer: struct
+// fields that retain a sub-slice of a []byte parameter are flagged; explicit
+// copies and transient local views are not.
+package ipalias
+
+type header struct {
+	payload []byte
+	options []byte
+	kind    uint8
+}
+
+// Bad: the decoded message keeps pointing into the caller's buffer.
+func (h *header) unmarshalAliasing(b []byte) {
+	h.kind = b[0]
+	h.payload = b[8:]  // want `field payload retains a slice of decode parameter "b"`
+	h.options = b[1:5] // want `field options retains a slice of decode parameter "b"`
+}
+
+// Bad: whole-parameter retention and composite-literal retention.
+func decodeAliasing(b []byte) *header {
+	return &header{
+		payload: b[8:], // want `composite literal field retains a slice of decode parameter "b"`
+	}
+}
+
+// Good: copies own their bytes.
+func (h *header) unmarshalCopying(b []byte) {
+	h.kind = b[0]
+	h.payload = append([]byte(nil), b[8:]...)
+	h.options = append([]byte(nil), b[1:5]...)
+}
+
+// Good: local views that don't outlive the call.
+func checksum(b []byte) (sum uint8) {
+	view := b[1:]
+	for _, v := range view {
+		sum += v
+	}
+	return sum
+}

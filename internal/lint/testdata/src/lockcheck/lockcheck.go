@@ -1,0 +1,39 @@
+// Package lockcheck exercises the mutex-guarded-fields analyzer: fields
+// declared after a sync.Mutex are guarded; functions touching them must lock
+// or carry a "caller holds" doc comment. Fields before the mutex are
+// unguarded.
+package lockcheck
+
+import "sync"
+
+// Engine mirrors netsim.Network's layout: Topo is immutable (before mu),
+// everything after mu is guarded.
+type Engine struct {
+	Name string // immutable, unguarded
+
+	mu    sync.Mutex
+	clock uint64
+	count int
+}
+
+// Good: takes the lock itself.
+func (e *Engine) Tick() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock++
+	return e.clock
+}
+
+// Good: documents the contract — called with e.mu held.
+func (e *Engine) step() {
+	e.clock++
+	e.count++
+}
+
+// Bad: touches guarded state with neither lock nor contract comment.
+func (e *Engine) Skew(d uint64) {
+	e.clock += d // want `clock is guarded by mu`
+}
+
+// Good: unguarded field access needs nothing.
+func (e *Engine) Label() string { return e.Name }

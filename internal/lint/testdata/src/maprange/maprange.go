@@ -1,0 +1,67 @@
+// Package maprange exercises the map-iteration-order analyzer: loops whose
+// iteration order reaches a slice or a stream are flagged; match-and-exit
+// loops, commutative folds, and collect-then-sort functions are not.
+package maprange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Bad: the output slice's element order follows randomized map order.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order escapes via append`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Bad: stream writes happen in map order.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order escapes via fmt\.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Good: collect then sort — order is re-established before anyone observes it.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Good: a local sorting helper counts as collect-then-sort too.
+func keysSortedLocally(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+// Good: match-and-exit observes at most one element.
+func lookup(m map[string]int, want int) string {
+	for k, v := range m {
+		if v == want {
+			return k
+		}
+	}
+	return ""
+}
+
+// Good: commutative fold — summation doesn't depend on order.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

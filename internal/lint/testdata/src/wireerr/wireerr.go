@@ -1,0 +1,46 @@
+// Package wireerr exercises the wire-error-discipline analyzer: discarded
+// error returns from the tracenet/internal/wire codec and from encoding/json
+// are flagged; handled errors and error-free helpers are not.
+package wireerr
+
+import (
+	"encoding/json"
+	"io"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/wire"
+)
+
+func addr() ipv4.Addr { return ipv4.MustParseAddr("10.0.0.1") }
+
+// Bad: wire decode/encode errors dropped on the floor.
+func droppedWireErrors(raw []byte) {
+	wire.Decode(raw) // want `result of wire\.Decode includes an error that is discarded`
+	pkt := wire.NewEchoRequest(addr(), addr(), 9, 1, 2)
+	pkt.Encode()            // want `includes an error that is discarded`
+	_, _ = wire.Decode(raw) // want `error result of wire\.Decode assigned to _`
+	enc, _ := pkt.Encode()  // want `assigned to _`
+	_ = enc
+}
+
+// Bad: checkpoint-style JSON encode/decode errors discarded.
+func droppedJSONErrors(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v) // want `includes an error that is discarded`
+	_, _ = json.Marshal(v)       // want `assigned to _`
+}
+
+// Good: every error reaches a handler.
+func handled(raw []byte, w io.Writer, v any) error {
+	if _, err := wire.Decode(raw); err != nil {
+		return err
+	}
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Good: error-free wire helpers need nothing.
+func errFree(opts []byte) {
+	wire.StampRecordRoute(opts, addr())
+}

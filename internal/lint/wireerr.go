@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WireErrAnalyzer enforces wire-error discipline: error returns from the
+// packet codec (tracenet/internal/wire) and from JSON encode/decode
+// (encoding/json — checkpoints, fault plans, topology files) must not be
+// discarded. A swallowed decode error turns a mangled datagram or a corrupt
+// checkpoint into silently wrong topology — the failure mode the resilience
+// layer exists to make explicit (Degraded/Confidence annotations), so every
+// one of these errors must reach a handler.
+var WireErrAnalyzer = &Analyzer{
+	Name: "wireerr",
+	Doc: "flag discarded error returns from internal/wire codecs and " +
+		"encoding/json encode/decode",
+	Run: runWireErr,
+}
+
+func runWireErr(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscardedCall(pass, s.X, info)
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, s.Call, info)
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, s.Call, info)
+			case *ast.AssignStmt:
+				checkBlankError(pass, s, info)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardedCall flags a call used as a bare statement when the callee is
+// error-disciplined and returns an error.
+func checkDiscardedCall(pass *Pass, e ast.Expr, info *types.Info) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(call, info)
+	if fn == nil || !disciplinedCallee(fn) {
+		return
+	}
+	if errIdx := errorResultIndex(fn); errIdx >= 0 {
+		pass.Reportf(call.Pos(),
+			"result of %s includes an error that is discarded; wire/JSON errors must be handled",
+			qualifiedName(fn))
+	}
+}
+
+// checkBlankError flags assignments that bind an error-disciplined callee's
+// error result to the blank identifier.
+func checkBlankError(pass *Pass, s *ast.AssignStmt, info *types.Info) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(call, info)
+	if fn == nil || !disciplinedCallee(fn) {
+		return
+	}
+	errIdx := errorResultIndex(fn)
+	if errIdx < 0 || errIdx >= len(s.Lhs) {
+		return
+	}
+	if id, ok := s.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(s.Pos(),
+			"error result of %s assigned to _; wire/JSON errors must be handled",
+			qualifiedName(fn))
+	}
+}
+
+// calleeFunc resolves the called function or method, or nil for builtins,
+// function values, and type conversions.
+func calleeFunc(call *ast.CallExpr, info *types.Info) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// disciplinedCallee reports whether fn belongs to an API whose errors must
+// never be discarded: the wire codec and encoding/json.
+func disciplinedCallee(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch {
+	case strings.HasSuffix(pkg.Path(), "internal/wire"):
+		return true
+	case pkg.Path() == "encoding/json":
+		return true
+	}
+	return false
+}
+
+// errorResultIndex returns the index of fn's final error result, or -1.
+func errorResultIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return -1
+	}
+	last := sig.Results().Len() - 1
+	if named, ok := sig.Results().At(last).Type().(*types.Named); ok &&
+		named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+		return last
+	}
+	return -1
+}
+
+func qualifiedName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())) + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

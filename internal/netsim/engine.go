@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"tracenet/internal/invariant"
 	"tracenet/internal/ipv4"
 	"tracenet/internal/wire"
 )
@@ -161,9 +162,14 @@ func (p *Port) Wait(ticks uint64) {
 }
 
 // inject walks one probe through the topology and produces its reply.
+// Called with n.mu held.
 func (n *Network) inject(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packet {
 	n.clock++
 	n.Probes++
+	invariant.Assertf(n.Replies <= n.Probes,
+		"netsim: replies %d outran probes %d", n.Replies, n.Probes)
+	invariant.Assertf(n.cfg.LossRate >= 0 && n.cfg.LossRate <= 1,
+		"netsim: LossRate %v escaped [0,1] after construction", n.cfg.LossRate)
 	reply, responder := n.walkWithResponder(pkt, raw, origin)
 	if reply == nil {
 		return nil
@@ -196,13 +202,15 @@ func (n *Network) inject(pkt *wire.Packet, raw []byte, origin *Router) *wire.Pac
 }
 
 // walkWithResponder is walk plus the identity of the router that generated
-// the reply.
+// the reply. Called with n.mu held.
 func (n *Network) walkWithResponder(pkt *wire.Packet, raw []byte, origin *Router) (*wire.Packet, *Router) {
 	n.responder = nil
 	reply := n.walk(pkt, raw, origin)
 	return reply, n.responder
 }
 
+// walk traces one probe hop by hop until it is answered, dropped, or runs
+// out of hops. Called with n.mu held.
 func (n *Network) walk(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packet {
 	dst := pkt.IP.Dst
 	ttl := int(pkt.IP.TTL)
@@ -285,7 +293,7 @@ const (
 
 // forwardStep decides cur's next hop for pkt. It returns the next router,
 // the interface the packet enters it through, and the outgoing interface on
-// cur (for record-route stamping).
+// cur (for record-route stamping). Called with n.mu held.
 func (n *Network) forwardStep(cur *Router, pkt *wire.Packet, in *Iface) (*Router, *Iface, *Iface, stepVerdict) {
 	dst := pkt.IP.Dst
 	s := n.rt.targetSubnet(dst)
@@ -319,6 +327,7 @@ func (n *Network) forwardStep(cur *Router, pkt *wire.Packet, in *Iface) (*Router
 }
 
 // directReply answers a probe delivered to iface on router r.
+// Called with n.mu held.
 func (n *Network) directReply(r *Router, iface, in *Iface, pkt *wire.Packet, raw []byte) *wire.Packet {
 	if iface.Subnet.Unresponsive {
 		// Firewalled subnet: probes into its range die silently, including
@@ -360,6 +369,7 @@ func (n *Network) directReply(r *Router, iface, in *Iface, pkt *wire.Packet, raw
 }
 
 // ttlExceeded answers a probe whose TTL expired at router r.
+// Called with n.mu held.
 func (n *Network) ttlExceeded(r *Router, in *Iface, pkt *wire.Packet, raw []byte) *wire.Packet {
 	if r.IndirectPolicy == PolicyNil || !r.IndirectProtos.Has(pkt.IP.Protocol) {
 		return nil
@@ -382,6 +392,7 @@ func (n *Network) ttlExceeded(r *Router, in *Iface, pkt *wire.Packet, raw []byte
 }
 
 // unreachable answers a probe that cannot be delivered past router r.
+// Called with n.mu held.
 func (n *Network) unreachable(r *Router, in *Iface, pkt *wire.Packet, raw []byte, code uint8) *wire.Packet {
 	if !r.EmitUnreachable {
 		return nil

@@ -306,6 +306,7 @@ func (n *Network) FaultStats() FaultStats {
 // --- engine-side queries (called with n.mu held) ---
 
 // subnetDown reports whether s is currently flapped.
+// Called with n.mu held.
 func (n *Network) subnetDown(s *Subnet) bool {
 	if n.faults == nil || s == nil {
 		return false
@@ -320,6 +321,7 @@ func (n *Network) subnetDown(s *Subnet) bool {
 }
 
 // blackholed reports whether r currently swallows every packet.
+// Called with n.mu held.
 func (n *Network) blackholed(r *Router) bool {
 	if n.faults == nil {
 		return false
@@ -334,7 +336,7 @@ func (n *Network) blackholed(r *Router) bool {
 }
 
 // stormAllows consults any active rate-storm bucket scoped to r; it reports
-// false when a storm suppresses the reply.
+// false when a storm suppresses the reply. Called with n.mu held.
 func (n *Network) stormAllows(r *Router) bool {
 	if n.faults == nil {
 		return true
@@ -362,6 +364,7 @@ func (n *Network) stormAllows(r *Router) bool {
 
 // churnSalt perturbs the ECMP hash while a churn fault is active: choices
 // stay stable within one churnPeriod epoch and reshuffle at epoch boundaries.
+// Called with n.mu held.
 func (n *Network) churnSalt() uint64 {
 	if n.faults == nil {
 		return 0
@@ -375,7 +378,7 @@ func (n *Network) churnSalt() uint64 {
 }
 
 // replyDelayed reports whether an otherwise-delivered reply misses the
-// prober's timeout window.
+// prober's timeout window. Called with n.mu held.
 func (n *Network) replyDelayed() bool {
 	if n.faults == nil {
 		return false
@@ -390,7 +393,7 @@ func (n *Network) replyDelayed() bool {
 }
 
 // duplicateChance reports whether a reply about to be lost gets a second
-// delivery chance from a duplication fault.
+// delivery chance from a duplication fault. Called with n.mu held.
 func (n *Network) duplicateChance() bool {
 	if n.faults == nil {
 		return false
@@ -406,7 +409,7 @@ func (n *Network) duplicateChance() bool {
 
 // mangleReply applies corruption and truncation faults to an encoded reply.
 // It may return the bytes modified in place, a shorter slice, or nil when
-// truncation consumed the whole datagram.
+// truncation consumed the whole datagram. Called with n.mu held.
 func (n *Network) mangleReply(raw []byte) []byte {
 	if n.faults == nil || len(raw) == 0 {
 		return raw

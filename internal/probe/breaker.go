@@ -3,6 +3,7 @@ package probe
 import (
 	"fmt"
 
+	"tracenet/internal/invariant"
 	"tracenet/internal/ipv4"
 )
 
@@ -96,6 +97,8 @@ func (b *breaker) allow(dst ipv4.Addr) bool {
 	}
 	switch z.state {
 	case breakerOpen:
+		invariant.Assertf(z.openedAt <= b.now,
+			"probe: breaker zone opened at %d, after the current tick %d", z.openedAt, b.now)
 		if b.now-z.openedAt >= b.cfg.Cooldown {
 			z.state = breakerHalfOpen
 			return true
@@ -124,6 +127,8 @@ func (b *breaker) record(dst ipv4.Addr, answered bool) (opened bool) {
 	}
 	z.fails++
 	if z.state == breakerHalfOpen || (z.state == breakerClosed && z.fails >= b.cfg.Threshold) {
+		invariant.Assertf(z.fails > 0,
+			"probe: breaker opening zone %v with no recorded failures", k)
 		z.state = breakerOpen
 		z.openedAt = b.now
 		return true

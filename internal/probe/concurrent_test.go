@@ -1,0 +1,183 @@
+package probe
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tracenet/internal/netsim"
+	"tracenet/internal/topo"
+)
+
+// These tests exercise the documented concurrency contract: a Prober is
+// single-goroutine, but several Probers (each with its own Port) may share
+// one Network. Run under -race they check the netsim locking discipline that
+// tracenetlint's lockcheck analyzer enforces statically; the determinism
+// test additionally checks that per-prober behaviour — retry counts, backoff
+// ticks, breaker transitions — is independent of goroutine interleaving.
+
+// workerOutcome is everything one concurrent prober observed.
+type workerOutcome struct {
+	kinds []Kind
+	stats Stats
+}
+
+// runBreakerWorker drives one prober through a fixed script against n: a few
+// answered probes, then enough silent ones to trip the zone breaker, with
+// exponential backoff and jitter active so Port.Wait runs concurrently with
+// other workers' Exchanges.
+func runBreakerWorker(n *netsim.Network, flow uint16) (workerOutcome, error) {
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		return workerOutcome{}, err
+	}
+	p := New(port, port.LocalAddr(), Options{
+		FlowID:  flow,
+		Retry:   &RetryPolicy{MaxRetries: 1, BackoffBase: 2, BackoffMax: 8, Jitter: 0.25},
+		Breaker: &BreakerConfig{}, // defaults: threshold 6, cooldown 64
+	})
+	var out workerOutcome
+	for i := 0; i < 3; i++ {
+		r, err := p.Direct(addr("10.0.2.3")) // answered: resets the zone
+		if err != nil {
+			return workerOutcome{}, err
+		}
+		out.kinds = append(out.kinds, r.Kind)
+	}
+	for i := 0; i < 8; i++ {
+		r, err := p.Direct(addr("10.0.2.200")) // silent: fails 1..6 open the breaker
+		if err != nil {
+			return workerOutcome{}, err
+		}
+		out.kinds = append(out.kinds, r.Kind)
+	}
+	out.stats = p.Stats()
+	return out, nil
+}
+
+func TestConcurrentProbersShareOneNetwork(t *testing.T) {
+	const workers = 8
+	n := netsim.New(topo.Figure3(), netsim.Config{})
+	outcomes := make([]workerOutcome, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i], errs[i] = runBreakerWorker(n, uint16(0x1000+i))
+		}(i)
+	}
+	wg.Wait()
+
+	var totalSent uint64
+	for i, out := range outcomes {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		for j, k := range out.kinds {
+			want := None
+			if j < 3 {
+				want = EchoReply
+			}
+			if k != want {
+				t.Errorf("worker %d probe %d: kind %v, want %v", i, j, k, want)
+			}
+		}
+		s := out.stats
+		if s.BreakerOpens != 1 || s.BreakerSkips != 2 {
+			t.Errorf("worker %d: breaker opens/skips = %d/%d, want 1/2", i, s.BreakerOpens, s.BreakerSkips)
+		}
+		if s.Retries == 0 || s.BackoffTicks == 0 {
+			t.Errorf("worker %d: retries %d, backoff %d ticks — retry policy never engaged", i, s.Retries, s.BackoffTicks)
+		}
+		totalSent += s.Sent
+	}
+	probes, replies := n.Counters()
+	if probes != totalSent {
+		t.Errorf("network counted %d probes, probers sent %d", probes, totalSent)
+	}
+	if replies > probes {
+		t.Errorf("replies %d outran probes %d", replies, probes)
+	}
+}
+
+// TestConcurrentProberDeterminism runs the same per-prober script once alone
+// on a private network and once racing 7 other workers on a shared one. A
+// prober's observable behaviour — outcome kinds, packets sent, retry and
+// backoff accounting, breaker transitions — must not depend on scheduling.
+func TestConcurrentProberDeterminism(t *testing.T) {
+	const workers = 8
+	baseline := make([]workerOutcome, workers)
+	for i := 0; i < workers; i++ {
+		out, err := runBreakerWorker(netsim.New(topo.Figure3(), netsim.Config{}), uint16(0x1000+i))
+		if err != nil {
+			t.Fatalf("baseline worker %d: %v", i, err)
+		}
+		baseline[i] = out
+	}
+
+	shared := netsim.New(topo.Figure3(), netsim.Config{})
+	outcomes := make([]workerOutcome, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i], errs[i] = runBreakerWorker(shared, uint16(0x1000+i))
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent worker %d: %v", i, errs[i])
+		}
+		if fmt.Sprint(outcomes[i].kinds) != fmt.Sprint(baseline[i].kinds) {
+			t.Errorf("worker %d: kinds %v under contention, %v alone", i, outcomes[i].kinds, baseline[i].kinds)
+		}
+		if outcomes[i].stats != baseline[i].stats {
+			t.Errorf("worker %d: stats %+v under contention, %+v alone", i, outcomes[i].stats, baseline[i].stats)
+		}
+	}
+}
+
+// TestConcurrentRetryPolicyJitterStreams checks that the jittered backoff
+// stream is per-prober state: probers with the same flow identifier draw
+// identical waits even when computed from racing goroutines.
+func TestConcurrentRetryPolicyJitterStreams(t *testing.T) {
+	const workers = 4
+	ticks := make([]uint64, workers)
+	var wg sync.WaitGroup
+	n := netsim.New(topo.Figure3(), netsim.Config{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			port, err := n.PortFor("vantage")
+			if err != nil {
+				return
+			}
+			p := New(port, port.LocalAddr(), Options{
+				FlowID: 0x2222, // same flow → same deterministic jitter stream
+				Retry:  &RetryPolicy{MaxRetries: 3, BackoffBase: 4, BackoffMax: 32, Jitter: 0.5},
+			})
+			for j := 0; j < 5; j++ {
+				if _, err := p.Direct(addr("10.0.2.200")); err != nil {
+					return
+				}
+			}
+			ticks[i] = p.Stats().BackoffTicks
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if ticks[i] != ticks[0] {
+			t.Errorf("worker %d backed off %d ticks, worker 0 %d — jitter stream leaked across probers", i, ticks[i], ticks[0])
+		}
+	}
+	if ticks[0] == 0 {
+		t.Fatal("backoff never engaged")
+	}
+}

@@ -71,7 +71,10 @@ func (m *ICMP) Unmarshal(b []byte) error {
 	} else {
 		m.ID, m.Seq = 0, 0
 	}
-	m.Payload = b[ICMPHeaderLen:]
+	// Copy the payload out of the decode buffer: a transport may reuse the
+	// buffer for the next datagram, and a retained alias would rewrite this
+	// message's embedded quote under us (enforced by tracenetlint's ipalias).
+	m.Payload = append([]byte(nil), b[ICMPHeaderLen:]...)
 	return nil
 }
 

@@ -53,6 +53,8 @@ func (u *UDP) Unmarshal(b []byte, srcAddr, dstAddr ipv4.Addr) error {
 	}
 	u.SrcPort = binary.BigEndian.Uint16(b[0:])
 	u.DstPort = binary.BigEndian.Uint16(b[2:])
-	u.Payload = b[UDPHeaderLen:length]
+	// Copy the payload out of the decode buffer (see ICMP.Unmarshal; enforced
+	// by tracenetlint's ipalias).
+	u.Payload = append([]byte(nil), b[UDPHeaderLen:length]...)
 	return nil
 }

@@ -1,14 +1,44 @@
 #!/bin/sh
-# Full verification gate: build, vet, and race-enabled tests.
+# Full verification gate: formatting, build, vet, the project's own static
+# analysis suite (tracenetlint), race-enabled tests with runtime invariants
+# compiled in, and a short fuzz smoke over the wire decoders.
 # Everything here must stay green; the chaos tests (internal/netsim/chaos_test.go)
 # are deterministic, so a failure is reproducible with the same seed.
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l . 2>/dev/null)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go build ./..."
 go build ./...
+
 echo "== go vet ./..."
 go vet ./...
-echo "== go test -race ./..."
-go test -race ./...
+
+echo "== go run ./cmd/tracenetlint ./..."
+go run ./cmd/tracenetlint ./...
+
+echo "== go test -race -tags invariants ./..."
+go test -race -tags invariants ./...
+
+echo "== fuzz smoke (internal/wire, 5s per target)"
+for target in FuzzUnmarshalIPv4 FuzzUnmarshalICMP FuzzUnmarshalUDP FuzzUnmarshalTCP; do
+    go test ./internal/wire/ -run '^$' -fuzz "^${target}\$" -fuzztime 5s
+done
+
+# govulncheck is not vendored; run it when the toolchain has it and the
+# vulnerability database is reachable, but never fail the gate offline.
+echo "== govulncheck (best effort)"
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./... || echo "govulncheck failed (offline or stale DB); continuing"
+else
+    echo "govulncheck not installed; skipping"
+fi
+
 echo "All checks passed."
