@@ -9,6 +9,7 @@
 package tracenet
 
 import (
+	"io"
 	"testing"
 
 	"tracenet/internal/core"
@@ -16,6 +17,7 @@ import (
 	"tracenet/internal/ipv4"
 	"tracenet/internal/netsim"
 	"tracenet/internal/probe"
+	"tracenet/internal/telemetry"
 	"tracenet/internal/topo"
 )
 
@@ -266,6 +268,58 @@ func BenchmarkProbeExchange(b *testing.B) {
 		b.Fatal(err)
 	}
 	pr := probe.New(port, port.LocalAddr(), probe.Options{NoRetry: true})
+	dst := ipv4.MustParseAddr("10.0.5.2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.Probe(dst, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fullTelemetry builds a Telemetry over clock with every surface attached and
+// writing to io.Discard, so benchmarks measure instrumentation cost without
+// I/O noise.
+func fullTelemetry(clock telemetry.Clock) *telemetry.Telemetry {
+	tel := telemetry.New(clock)
+	tel.Recorder = telemetry.NewFlightRecorder(telemetry.DefaultFlightRecorderSize)
+	tel.Tracer = telemetry.NewTracer(io.Discard)
+	return tel
+}
+
+// BenchmarkSingleTraceTelemetry is BenchmarkSingleTrace with the full
+// observability pipeline attached: the delta against the bare benchmark is
+// the enabled-telemetry overhead of a session.
+func BenchmarkSingleTraceTelemetry(b *testing.B) {
+	top := topo.Figure3()
+	dst := ipv4.MustParseAddr("10.0.5.2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := netsim.New(top, netsim.Config{})
+		port, err := n.PortFor("vantage")
+		if err != nil {
+			b.Fatal(err)
+		}
+		tel := fullTelemetry(n)
+		n.SetTelemetry(tel)
+		pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true, Telemetry: tel})
+		if _, err := core.Trace(pr, dst, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProbeExchangeTelemetry is BenchmarkProbeExchange with telemetry
+// enabled on the probe hot path.
+func BenchmarkProbeExchangeTelemetry(b *testing.B) {
+	n := netsim.New(topo.Figure3(), netsim.Config{})
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tel := fullTelemetry(n)
+	n.SetTelemetry(tel)
+	pr := probe.New(port, port.LocalAddr(), probe.Options{NoRetry: true, Telemetry: tel})
 	dst := ipv4.MustParseAddr("10.0.5.2")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

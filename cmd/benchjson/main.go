@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` text output into a stable JSON
+// document, so benchmark baselines can be committed and diffed
+// (scripts/bench.sh writes BENCH_<date>.json with it).
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -date 20260805 > BENCH_20260805.json
+//
+// The date is injected by the caller rather than read from the wall clock,
+// keeping the conversion itself a pure function of its input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Baseline is the document schema.
+type Baseline struct {
+	Date       string      `json:"date"`
+	Go         string      `json:"go"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	date := flag.String("date", "", "baseline date stamp (e.g. 20260805), supplied by the caller")
+	flag.Parse()
+	if err := convert(os.Stdin, os.Stdout, *date); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// convert parses go test -bench output from r and writes the JSON baseline to
+// w. Non-benchmark lines (pkg headers, PASS/ok trailers, test logs) are
+// skipped; header lines fill the document's environment fields.
+func convert(r io.Reader, w io.Writer, date string) error {
+	base := Baseline{Date: date, Go: runtime.Version(), Benchmarks: []Benchmark{}}
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			base.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			base.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			base.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			b.Package = pkg
+			base.Benchmarks = append(base.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines in input")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(base)
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   1000000   702 ns/op   120 B/op   3 allocs/op   12.0 probes/trace
+//
+// Fields after the iteration count come in value/unit pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: tracenet
+cpu: Example CPU @ 2.40GHz
+BenchmarkSingleTrace-8   	    9498	    126318 ns/op	        33.00 probes/trace	   65168 B/op	     589 allocs/op
+BenchmarkProbeExchange-8 	 1000000	       702 ns/op	     120 B/op	       3 allocs/op
+PASS
+ok  	tracenet	2.498s
+pkg: tracenet/internal/telemetry
+BenchmarkCounterAdd-8    	164363322	         7.3 ns/op
+PASS
+ok  	tracenet/internal/telemetry	1.9s
+`
+
+func TestConvert(t *testing.T) {
+	var out strings.Builder
+	if err := convert(strings.NewReader(sample), &out, "20260805"); err != nil {
+		t.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal([]byte(out.String()), &base); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if base.Date != "20260805" || base.GOOS != "linux" || base.CPU == "" {
+		t.Errorf("bad header: %+v", base)
+	}
+	if len(base.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(base.Benchmarks), base.Benchmarks)
+	}
+	st := base.Benchmarks[0]
+	if st.Name != "BenchmarkSingleTrace-8" || st.Package != "tracenet" || st.Iterations != 9498 {
+		t.Errorf("bad first benchmark: %+v", st)
+	}
+	if st.Metrics["ns/op"] != 126318 || st.Metrics["probes/trace"] != 33 || st.Metrics["allocs/op"] != 589 {
+		t.Errorf("bad metrics: %v", st.Metrics)
+	}
+	if ca := base.Benchmarks[2]; ca.Package != "tracenet/internal/telemetry" || ca.Metrics["ns/op"] != 7.3 {
+		t.Errorf("package header not tracked across ok-trailers: %+v", ca)
+	}
+}
+
+func TestConvertRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := convert(strings.NewReader("PASS\nok \ttracenet\t1s\n"), &out, "x"); err == nil {
+		t.Error("benchmark-free input accepted")
+	}
+}
+
+func TestParseBenchLineMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-8",                     // no fields
+		"BenchmarkX-8 notanint 5 ns/op",    // bad iteration count
+		"BenchmarkX-8 100 notafloat ns/op", // bad metric value
+		"BenchmarkX-8 100 5",               // dangling value without unit
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("malformed line parsed: %q", line)
+		}
+	}
+}

@@ -25,6 +25,22 @@
 //	-resume file      preload the session from a checkpoint and skip
 //	                  destinations it already completed
 //
+// Telemetry and profiling (see DESIGN.md §8):
+//
+//	-metrics-out file    write the metric registry at exit; Prometheus text
+//	                     exposition, or JSON when the path ends in .json
+//	-trace-out file      write the span hierarchy as Chrome trace-event JSON
+//	                     (load in chrome://tracing or Perfetto)
+//	-flight-recorder f   arm automatic flight-recorder dumps into f: every
+//	                     incident (breaker open, degraded subnet) appends the
+//	                     recent probe history
+//	-flight-size n       flight recorder capacity in events (default 256)
+//	-cpuprofile file     write a pprof CPU profile of the run
+//	-memprofile file     write a pprof heap profile at exit
+//
+// Timestamps in metrics and traces are netsim's virtual ticks, so two runs
+// with the same seed and flags produce byte-identical telemetry artifacts.
+//
 // Without destinations, the topology's suggested targets are traced.
 package main
 
@@ -33,12 +49,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"tracenet/internal/cli"
 	"tracenet/internal/core"
 	"tracenet/internal/ipv4"
 	"tracenet/internal/netsim"
 	"tracenet/internal/probe"
+	"tracenet/internal/telemetry"
 )
 
 // options carries every CLI knob into run, keeping the flag surface testable.
@@ -56,7 +76,21 @@ type options struct {
 	breaker bool
 	ckptOut string // write checkpoint here after the run
 	ckptIn  string // resume from this checkpoint
-	dests   []string
+
+	metricsOut string // metric registry exposition file (.json selects JSON)
+	traceOut   string // Chrome trace-event JSON file
+	flightOut  string // incident dump file; arms the flight recorder
+	flightSize int    // flight recorder capacity in events
+	cpuProfile string // pprof CPU profile file
+	memProfile string // pprof heap profile file
+
+	dests []string
+}
+
+// telemetryEnabled reports whether any observability flag asks for the
+// telemetry layer to be attached.
+func (o options) telemetryEnabled() bool {
+	return o.metricsOut != "" || o.traceOut != "" || o.flightOut != ""
 }
 
 func main() {
@@ -74,6 +108,12 @@ func main() {
 	flag.BoolVar(&o.breaker, "breaker", false, "circuit-break probing into persistently silent zones")
 	flag.StringVar(&o.ckptOut, "checkpoint", "", "write a session checkpoint to this file")
 	flag.StringVar(&o.ckptIn, "resume", "", "resume the session from this checkpoint file")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write metrics here at exit (Prometheus text, or JSON for .json paths)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON file of the run's spans")
+	flag.StringVar(&o.flightOut, "flight-recorder", "", "dump the flight recorder into this file on every incident")
+	flag.IntVar(&o.flightSize, "flight-size", telemetry.DefaultFlightRecorderSize, "flight recorder capacity in events")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 	o.dests = flag.Args()
 	if err := run(os.Stdout, o); err != nil {
@@ -83,6 +123,21 @@ func main() {
 }
 
 func run(w io.Writer, o options) error {
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	sc, err := cli.Load(o.topo, o.seed)
 	if err != nil {
 		return err
@@ -144,15 +199,45 @@ func run(w io.Writer, o options) error {
 		faulted = true
 	}
 
+	// The telemetry layer rides on the simulator's virtual clock, so every
+	// artifact it emits is reproducible from the seed.
+	var tel *telemetry.Telemetry
+	var traceFile, flightFile *os.File
+	if o.telemetryEnabled() {
+		tel = telemetry.New(net)
+		size := o.flightSize
+		if size <= 0 {
+			size = telemetry.DefaultFlightRecorderSize
+		}
+		tel.Recorder = telemetry.NewFlightRecorder(size)
+		if o.traceOut != "" {
+			traceFile, err = os.Create(o.traceOut)
+			if err != nil {
+				return err
+			}
+			defer traceFile.Close()
+			tel.Tracer = telemetry.NewTracer(traceFile)
+		}
+		if o.flightOut != "" {
+			flightFile, err = os.Create(o.flightOut)
+			if err != nil {
+				return err
+			}
+			defer flightFile.Close()
+			tel.SetIncidentWriter(flightFile)
+		}
+		net.SetTelemetry(tel)
+	}
+
 	port, err := net.PortFor(o.vantage)
 	if err != nil {
 		return err
 	}
 	var tr probe.Transport = port
 	if o.debug {
-		tr = probe.LoggingTransport{Inner: port, W: os.Stderr}
+		tr = probe.LoggingTransport{Inner: port, W: os.Stderr, Clock: net}
 	}
-	popts := probe.Options{Protocol: proto, Cache: true}
+	popts := probe.Options{Protocol: proto, Cache: true, Telemetry: tel}
 	if o.backoff {
 		popts.Retry = &probe.RetryPolicy{MaxRetries: 2, BackoffBase: 4, BackoffMax: 64, Jitter: 0.25}
 	}
@@ -237,6 +322,56 @@ func run(w io.Writer, o options) error {
 			return err
 		}
 		fmt.Fprintf(w, "checkpoint written to %s\n", o.ckptOut)
+	}
+
+	if tel != nil {
+		if tel.Tracer != nil {
+			if err := tel.Tracer.Close(); err != nil {
+				return err
+			}
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "trace written to %s (%d events)\n", o.traceOut, tel.Tracer.Events())
+		}
+		if o.metricsOut != "" {
+			f, err := os.Create(o.metricsOut)
+			if err != nil {
+				return err
+			}
+			write := tel.Registry.WritePrometheus
+			if strings.HasSuffix(o.metricsOut, ".json") {
+				write = tel.Registry.WriteJSON
+			}
+			if err := write(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "metrics written to %s\n", o.metricsOut)
+		}
+		if flightFile != nil {
+			if err := flightFile.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "flight recorder: %d incident dump(s) in %s\n", tel.Incidents(), o.flightOut)
+		}
+	}
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

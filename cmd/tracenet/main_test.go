@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -122,5 +124,166 @@ func TestRunCheckpointResume(t *testing.T) {
 	}
 	if !strings.Contains(out, "already completed in checkpoint, skipped") {
 		t.Fatalf("resumed run did not skip completed destination:\n%s", out)
+	}
+}
+
+// telemetryOpts returns a faultless figure-3 run writing every telemetry
+// artifact into dir.
+func telemetryOpts(dir string) options {
+	return options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1,
+		metricsOut: filepath.Join(dir, "metrics.prom"),
+		traceOut:   filepath.Join(dir, "trace.json"),
+	}
+}
+
+func TestRunTelemetryArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	o := telemetryOpts(dir)
+	var b strings.Builder
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"metrics written to", "trace written to"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+
+	metrics, err := os.ReadFile(o.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE tracenet_probe_sent_total counter",
+		`tracenet_probe_sent_total{proto="icmp"}`,
+		"tracenet_netsim_clock_ticks",
+		`tracenet_session_probes_total{phase="trace"}`,
+		`tracenet_probe_reply_ttl_bucket{proto="icmp",le="64"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics lack %q:\n%s", want, metrics)
+		}
+	}
+
+	trace, err := os.ReadFile(o.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(trace, &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range events {
+		seen[ev["name"].(string)] = true
+	}
+	for _, want := range []string{"trace", "hop", "position", "explore", "probe"} {
+		if !seen[want] {
+			t.Errorf("trace lacks %q spans; saw %v", want, seen)
+		}
+	}
+}
+
+func TestRunTelemetryJSONMetrics(t *testing.T) {
+	dir := t.TempDir()
+	o := telemetryOpts(dir)
+	o.metricsOut = filepath.Join(dir, "metrics.json")
+	var b strings.Builder
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("JSON metrics do not parse: %v", err)
+	}
+	if snap.Counters[`tracenet_probe_sent_total{proto="icmp"}`] == 0 {
+		t.Errorf("JSON metrics lack probe counter:\n%s", data)
+	}
+}
+
+// TestRunTelemetryDeterministic is the acceptance check for the determinism
+// contract: two runs with the same seed and flags produce byte-identical
+// metrics and trace artifacts.
+func TestRunTelemetryDeterministic(t *testing.T) {
+	artifacts := func(dir string) (metrics, trace []byte) {
+		t.Helper()
+		o := telemetryOpts(dir)
+		var b strings.Builder
+		if err := run(&b, o); err != nil {
+			t.Fatal(err)
+		}
+		metrics, err := os.ReadFile(o.metricsOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err = os.ReadFile(o.traceOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics, trace
+	}
+	m1, t1 := artifacts(t.TempDir())
+	m2, t2 := artifacts(t.TempDir())
+	if !bytes.Equal(m1, m2) {
+		t.Errorf("same-seed metrics differ:\n--- run 1\n%s\n--- run 2\n%s", m1, m2)
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("same-seed traces differ")
+	}
+}
+
+// TestRunFaultedDumpsFlightRecorder exercises the incident path end to end: a
+// chaotic run with the breaker armed must leave post-mortem dumps in the
+// -flight-recorder file.
+func TestRunFaultedDumpsFlightRecorder(t *testing.T) {
+	dir := t.TempDir()
+	o := options{topo: "internet2", proto: "icmp", maxTTL: 30, seed: 1,
+		chaos: 7, backoff: true, breaker: true,
+		flightOut: filepath.Join(dir, "flight.txt"),
+	}
+	var b strings.Builder
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "flight recorder:") {
+		t.Errorf("no flight recorder summary line:\n%s", b.String())
+	}
+	dump, err := os.ReadFile(o.flightOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dump), "flight recorder dump #1") {
+		t.Fatalf("faulted run produced no flight-recorder dump:\n%s", dump)
+	}
+	if !strings.Contains(string(dump), "icmp ") {
+		t.Errorf("dump holds no probe history:\n%s", dump)
+	}
+}
+
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	o := options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1,
+		cpuProfile: filepath.Join(dir, "cpu.pprof"),
+		memProfile: filepath.Join(dir, "mem.pprof"),
+	}
+	var b strings.Builder
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{o.cpuProfile, o.memProfile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"tracenet/internal/ipv4"
 	"tracenet/internal/probe"
+	"tracenet/internal/telemetry"
 )
 
 // Resolver runs pairwise Ally tests through an uncached prober.
@@ -28,17 +29,33 @@ type Resolver struct {
 	// Rounds is how many interleaved probe rounds a pair test uses.
 	// Default 3.
 	Rounds int
+
+	tel    *telemetry.Telemetry
+	cTests *telemetry.Counter
+	cHits  *telemetry.Counter
 }
 
 // NewResolver creates a resolver probing through tr from src. The prober is
 // created without a response cache: alias tests need fresh identifiers on
 // every probe.
 func NewResolver(tr probe.Transport, src ipv4.Addr) *Resolver {
-	return &Resolver{
+	r := &Resolver{
 		pr:     probe.New(tr, src, probe.Options{}),
 		Window: 64,
 		Rounds: 3,
 	}
+	r.SetTelemetry(nil)
+	return r
+}
+
+// SetTelemetry attaches the run's telemetry layer to the resolver and its
+// prober, so alias-resolution probing shares the session's metric registry,
+// trace, and flight recorder.
+func (r *Resolver) SetTelemetry(tel *telemetry.Telemetry) {
+	r.tel = tel
+	r.pr.SetTelemetry(tel)
+	r.cTests = tel.Counter("tracenet_alias_tests_total")
+	r.cHits = tel.Counter("tracenet_alias_aliases_total")
 }
 
 // Probes returns the number of packets spent so far.
@@ -53,6 +70,20 @@ func (r *Resolver) SameRouter(a, b ipv4.Addr) (bool, error) {
 	if a == b {
 		return true, nil
 	}
+	r.cTests.Inc()
+	span := r.tel.StartSpan("alias", "a", a.String(), "b", b.String())
+	scope := r.pr.Scope()
+	same, err := r.sameRouter(a, b)
+	scope.CountInto(span)
+	if same {
+		r.cHits.Inc()
+		span.Count("aliases", 1)
+	}
+	span.End()
+	return same, err
+}
+
+func (r *Resolver) sameRouter(a, b ipv4.Addr) (bool, error) {
 	var ids []uint16
 	for i := 0; i < r.Rounds; i++ {
 		for _, target := range []ipv4.Addr{a, b} {

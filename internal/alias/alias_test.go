@@ -7,6 +7,7 @@ import (
 	"tracenet/internal/ipv4"
 	"tracenet/internal/netsim"
 	"tracenet/internal/probe"
+	"tracenet/internal/telemetry"
 	"tracenet/internal/topo"
 )
 
@@ -180,5 +181,37 @@ func TestInterleavedWindow(t *testing.T) {
 		if got := interleaved(c.ids, c.window); got != c.want {
 			t.Errorf("interleaved(%v, %d) = %v, want %v", c.ids, c.window, got, c.want)
 		}
+	}
+}
+
+func TestResolverTelemetry(t *testing.T) {
+	n := netsim.New(topo.Figure3(), netsim.Config{})
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New(n)
+	r := NewResolver(port, port.LocalAddr())
+	r.SetTelemetry(tel)
+
+	same, err := r.SameRouter(addr("10.0.2.3"), addr("10.0.4.0")) // R4 aliases
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatal("known alias pair rejected")
+	}
+	if _, err := r.SameRouter(addr("10.0.2.3"), addr("10.0.2.2")); err != nil { // R4 vs R3
+		t.Fatal(err)
+	}
+	if got := tel.Counter("tracenet_alias_tests_total").Value(); got != 2 {
+		t.Errorf("alias tests counter = %d, want 2", got)
+	}
+	if got := tel.Counter("tracenet_alias_aliases_total").Value(); got != 1 {
+		t.Errorf("alias hits counter = %d, want 1", got)
+	}
+	// The resolver's prober shares the pipeline: its probes are counted.
+	if got := tel.Counter("tracenet_probe_sent_total", "proto", "icmp").Value(); got == 0 {
+		t.Error("resolver probing left no probe counters")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 
 	"tracenet/internal/invariant"
 	"tracenet/internal/ipv4"
@@ -183,6 +184,13 @@ func NewSessionFromCheckpoint(pr *probe.Prober, cfg Config, cp *Checkpoint) (*Se
 		}
 		s.done = append(s.done, addr)
 	}
+	// Resumed state is visible in telemetry: restored subnets count under
+	// their own metric (not tracenet_session_subnets_total, which counts
+	// subnets grown in this run), and the resume point lands in the trace.
+	s.tel.Counter("tracenet_session_restored_subnets_total").Add(uint64(len(cp.Subnets)))
+	s.tel.Instant("resume",
+		"subnets", strconv.Itoa(len(cp.Subnets)),
+		"done", strconv.Itoa(len(cp.Done)))
 	return s, nil
 }
 

@@ -2,9 +2,12 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"strconv"
 
 	"tracenet/internal/ipv4"
 	"tracenet/internal/probe"
+	"tracenet/internal/telemetry"
 )
 
 // Session collects subnets along paths from one vantage point, accumulating
@@ -26,15 +29,61 @@ type Session struct {
 	collected map[ipv4.Addr]*Subnet
 	subnets   []*Subnet
 	done      []ipv4.Addr
+
+	// Telemetry handles, resolved once from the prober's layer and nil-safe,
+	// so an uninstrumented session pays only nil checks. Phase accounting
+	// (trace/position/explore probes) comes from probe.Scope deltas, which
+	// also ride on the spans as scoped counters.
+	tel             *telemetry.Telemetry
+	cTraces         *telemetry.Counter
+	cHops           *telemetry.Counter
+	cSubnets        *telemetry.Counter
+	cRevisits       *telemetry.Counter
+	cDegraded       *telemetry.Counter
+	cRecovered      *telemetry.Counter
+	cTraceProbes    *telemetry.Counter
+	cPositionProbes *telemetry.Counter
+	cExploreProbes  *telemetry.Counter
+	hSubnetBits     *telemetry.Histogram
+	hSubnetProbes   *telemetry.Histogram
 }
 
-// NewSession creates a tracenet session over the given prober.
+// SubnetPrefixBuckets are the subnet-size histogram bounds in prefix bits:
+// /31 point-to-point links dominate core topologies, so the interesting mass
+// sits at the top of the range.
+var SubnetPrefixBuckets = []uint64{24, 26, 28, 29, 30, 31, 32}
+
+// SubnetProbeBuckets bound the per-subnet probe-cost histogram (§3.6).
+var SubnetProbeBuckets = []uint64{4, 8, 16, 32, 64, 128, 256, 512}
+
+// NewSession creates a tracenet session over the given prober, inheriting
+// the prober's telemetry layer (if any).
 func NewSession(pr *probe.Prober, cfg Config) *Session {
-	return &Session{
+	s := &Session{
 		pr:        pr,
 		cfg:       cfg.withDefaults(),
 		collected: make(map[ipv4.Addr]*Subnet),
 	}
+	s.bindTelemetry()
+	return s
+}
+
+// bindTelemetry resolves the session's metric handles from the prober's
+// telemetry layer. All handles are inert when the prober runs bare.
+func (s *Session) bindTelemetry() {
+	tel := s.pr.Telemetry()
+	s.tel = tel
+	s.cTraces = tel.Counter("tracenet_session_traces_total")
+	s.cHops = tel.Counter("tracenet_session_hops_total")
+	s.cSubnets = tel.Counter("tracenet_session_subnets_total")
+	s.cRevisits = tel.Counter("tracenet_session_revisits_total")
+	s.cDegraded = tel.Counter("tracenet_session_degraded_subnets_total")
+	s.cRecovered = tel.Counter("tracenet_session_recovered_errors_total")
+	s.cTraceProbes = tel.Counter("tracenet_session_probes_total", "phase", "trace")
+	s.cPositionProbes = tel.Counter("tracenet_session_probes_total", "phase", "position")
+	s.cExploreProbes = tel.Counter("tracenet_session_probes_total", "phase", "explore")
+	s.hSubnetBits = tel.Histogram("tracenet_session_subnet_prefix_bits", SubnetPrefixBuckets)
+	s.hSubnetProbes = tel.Histogram("tracenet_session_subnet_probes", SubnetProbeBuckets)
 }
 
 // Subnets returns every distinct subnet collected so far, in discovery order.
@@ -68,21 +117,14 @@ func (s *Session) StopStats() map[StopReason]int {
 	return out
 }
 
+// StopStatsOrdered returns the stop-reason histogram in the canonical
+// deterministic order (see OrderedStopCounts).
+func (s *Session) StopStatsOrdered() []StopCount {
+	return OrderedStopCounts(s.StopStats())
+}
+
 // Prober exposes the session's prober (for accounting).
 func (s *Session) Prober() *probe.Prober { return s.pr }
-
-// faultDelta snapshots the prober's definite-fault counters so a hop's work
-// can be attributed its own fault events.
-type faultDelta struct {
-	pr     *probe.Prober
-	events uint64
-}
-
-func (s *Session) faultMark() faultDelta {
-	return faultDelta{pr: s.pr, events: s.pr.Stats().FaultEvents()}
-}
-
-func (d faultDelta) events2() uint64 { return d.pr.Stats().FaultEvents() - d.events }
 
 // recoverable reports whether err is a fault the session absorbs (treating
 // the probe as silent) rather than an abort condition. Budget exhaustion and
@@ -96,7 +138,12 @@ func recoverable(err error) bool {
 // aborts: faulty probes read as silence, affected hops and subnets are
 // annotated as degraded, and the partial result stays usable.
 func (s *Session) Trace(dst ipv4.Addr) (*Result, error) {
+	s.cTraces.Inc()
+	span := s.tel.StartSpan("trace", "dst", dst.String())
+	scope := s.pr.Scope()
 	res, err := s.trace(dst)
+	scope.CountInto(span)
+	span.End()
 	if err == nil {
 		s.done = append(s.done, dst)
 	}
@@ -110,61 +157,82 @@ func (s *Session) trace(dst ipv4.Addr) (*Result, error) {
 	seen := map[ipv4.Addr]bool{} // loop guard on trace-collection addresses
 
 	for d := 1; d <= s.cfg.MaxTTL; d++ {
-		// Trace collection: one indirect probe at TTL d.
-		before := s.pr.Stats().Sent
-		fd := s.faultMark()
-		recoveredHere := false
-		r, err := s.pr.Probe(dst, d)
-		if err != nil {
-			if !recoverable(err) {
-				return res, err
-			}
-			// Faulty transport: absorb as a silent hop and keep going.
-			res.Recovered++
-			recoveredHere = true
-			r = probe.Result{}
-		}
-		res.TraceProbes += s.pr.Stats().Sent - before
-		hop := Hop{TTL: d, Addr: r.From, Kind: r.Kind, Degraded: fd.events2() > 0 || recoveredHere}
-
-		switch {
-		case r.Expired() || r.Alive():
-			v := r.From
-			if r.Alive() && v != dst {
-				// An alive reply from a different address (e.g. a default-
-				// interface router answering early) still identifies v.
-				v = r.From
-			}
-			if seen[v] && !r.Alive() {
-				// Routing loop: the same interface answered two TTLs.
-				res.Hops = append(res.Hops, hop)
-				return res, nil
-			}
-			seen[v] = true
-			if err := s.exploreHop(&hop, u, v, d, res); err != nil {
-				return res, err
-			}
-			u = v
-			gaps = 0
-		case r.Kind == probe.HostUnreachable:
-			res.Hops = append(res.Hops, hop)
-			return res, nil
-		default: // silent hop
-			u = ipv4.Zero
-			gaps++
-			if gaps >= s.cfg.MaxConsecutiveGaps {
-				res.Hops = append(res.Hops, hop)
-				return res, nil
-			}
-		}
-
-		res.Hops = append(res.Hops, hop)
-		if r.Alive() {
-			res.Reached = true
-			return res, nil
+		hopScope := s.pr.Scope()
+		hopSpan := s.tel.StartSpan("hop", "ttl", strconv.Itoa(d))
+		stop, err := s.traceHop(dst, d, &u, &gaps, seen, res)
+		s.cHops.Inc()
+		hopScope.CountInto(hopSpan)
+		hopSpan.End()
+		if err != nil || stop {
+			return res, err
 		}
 	}
 	return res, nil
+}
+
+// traceHop runs one TTL of the trace: the trace-collection probe plus, when
+// it identified an interface, the subnet exploration at that hop. It reports
+// stop = true when the trace is complete (destination reached, unreachable,
+// loop, or gap limit).
+func (s *Session) traceHop(dst ipv4.Addr, d int, u *ipv4.Addr, gaps *int,
+	seen map[ipv4.Addr]bool, res *Result) (stop bool, err error) {
+	// Trace collection: one indirect probe at TTL d.
+	tc := s.pr.Scope()
+	recoveredHere := false
+	r, err := s.pr.Probe(dst, d)
+	if err != nil {
+		if !recoverable(err) {
+			return true, err
+		}
+		// Faulty transport: absorb as a silent hop and keep going.
+		res.Recovered++
+		s.cRecovered.Inc()
+		recoveredHere = true
+		r = probe.Result{}
+	}
+	tcd := tc.Delta()
+	res.TraceProbes += tcd.Sent
+	s.cTraceProbes.Add(tcd.Sent)
+	hop := Hop{TTL: d, Addr: r.From, Kind: r.Kind,
+		Degraded: tcd.FaultEvents() > 0 || recoveredHere}
+
+	switch {
+	case r.Expired() || r.Alive():
+		v := r.From
+		if r.Alive() && v != dst {
+			// An alive reply from a different address (e.g. a default-
+			// interface router answering early) still identifies v.
+			v = r.From
+		}
+		if seen[v] && !r.Alive() {
+			// Routing loop: the same interface answered two TTLs.
+			res.Hops = append(res.Hops, hop)
+			return true, nil
+		}
+		seen[v] = true
+		if err := s.exploreHop(&hop, *u, v, d, res); err != nil {
+			return true, err
+		}
+		*u = v
+		*gaps = 0
+	case r.Kind == probe.HostUnreachable:
+		res.Hops = append(res.Hops, hop)
+		return true, nil
+	default: // silent hop
+		*u = ipv4.Zero
+		*gaps = *gaps + 1
+		if *gaps >= s.cfg.MaxConsecutiveGaps {
+			res.Hops = append(res.Hops, hop)
+			return true, nil
+		}
+	}
+
+	res.Hops = append(res.Hops, hop)
+	if r.Alive() {
+		res.Reached = true
+		return true, nil
+	}
+	return false, nil
 }
 
 // exploreHop positions and grows the subnet for the interface v obtained at
@@ -174,6 +242,7 @@ func (s *Session) exploreHop(hop *Hop, u, v ipv4.Addr, d int, res *Result) error
 		if known, ok := s.collected[v]; ok {
 			hop.Subnet = known
 			hop.Revisited = true
+			s.cRevisits.Inc()
 			if !containsSubnet(res.Subnets, known) {
 				res.Subnets = append(res.Subnets, known)
 			}
@@ -181,15 +250,24 @@ func (s *Session) exploreHop(hop *Hop, u, v ipv4.Addr, d int, res *Result) error
 		}
 	}
 
-	st0 := s.pr.Stats()
+	// One scope brackets both phases: its delta is the subnet's own share of
+	// answered/silent/faulted probes, from which Confidence derives.
+	work := s.pr.Scope()
+
+	ps := s.pr.Scope()
+	posSpan := s.tel.StartSpan("position", "pivot", v.String())
 	pos, err := findPosition(s.pr, u, v, d, s.cfg)
-	positionCost := s.pr.Stats().Sent - st0.Sent
+	ps.CountInto(posSpan)
+	posSpan.End()
+	positionCost := ps.Delta().Sent
 	res.PositionProbes += positionCost
+	s.cPositionProbes.Add(positionCost)
 	if err != nil {
 		if recoverable(err) {
 			// Positioning died on a faulty transport: record the hop bare
 			// and degraded instead of aborting the session.
 			res.Recovered++
+			s.cRecovered.Inc()
 			hop.Degraded = true
 			return nil
 		}
@@ -199,13 +277,18 @@ func (s *Session) exploreHop(hop *Hop, u, v ipv4.Addr, d int, res *Result) error
 		return nil // v unpositionable: hop recorded without a subnet
 	}
 
-	st1 := s.pr.Stats()
+	es := s.pr.Scope()
+	expSpan := s.tel.StartSpan("explore", "pivot", v.String())
 	sub, err := explore(s.pr, pos, u, s.cfg)
-	exploreCost := s.pr.Stats().Sent - st1.Sent
+	es.CountInto(expSpan)
+	expSpan.End()
+	exploreCost := es.Delta().Sent
 	res.ExploreProbes += exploreCost
+	s.cExploreProbes.Add(exploreCost)
 	if err != nil {
 		if recoverable(err) {
 			res.Recovered++
+			s.cRecovered.Inc()
 			hop.Degraded = true
 			return nil
 		}
@@ -215,10 +298,10 @@ func (s *Session) exploreHop(hop *Hop, u, v ipv4.Addr, d int, res *Result) error
 
 	// Degradation annotation: the subnet's own share of answered probes and
 	// any definite fault evidence observed while positioning/exploring it.
-	st2 := s.pr.Stats()
-	answered := st2.Answered - st0.Answered
-	silent := st2.Timeouts - st0.Timeouts
-	faults := st2.FaultEvents() - st0.FaultEvents()
+	wd := work.Delta()
+	answered := wd.Answered
+	silent := wd.Timeouts
+	faults := wd.FaultEvents()
 	if logical := answered + silent + faults; logical > 0 {
 		sub.Confidence = float64(answered) / float64(logical)
 	} else {
@@ -231,6 +314,16 @@ func (s *Session) exploreHop(hop *Hop, u, v ipv4.Addr, d int, res *Result) error
 
 	hop.Subnet = sub
 	s.subnets = append(s.subnets, sub)
+	s.cSubnets.Inc()
+	s.hSubnetBits.Observe(uint64(sub.Prefix.Bits()))
+	s.hSubnetProbes.Observe(sub.Probes)
+	if sub.Degraded {
+		s.cDegraded.Inc()
+		// A degraded subnet is the session-level degradation signal: dump
+		// the probe history that led to it while the flight recorder still
+		// holds it.
+		s.tel.Incident(fmt.Sprintf("subnet-degraded %v conf=%.2f", sub.Prefix, sub.Confidence))
+	}
 	res.Subnets = append(res.Subnets, sub)
 	for _, a := range sub.Addrs {
 		if _, dup := s.collected[a]; !dup {

@@ -41,6 +41,46 @@ const (
 	StopMinPrefix StopReason = "min-prefix"
 )
 
+// StopReasons is the canonical presentation order of the stop reasons:
+// heuristics in paper order, then the growth-limit rules. Every consumer
+// that renders a stop-reason histogram iterates this list (never the map),
+// so reports and telemetry stay deterministically ordered.
+var StopReasons = []StopReason{
+	StopH2, StopH3, StopH4, StopH6, StopH7, StopH8, StopHalfFill, StopMinPrefix,
+}
+
+// StopCount pairs a stop reason with its occurrence count.
+type StopCount struct {
+	Reason StopReason
+	Count  int
+}
+
+// OrderedStopCounts flattens a stop-reason histogram into deterministic
+// order: the canonical StopReasons first, then any reasons outside the
+// canonical set (e.g. from a checkpoint written by a newer collector) sorted
+// by name. Zero-count and still-growing (StopNone) entries are dropped.
+func OrderedStopCounts(stats map[StopReason]int) []StopCount {
+	var out []StopCount
+	known := map[StopReason]bool{StopNone: true}
+	for _, r := range StopReasons {
+		known[r] = true
+		if c := stats[r]; c > 0 {
+			out = append(out, StopCount{r, c})
+		}
+	}
+	var rest []StopReason
+	for r := range stats {
+		if !known[r] && stats[r] > 0 {
+			rest = append(rest, r)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	for _, r := range rest {
+		out = append(out, StopCount{r, stats[r]})
+	}
+	return out
+}
+
 // Subnet is one collected ("observed") subnet.
 type Subnet struct {
 	// Prefix is the observed subnet prefix after growth and H9 reduction.

@@ -111,13 +111,16 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full tracenetlint suite with its per-package scoping
 // configured. The determinism and map-order analyzers apply only to the
-// measurement-critical packages (netsim, core, probe): elsewhere wall-clock
-// time and iteration order are legitimate (e.g. CLI progress output).
+// measurement-critical packages (netsim, core, probe, telemetry): elsewhere
+// wall-clock time and iteration order are legitimate (e.g. CLI progress
+// output). Telemetry counts as measurement-critical by design: byte-identical
+// same-seed output is part of its contract, so it gets the same policing.
 func All() []*Analyzer {
 	measurement := matchPaths(
 		"tracenet/internal/netsim",
 		"tracenet/internal/core",
 		"tracenet/internal/probe",
+		"tracenet/internal/telemetry",
 	)
 	det := *DeterminismAnalyzer
 	det.Match = measurement

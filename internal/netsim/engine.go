@@ -7,6 +7,7 @@ import (
 
 	"tracenet/internal/invariant"
 	"tracenet/internal/ipv4"
+	"tracenet/internal/telemetry"
 	"tracenet/internal/wire"
 )
 
@@ -65,6 +66,14 @@ type Network struct {
 	// Use Counters for a race-free snapshot when the Network is shared.
 	Probes  uint64
 	Replies uint64
+
+	// Telemetry mirror of the engine counters; handles are resolved once in
+	// SetTelemetry and nil-safe, so the uninstrumented path stays free.
+	tel      *telemetry.Telemetry
+	cProbes  *telemetry.Counter
+	cReplies *telemetry.Counter
+	gClock   *telemetry.Gauge
+	cFault   [8]*telemetry.Counter // indexed by FaultKind
 }
 
 // New creates a network simulation over topo. It panics if cfg is out of
@@ -101,6 +110,44 @@ func (n *Network) Counters() (probes, replies uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.Probes, n.Replies
+}
+
+// Ticks returns the current virtual clock, making the Network the natural
+// telemetry.Clock for a simulated run: every telemetry timestamp is then an
+// injection tick, which is what makes same-seed telemetry byte-identical.
+func (n *Network) Ticks() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.clock
+}
+
+// SetTelemetry attaches (or, with nil, detaches) the run's telemetry layer,
+// resolving the engine's metric handles once so the injection path never
+// touches the registry. Inside the engine everything runs with n.mu held, so
+// engine code must record through RecordAt with n.clock — never through
+// methods that re-read the clock via Ticks, which would deadlock.
+func (n *Network) SetTelemetry(tel *telemetry.Telemetry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tel = tel
+	n.cProbes = tel.Counter("tracenet_netsim_probes_total")
+	n.cReplies = tel.Counter("tracenet_netsim_replies_total")
+	n.gClock = tel.Gauge("tracenet_netsim_clock_ticks")
+	for _, k := range []FaultKind{FaultLinkFlap, FaultBlackhole, FaultCorrupt,
+		FaultTruncate, FaultDelay, FaultDuplicate, FaultRateStorm} {
+		n.cFault[k] = tel.Counter("tracenet_netsim_fault_events_total", "kind", k.String())
+	}
+}
+
+// observeFault mirrors one inflicted fault onto the telemetry layer: the
+// per-kind fault counter and a flight-recorder entry at the current clock.
+// Called with n.mu held.
+func (n *Network) observeFault(kind FaultKind, msg string) {
+	if n.tel == nil {
+		return
+	}
+	n.cFault[kind].Inc()
+	n.tel.RecordAt(n.clock, "fault", msg)
 }
 
 // Port binds a vantage host to the network, exposing the probe.Transport
@@ -158,6 +205,7 @@ func (p *Port) Exchange(raw []byte) ([]byte, error) {
 func (p *Port) Wait(ticks uint64) {
 	p.net.mu.Lock()
 	p.net.clock += ticks
+	p.net.gClock.Set(int64(p.net.clock))
 	p.net.mu.Unlock()
 }
 
@@ -166,6 +214,8 @@ func (p *Port) Wait(ticks uint64) {
 func (n *Network) inject(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packet {
 	n.clock++
 	n.Probes++
+	n.cProbes.Inc()
+	n.gClock.Set(int64(n.clock))
 	invariant.Assertf(n.Replies <= n.Probes,
 		"netsim: replies %d outran probes %d", n.Replies, n.Probes)
 	invariant.Assertf(n.cfg.LossRate >= 0 && n.cfg.LossRate <= 1,
@@ -198,6 +248,7 @@ func (n *Network) inject(pkt *wire.Packet, raw []byte, origin *Router) *wire.Pac
 		return nil
 	}
 	n.Replies++
+	n.cReplies.Inc()
 	return reply
 }
 

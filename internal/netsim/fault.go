@@ -314,6 +314,7 @@ func (n *Network) subnetDown(s *Subnet) bool {
 	for _, f := range n.faults.flaps {
 		if f.target == s && f.active(n.clock) {
 			n.faults.stats.FlapDrops++
+			n.observeFault(FaultLinkFlap, "link-flap drop subnet="+s.Prefix.String())
 			return true
 		}
 	}
@@ -329,6 +330,7 @@ func (n *Network) blackholed(r *Router) bool {
 	for _, f := range n.faults.holes {
 		if (f.target == nil || f.target == r) && f.active(n.clock) {
 			n.faults.stats.BlackholeDrops++
+			n.observeFault(FaultBlackhole, "blackhole drop router="+r.Name)
 			return true
 		}
 	}
@@ -356,6 +358,7 @@ func (n *Network) stormAllows(r *Router) bool {
 		}
 		if !b.Allow(n.clock) {
 			n.faults.stats.StormDrops++
+			n.observeFault(FaultRateStorm, "rate-storm drop router="+r.Name)
 			return false
 		}
 	}
@@ -386,6 +389,7 @@ func (n *Network) replyDelayed() bool {
 	for _, f := range n.faults.mangles {
 		if f.Kind == FaultDelay && f.active(n.clock) && n.faults.rng.Float64() < f.Prob {
 			n.faults.stats.Delayed++
+			n.observeFault(FaultDelay, "delayed reply (seen as silence)")
 			return true
 		}
 	}
@@ -401,6 +405,7 @@ func (n *Network) duplicateChance() bool {
 	for _, f := range n.faults.mangles {
 		if f.Kind == FaultDuplicate && f.active(n.clock) && n.faults.rng.Float64() < f.Prob {
 			n.faults.stats.Duplicated++
+			n.observeFault(FaultDuplicate, "duplicated reply")
 			return true
 		}
 	}
@@ -428,11 +433,13 @@ func (n *Network) mangleReply(raw []byte) []byte {
 					raw[n.faults.rng.Intn(len(raw))] ^= byte(1 + n.faults.rng.Intn(255))
 				}
 				n.faults.stats.Corrupted++
+				n.observeFault(FaultCorrupt, "corrupted reply")
 			}
 		case FaultTruncate:
 			if n.faults.rng.Float64() < f.Prob {
 				raw = raw[:n.faults.rng.Intn(len(raw))]
 				n.faults.stats.Truncated++
+				n.observeFault(FaultTruncate, "truncated reply")
 				if len(raw) == 0 {
 					return nil
 				}

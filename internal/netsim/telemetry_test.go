@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"tracenet/internal/telemetry"
+	"tracenet/internal/wire"
+)
+
+func telemetryNetwork(t *testing.T, cfg Config) (*Network, *Port, *telemetry.Telemetry) {
+	t.Helper()
+	n := New(fig3(t), cfg)
+	tel := telemetry.New(n)
+	tel.Recorder = telemetry.NewFlightRecorder(telemetry.DefaultFlightRecorderSize)
+	n.SetTelemetry(tel)
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, port, tel
+}
+
+func exchangeEcho(t *testing.T, port *Port, dst string, ttl uint8) []byte {
+	t.Helper()
+	pkt := wire.NewEchoRequest(port.LocalAddr(), addr(dst), ttl, 0x7a7a, 1)
+	raw, err := pkt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := port.Exchange(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+func TestNetworkTelemetryCounters(t *testing.T) {
+	n, port, tel := telemetryNetwork(t, Config{})
+	exchangeEcho(t, port, "10.0.2.3", 64)   // answered
+	exchangeEcho(t, port, "10.0.2.200", 64) // silent (unassigned)
+	probes, replies := n.Counters()
+	if got := tel.Counter("tracenet_netsim_probes_total").Value(); got != probes {
+		t.Errorf("probes counter = %d, want %d", got, probes)
+	}
+	if got := tel.Counter("tracenet_netsim_replies_total").Value(); got != replies {
+		t.Errorf("replies counter = %d, want %d", got, replies)
+	}
+	if probes != 2 || replies != 1 {
+		t.Fatalf("unexpected engine counters: probes=%d replies=%d", probes, replies)
+	}
+	if got := tel.Gauge("tracenet_netsim_clock_ticks").Value(); uint64(got) != n.Ticks() {
+		t.Errorf("clock gauge = %d, want %d", got, n.Ticks())
+	}
+	port.Wait(5)
+	if got := tel.Gauge("tracenet_netsim_clock_ticks").Value(); uint64(got) != n.Ticks() {
+		t.Errorf("clock gauge after Wait = %d, want %d", got, n.Ticks())
+	}
+}
+
+func TestNetworkTicksIsVirtualClock(t *testing.T) {
+	n, port, _ := telemetryNetwork(t, Config{})
+	before := n.Ticks()
+	exchangeEcho(t, port, "10.0.2.3", 64)
+	if n.Ticks() != before+1 {
+		t.Errorf("Ticks after one injection = %d, want %d", n.Ticks(), before+1)
+	}
+	port.Wait(7)
+	if n.Ticks() != before+8 {
+		t.Errorf("Ticks after Wait(7) = %d, want %d", n.Ticks(), before+8)
+	}
+}
+
+func TestFaultEventsReachTelemetry(t *testing.T) {
+	n, port, tel := telemetryNetwork(t, Config{})
+	if err := n.InstallFaults(FaultPlan{Faults: []Fault{
+		{Kind: FaultCorrupt, Prob: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	reply := exchangeEcho(t, port, "10.0.2.3", 64)
+	if reply == nil {
+		t.Fatal("corrupt fault swallowed the reply entirely")
+	}
+	if n.FaultStats().Corrupted == 0 {
+		t.Fatal("fault plan inflicted nothing; telemetry path not exercised")
+	}
+	if got := tel.Counter("tracenet_netsim_fault_events_total", "kind", "corrupt").Value(); got != n.FaultStats().Corrupted {
+		t.Errorf("corrupt fault counter = %d, want %d", got, n.FaultStats().Corrupted)
+	}
+	snap := tel.Recorder.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("fault left no flight-recorder event")
+	}
+	var found bool
+	for _, ev := range snap {
+		if ev.Kind == "fault" && strings.Contains(ev.Msg, "corrupted reply") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no corrupted-reply fault event in recorder: %v", snap)
+	}
+}
+
+func TestBlackholeFaultRecorded(t *testing.T) {
+	n, port, tel := telemetryNetwork(t, Config{})
+	if err := n.InstallFaults(FaultPlan{Faults: []Fault{
+		{Kind: FaultBlackhole, Router: "R1"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if reply := exchangeEcho(t, port, "10.0.5.2", 64); reply != nil {
+		t.Fatal("blackholed path still answered")
+	}
+	if got := tel.Counter("tracenet_netsim_fault_events_total", "kind", "blackhole").Value(); got == 0 {
+		t.Error("blackhole drop not counted")
+	}
+	snap := tel.Recorder.Snapshot()
+	var found bool
+	for _, ev := range snap {
+		if ev.Kind == "fault" && strings.Contains(ev.Msg, "blackhole drop router=R1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no blackhole fault event in recorder: %v", snap)
+	}
+}

@@ -1,0 +1,135 @@
+package probe
+
+import (
+	"fmt"
+	"strings"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/wire"
+)
+
+// ErrKind classifies how a probe exchange failed to produce a usable reply —
+// the distinction the old transcript log collapsed into a raw err string.
+// Timeouts are ordinary measurement outcomes (silent-by-design address
+// space accumulates them); transport and decode failures are fault evidence.
+type ErrKind uint8
+
+const (
+	// ErrNone: the exchange produced a decodable reply.
+	ErrNone ErrKind = iota
+	// ErrTimeout: the network stayed silent within the timeout window.
+	ErrTimeout
+	// ErrTransportFault: the Transport itself failed (socket error, netsim
+	// refusing an injection) — the condition ErrTransport wraps.
+	ErrTransportFault
+	// ErrDecode: a reply arrived but did not parse (mangled datagram).
+	ErrDecode
+)
+
+func (k ErrKind) String() string {
+	switch k {
+	case ErrNone:
+		return "none"
+	case ErrTimeout:
+		return "timeout"
+	case ErrTransportFault:
+		return "transport"
+	case ErrDecode:
+		return "decode"
+	}
+	return fmt.Sprintf("errkind(%d)", uint8(k))
+}
+
+// ProbeEvent is one probe exchange on tracenet's telemetry event stream: the
+// decoded request, the classified outcome, and — when a reply arrived — the
+// responder's address, the reply datagram's remaining TTL, and its IP
+// identifier. The flight recorder retains these, LoggingTransport renders
+// them live, and golden tests replay them.
+type ProbeEvent struct {
+	Ticks    uint64
+	Proto    string
+	Dst      ipv4.Addr
+	TTL      uint8
+	Err      ErrKind
+	Outcome  string // reply classification; "" when Err != ErrNone
+	From     ipv4.Addr
+	ReplyTTL uint8
+	IPID     uint16
+	// RawLen is the undecodable payload size for ErrDecode events.
+	RawLen int
+}
+
+// String renders the event as the one-line transcript form:
+//
+//	icmp 10.0.5.2 ttl=3 -> ttl-exceeded from 10.0.2.1 rttl=61 ipid=3063
+func (e ProbeEvent) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %v ttl=%d -> ", e.Proto, e.Dst, e.TTL)
+	switch e.Err {
+	case ErrTimeout:
+		b.WriteString("timeout")
+	case ErrTransportFault:
+		b.WriteString("error: transport")
+	case ErrDecode:
+		fmt.Fprintf(&b, "error: decode(%d bytes)", e.RawLen)
+	default:
+		fmt.Fprintf(&b, "%s from %v rttl=%d ipid=%d", e.Outcome, e.From, e.ReplyTTL, e.IPID)
+	}
+	return b.String()
+}
+
+// exchangeEvent builds the event for one raw exchange, classifying the error
+// kind and, for decodable replies, the reply type. It works from wire bytes
+// alone (no prober state), so LoggingTransport and the prober share it.
+func exchangeEvent(ticks uint64, raw, reply []byte, err error) ProbeEvent {
+	ev := ProbeEvent{Ticks: ticks, Proto: "?"}
+	if pkt, derr := wire.Decode(raw); derr == nil {
+		ev.Dst = pkt.IP.Dst
+		ev.TTL = pkt.IP.TTL
+		switch {
+		case pkt.ICMP != nil:
+			ev.Proto = "icmp"
+		case pkt.UDP != nil:
+			ev.Proto = "udp"
+		case pkt.TCP != nil:
+			ev.Proto = "tcp"
+		}
+	}
+	switch {
+	case err != nil:
+		ev.Err = ErrTransportFault
+	case reply == nil:
+		ev.Err = ErrTimeout
+	default:
+		p, derr := wire.Decode(reply)
+		if derr != nil {
+			ev.Err = ErrDecode
+			ev.RawLen = len(reply)
+			return ev
+		}
+		ev.From = p.IP.Src
+		ev.ReplyTTL = p.IP.TTL
+		ev.IPID = p.IP.ID
+		ev.Outcome = replyName(p)
+	}
+	return ev
+}
+
+// replyName classifies a decoded reply packet by its wire type.
+func replyName(p *wire.Packet) string {
+	switch {
+	case p.ICMP != nil && p.ICMP.Type == wire.ICMPEchoReply:
+		return "echo-reply"
+	case p.ICMP != nil && p.ICMP.Type == wire.ICMPTimeExceeded:
+		return "ttl-exceeded"
+	case p.ICMP != nil && p.ICMP.Type == wire.ICMPDestUnreach && p.ICMP.Code == wire.CodePortUnreach:
+		return "port-unreachable"
+	case p.ICMP != nil && p.ICMP.Type == wire.ICMPDestUnreach:
+		return fmt.Sprintf("unreachable(code %d)", p.ICMP.Code)
+	case p.TCP != nil && p.TCP.Flags&wire.TCPFlagRST != 0:
+		return "tcp-rst"
+	case p.TCP != nil:
+		return "tcp"
+	}
+	return "reply"
+}

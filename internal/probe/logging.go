@@ -4,62 +4,36 @@ import (
 	"fmt"
 	"io"
 
-	"tracenet/internal/wire"
+	"tracenet/internal/telemetry"
 )
 
 // LoggingTransport wraps a Transport and writes a one-line transcript of
 // every exchange — the probe-level debugging view the paper's conclusion
-// suggests tracenet for ("network analysis/debugging").
+// suggests tracenet for ("network analysis/debugging"). Each line is a
+// rendered ProbeEvent, so the transcript shows the reply's remaining TTL and
+// classifies failures (timeout vs transport vs decode) instead of echoing a
+// raw error string.
 type LoggingTransport struct {
 	Inner Transport
 	W     io.Writer
+	// Clock, when set, prefixes every line with the virtual tick at which
+	// the exchange completed, aligning the transcript with trace and
+	// flight-recorder timestamps.
+	Clock telemetry.Clock
 }
 
-// Exchange forwards to the inner transport, logging the decoded probe and
-// its reply.
+// Exchange forwards to the inner transport, logging the classified exchange.
 func (l LoggingTransport) Exchange(raw []byte) ([]byte, error) {
 	reply, err := l.Inner.Exchange(raw)
-	fmt.Fprintf(l.W, "%s -> %s\n", describe(raw), describeReply(reply, err))
+	var ticks uint64
+	if l.Clock != nil {
+		ticks = l.Clock.Ticks()
+	}
+	ev := exchangeEvent(ticks, raw, reply, err)
+	if l.Clock != nil {
+		fmt.Fprintf(l.W, "[%6d] %s\n", ev.Ticks, ev)
+	} else {
+		fmt.Fprintf(l.W, "%s\n", ev)
+	}
 	return reply, err
-}
-
-func describe(raw []byte) string {
-	p, err := wire.Decode(raw)
-	if err != nil {
-		return fmt.Sprintf("undecodable(%d bytes)", len(raw))
-	}
-	proto := "?"
-	switch {
-	case p.ICMP != nil:
-		proto = "icmp"
-	case p.UDP != nil:
-		proto = "udp"
-	case p.TCP != nil:
-		proto = "tcp"
-	}
-	return fmt.Sprintf("%s %v ttl=%d", proto, p.IP.Dst, p.IP.TTL)
-}
-
-func describeReply(raw []byte, err error) string {
-	if err != nil {
-		return "error: " + err.Error()
-	}
-	if raw == nil {
-		return "timeout"
-	}
-	p, derr := wire.Decode(raw)
-	if derr != nil {
-		return fmt.Sprintf("undecodable reply(%d bytes)", len(raw))
-	}
-	switch {
-	case p.ICMP != nil && p.ICMP.Type == wire.ICMPEchoReply:
-		return fmt.Sprintf("echo-reply from %v id=%d", p.IP.Src, p.IP.ID)
-	case p.ICMP != nil && p.ICMP.Type == wire.ICMPTimeExceeded:
-		return fmt.Sprintf("ttl-exceeded from %v", p.IP.Src)
-	case p.ICMP != nil && p.ICMP.Type == wire.ICMPDestUnreach:
-		return fmt.Sprintf("unreachable(code %d) from %v", p.ICMP.Code, p.IP.Src)
-	case p.TCP != nil:
-		return fmt.Sprintf("tcp rst from %v", p.IP.Src)
-	}
-	return fmt.Sprintf("reply from %v", p.IP.Src)
 }

@@ -15,8 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"tracenet/internal/ipv4"
+	"tracenet/internal/telemetry"
 	"tracenet/internal/wire"
 )
 
@@ -145,6 +147,49 @@ func (s Stats) FaultEvents() uint64 {
 	return s.Corrupt + s.BreakerSkips
 }
 
+// Sub returns the component-wise difference s - base. It underpins Scope:
+// two snapshots of a monotonically-growing Stats bracket a phase of work,
+// and their difference is that phase's accounting.
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{
+		Sent:         s.Sent - base.Sent,
+		Answered:     s.Answered - base.Answered,
+		Retries:      s.Retries - base.Retries,
+		Cached:       s.Cached - base.Cached,
+		Timeouts:     s.Timeouts - base.Timeouts,
+		Corrupt:      s.Corrupt - base.Corrupt,
+		BreakerOpens: s.BreakerOpens - base.BreakerOpens,
+		BreakerSkips: s.BreakerSkips - base.BreakerSkips,
+		BackoffTicks: s.BackoffTicks - base.BackoffTicks,
+	}
+}
+
+// Scope brackets a phase of probing for attribution: open one before the
+// phase, and Delta reports the stats the prober accumulated since. It
+// replaces ad-hoc `before := pr.Stats().Sent` snapshot arithmetic at call
+// sites, and is what the session layer feeds into span-scoped counters.
+type Scope struct {
+	pr   *Prober
+	base Stats
+}
+
+// Scope opens an accounting scope at the prober's current totals.
+func (p *Prober) Scope() Scope { return Scope{pr: p, base: p.stats} }
+
+// Delta returns the stats accumulated since the scope was opened.
+func (s Scope) Delta() Stats { return s.pr.stats.Sub(s.base) }
+
+// CountInto adds the scope's delta to a span's scoped counters (probes sent,
+// answered, retries, cached, fault events). Nil-safe: a nil span discards.
+func (s Scope) CountInto(sp *telemetry.Span) {
+	d := s.Delta()
+	sp.Count("probes_sent", d.Sent)
+	sp.Count("answered", d.Answered)
+	sp.Count("retries", d.Retries)
+	sp.Count("cached", d.Cached)
+	sp.Count("fault_events", d.FaultEvents())
+}
+
 // ErrBudgetExceeded is returned once a prober exhausts its probe budget.
 var ErrBudgetExceeded = errors.New("probe: budget exceeded")
 
@@ -251,6 +296,12 @@ type Options struct {
 	// Breaker enables the per-zone circuit breaker (nil = disabled, the
 	// paper's behaviour). See BreakerConfig.
 	Breaker *BreakerConfig
+	// Telemetry attaches the run's observability layer: every Stats
+	// increment is mirrored into the metrics registry, each exchange becomes
+	// a flight-recorder event and a "probe" trace slice, and a breaker
+	// opening raises an incident. nil disables instrumentation; the prober
+	// then pays only nil checks (see package telemetry).
+	Telemetry *telemetry.Telemetry
 }
 
 // retryPolicy resolves the consolidated retry policy from the new Retry
@@ -291,6 +342,20 @@ type Prober struct {
 	seq   uint16
 	stats Stats
 	cache map[cacheKey]Result
+
+	// Telemetry mirror of stats: handles are resolved once (SetTelemetry)
+	// and nil-safe, so the disabled path costs one nil check per increment.
+	tel           *telemetry.Telemetry
+	cSent         *telemetry.Counter
+	cAnswered     *telemetry.Counter
+	cRetries      *telemetry.Counter
+	cCached       *telemetry.Counter
+	cTimeouts     *telemetry.Counter
+	cCorrupt      *telemetry.Counter
+	cBreakerOpens *telemetry.Counter
+	cBreakerSkips *telemetry.Counter
+	cBackoff      *telemetry.Counter
+	hReplyTTL     *telemetry.Histogram
 }
 
 type cacheKey struct {
@@ -329,8 +394,36 @@ func New(tr Transport, src ipv4.Addr, opts Options) *Prober {
 	if opts.Cache {
 		p.cache = make(map[cacheKey]Result)
 	}
+	p.SetTelemetry(opts.Telemetry)
 	return p
 }
+
+// ReplyTTLBuckets are the reply-TTL histogram bounds: common initial-TTL
+// values sit at 32/64/128/255, so the distance consumed by the return path
+// shows up as mass just below each bound.
+var ReplyTTLBuckets = []uint64{16, 32, 48, 64, 96, 128, 192, 255}
+
+// SetTelemetry attaches (or, with nil, detaches) a telemetry layer, resolving
+// the prober's metric handles once so the hot path never touches the registry.
+// Call it before probing starts; the prober is single-goroutine.
+func (p *Prober) SetTelemetry(tel *telemetry.Telemetry) {
+	p.tel = tel
+	proto := p.opts.Protocol.String()
+	p.cSent = tel.Counter("tracenet_probe_sent_total", "proto", proto)
+	p.cAnswered = tel.Counter("tracenet_probe_answered_total", "proto", proto)
+	p.cRetries = tel.Counter("tracenet_probe_retries_total", "proto", proto)
+	p.cCached = tel.Counter("tracenet_probe_cached_total", "proto", proto)
+	p.cTimeouts = tel.Counter("tracenet_probe_timeouts_total", "proto", proto)
+	p.cCorrupt = tel.Counter("tracenet_probe_corrupt_total", "proto", proto)
+	p.cBreakerOpens = tel.Counter("tracenet_probe_breaker_opens_total")
+	p.cBreakerSkips = tel.Counter("tracenet_probe_breaker_skips_total")
+	p.cBackoff = tel.Counter("tracenet_probe_backoff_ticks_total")
+	p.hReplyTTL = tel.Histogram("tracenet_probe_reply_ttl", ReplyTTLBuckets, "proto", proto)
+}
+
+// Telemetry returns the attached telemetry layer (nil when disabled), letting
+// the layers above the prober — session, alias resolver — share one pipeline.
+func (p *Prober) Telemetry() *telemetry.Telemetry { return p.tel }
 
 // RetryPolicy returns the prober's resolved retry policy.
 func (p *Prober) RetryPolicy() RetryPolicy { return p.retry }
@@ -359,6 +452,7 @@ func (p *Prober) Probe(dst ipv4.Addr, ttl int) (Result, error) {
 	if p.cache != nil {
 		if r, ok := p.cache[key]; ok {
 			p.stats.Cached++
+			p.cCached.Inc()
 			return r, nil
 		}
 	}
@@ -368,6 +462,7 @@ func (p *Prober) Probe(dst ipv4.Addr, ttl int) (Result, error) {
 		// not cached, so the address gets a real probe once the breaker
 		// half-opens.
 		p.stats.BreakerSkips++
+		p.cBreakerSkips.Inc()
 		return Result{}, nil
 	}
 	var res Result
@@ -385,17 +480,25 @@ func (p *Prober) Probe(dst ipv4.Addr, ttl int) (Result, error) {
 		}
 		if w := p.retry.wait(attempt, p.jitter); w > 0 {
 			p.stats.BackoffTicks += w
+			p.cBackoff.Add(w)
 			if p.waiter != nil {
 				p.waiter.Wait(w)
 			}
 		}
 		p.stats.Retries++
+		p.cRetries.Inc()
 	}
 	if res.Silent() {
 		p.stats.Timeouts++
+		p.cTimeouts.Inc()
 	}
 	if p.br != nil && p.br.record(dst, !res.Silent()) {
 		p.stats.BreakerOpens++
+		p.cBreakerOpens.Inc()
+		// A breaker opening is active load shedding — the degradation signal
+		// the flight recorder exists for, so dump the probe history now.
+		p.tel.Incident(fmt.Sprintf("breaker-open zone=%v/%d",
+			p.br.key(dst), p.br.cfg.KeyBits))
 	}
 	if p.cache != nil {
 		p.cache[key] = res
@@ -435,7 +538,15 @@ func (p *Prober) once(dst ipv4.Addr, ttl uint8) (Result, error) {
 		return Result{}, err
 	}
 	p.stats.Sent++
+	p.cSent.Inc()
+	var start uint64
+	if p.tel != nil {
+		start = p.tel.Ticks()
+	}
 	rawReply, err := p.tr.Exchange(raw)
+	if p.tel != nil {
+		p.observeExchange(start, raw, rawReply, err)
+	}
 	if err != nil {
 		return Result{}, fmt.Errorf("%w: %w", ErrTransport, err)
 	}
@@ -448,13 +559,35 @@ func (p *Prober) once(dst ipv4.Addr, ttl uint8) (Result, error) {
 		// real socket — but counted, because corruption is definite fault
 		// evidence that silence alone is not.
 		p.stats.Corrupt++
+		p.cCorrupt.Inc()
 		return Result{}, nil
 	}
 	res := p.classify(pkt, reply, dst)
 	if res.Kind != None {
 		p.stats.Answered++
+		p.cAnswered.Inc()
 	}
 	return res, nil
+}
+
+// observeExchange mirrors one raw exchange onto the telemetry pipeline: a
+// flight-recorder entry, a "probe" trace slice, and the reply-TTL histogram.
+// Only called when p.tel != nil, keeping the disabled path to one nil check.
+func (p *Prober) observeExchange(start uint64, raw, reply []byte, err error) {
+	end := p.tel.Ticks()
+	ev := exchangeEvent(end, raw, reply, err)
+	outcome := ev.Outcome
+	if ev.Err != ErrNone {
+		outcome = ev.Err.String()
+	}
+	p.tel.Record("probe", ev.String())
+	p.tel.Complete("probe", start, end,
+		"dst", ev.Dst.String(),
+		"ttl", strconv.FormatUint(uint64(ev.TTL), 10),
+		"outcome", outcome)
+	if ev.Err == ErrNone {
+		p.hReplyTTL.Observe(uint64(ev.ReplyTTL))
+	}
 }
 
 // classify maps a decoded reply onto a Result, verifying it answers our probe

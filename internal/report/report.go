@@ -193,14 +193,11 @@ func Coverage(w io.Writer, c *experiments.CoverageResult) {
 // HeuristicStats writes the stop-reason distribution of a collection run.
 func HeuristicStats(w io.Writer, stats map[core.StopReason]int) {
 	fmt.Fprintln(w, "Stop-reason distribution (which rule ended each subnet's growth)")
-	order := []core.StopReason{
-		core.StopH2, core.StopH3, core.StopH4, core.StopH6, core.StopH7,
-		core.StopH8, core.StopHalfFill, core.StopMinPrefix,
-	}
-	for _, reason := range order {
-		if n := stats[reason]; n > 0 {
-			fmt.Fprintf(w, "  %-12s %5d\n", string(reason), n)
-		}
+	// OrderedStopCounts renders canonical reasons in paper order and then any
+	// unknown reasons sorted by name, so no entry is silently dropped and the
+	// output is deterministic regardless of map iteration order.
+	for _, sc := range core.OrderedStopCounts(stats) {
+		fmt.Fprintf(w, "  %-12s %5d\n", string(sc.Reason), sc.Count)
 	}
 }
 

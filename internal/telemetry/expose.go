@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format, families sorted by name and series sorted by label set,
+// so the output of a deterministic run is byte-identical across reruns.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastFamily string
+	for _, s := range r.sortedSeries() {
+		if s.family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %v\n", s.family, r.kindOf(s.family)); err != nil {
+				return err
+			}
+			lastFamily = s.family
+		}
+		var err error
+		switch {
+		case s.c != nil:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", s.family, s.labels, s.c.Value())
+		case s.g != nil:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", s.family, s.labels, s.g.Value())
+		case s.h != nil:
+			err = writePrometheusHistogram(w, s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePrometheusHistogram renders one histogram series: cumulative
+// _bucket{le=...} lines, then _sum and _count.
+func writePrometheusHistogram(w io.Writer, s *series) error {
+	h := s.h
+	counts := h.snapshot()
+	inner := s.labels
+	if inner != "" {
+		inner = inner[1:len(inner)-1] + "," // strip braces, keep as prefix
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = fmt.Sprintf("%d", h.bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", s.family, inner, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", s.family, s.labels, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.family, s.labels, h.Count())
+	return err
+}
+
+// jsonHistogram is the JSON form of one histogram series.
+type jsonHistogram struct {
+	Buckets []uint64 `json:"buckets"` // upper bounds
+	Counts  []uint64 `json:"counts"`  // per-bucket (non-cumulative), +Inf last
+	Sum     uint64   `json:"sum"`
+	Count   uint64   `json:"count"`
+}
+
+// jsonSnapshot is the JSON exposition schema.
+type jsonSnapshot struct {
+	Counters   map[string]uint64        `json:"counters,omitempty"`
+	Gauges     map[string]int64         `json:"gauges,omitempty"`
+	Histograms map[string]jsonHistogram `json:"histograms,omitempty"`
+}
+
+// WriteJSON renders the registry as an indented JSON document. Keys are the
+// full series names (family plus rendered labels); encoding/json sorts map
+// keys, so the document is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := jsonSnapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]jsonHistogram{},
+	}
+	for _, s := range r.sortedSeries() {
+		key := s.family + s.labels
+		switch {
+		case s.c != nil:
+			snap.Counters[key] = s.c.Value()
+		case s.g != nil:
+			snap.Gauges[key] = s.g.Value()
+		case s.h != nil:
+			snap.Histograms[key] = jsonHistogram{
+				Buckets: append([]uint64(nil), s.h.bounds...),
+				Counts:  s.h.snapshot(),
+				Sum:     s.h.Sum(),
+				Count:   s.h.Count(),
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// Sorted key helper kept close to the exposition code so future formats reuse
+// it: families in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// These tests exist to run under -race (scripts/check.sh runs the suite with
+// -race -tags invariants): concurrent increments against one registry,
+// snapshots taken while writers are active, and recorder rings under
+// contention. They assert totals too, so they catch lost updates even
+// without the race detector.
+
+func TestRegistryConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Half the workers resolve handles themselves, half go through
+			// registration every time: both paths must be safe.
+			c := r.Counter("tracenet_race_total")
+			h := r.Histogram("tracenet_race_hist", []uint64{10, 100})
+			g := r.Gauge("tracenet_race_gauge")
+			for i := 0; i < perWorker; i++ {
+				if w%2 == 0 {
+					c.Inc()
+					h.Observe(uint64(i % 150))
+					g.Add(1)
+				} else {
+					r.Counter("tracenet_race_total").Inc()
+					r.Histogram("tracenet_race_hist", []uint64{10, 100}).Observe(uint64(i % 150))
+					r.Gauge("tracenet_race_gauge").Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("tracenet_race_total").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d (lost updates)", got, workers*perWorker)
+	}
+	if got := r.Histogram("tracenet_race_hist", []uint64{10, 100}).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("tracenet_race_gauge").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestRegistrySnapshotWhileWriting(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("tracenet_snap_total", "worker", fmt.Sprint(w))
+			h := r.Histogram("tracenet_snap_hist", []uint64{4, 16})
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(uint64(i % 20))
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteJSON(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64)
+	const workers, perWorker = 8, 1000
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := f.Snapshot()
+				if len(snap) > 64 {
+					t.Errorf("snapshot overflows capacity: %d", len(snap))
+					return
+				}
+				if _, err := f.WriteTo(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				f.Record(Event{Ticks: uint64(i), Kind: "probe", Msg: fmt.Sprintf("w%d-%d", w, i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if f.Total() != workers*perWorker {
+		t.Errorf("total = %d, want %d", f.Total(), workers*perWorker)
+	}
+	if got := len(f.Snapshot()); got != 64 {
+		t.Errorf("retained = %d, want 64", got)
+	}
+}
+
+func TestTracerConcurrentEmission(t *testing.T) {
+	tr := NewTracer(io.Discard)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Complete(uint64(i), uint64(i+1), "probe", "worker", fmt.Sprint(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Events(); got != 8*500 {
+		t.Errorf("events = %d, want %d", got, 8*500)
+	}
+}

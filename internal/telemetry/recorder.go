@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one flight-recorder entry: a tick stamp, a short kind tag
+// ("probe", "fault", "breaker", "incident"), and a preformatted detail line.
+// The message is formatted at record time by the instrumentation site, so
+// the recorder itself stores no pointers into live state and a dump is
+// always a faithful snapshot of what was observed.
+type Event struct {
+	Ticks uint64
+	Kind  string
+	Msg   string
+}
+
+// FlightRecorder is a bounded ring buffer of recent events — the black box
+// a degraded run is debugged from. Recording overwrites the oldest entry
+// once the buffer is full, so memory stays constant however long the run;
+// a dump shows the most recent window leading up to an incident. All
+// methods are safe for concurrent use; a nil recorder is inert.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever recorded; buf holds the last min(total, cap)
+}
+
+// DefaultFlightRecorderSize is the event capacity used by the CLI when none
+// is configured: enough to cover several subnet explorations of probe
+// history around an incident.
+const DefaultFlightRecorderSize = 256
+
+// NewFlightRecorder creates a recorder holding the last capacity events.
+// Capacity must be positive.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("telemetry: flight recorder capacity %d < 1", capacity))
+	}
+	return &FlightRecorder{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, evicting the oldest when full.
+func (f *FlightRecorder) Record(ev Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, ev)
+	} else {
+		f.buf[f.total%uint64(cap(f.buf))] = ev
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Total returns how many events were ever recorded (including evicted ones).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Snapshot returns the retained events, oldest first. The returned slice is
+// a copy: it stays valid while recording continues.
+func (f *FlightRecorder) Snapshot() []Event {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Event, 0, len(f.buf))
+	if len(f.buf) < cap(f.buf) {
+		return append(out, f.buf...)
+	}
+	// Full ring: the slot about to be overwritten is the oldest event.
+	start := f.total % uint64(cap(f.buf))
+	out = append(out, f.buf[start:]...)
+	return append(out, f.buf[:start]...)
+}
+
+// WriteTo dumps the retained window as text, oldest first: one
+// "  [tick] kind: msg" line per event, preceded by a coverage header. The
+// snapshot is taken atomically; writing happens outside the recorder lock.
+func (f *FlightRecorder) WriteTo(w io.Writer) (int64, error) {
+	if f == nil {
+		return 0, nil
+	}
+	events := f.Snapshot()
+	total := f.Total()
+	var n int64
+	c, err := fmt.Fprintf(w, "flight recorder: %d of %d events retained\n", len(events), total)
+	n += int64(c)
+	if err != nil {
+		return n, err
+	}
+	for _, ev := range events {
+		c, err := fmt.Fprintf(w, "  [%6d] %-8s %s\n", ev.Ticks, ev.Kind, ev.Msg)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

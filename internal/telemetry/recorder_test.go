@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(3)
+	if got := f.Snapshot(); len(got) != 0 {
+		t.Fatalf("fresh recorder holds %d events", len(got))
+	}
+	f.Record(Event{Ticks: 1, Kind: "probe", Msg: "a"})
+	f.Record(Event{Ticks: 2, Kind: "probe", Msg: "b"})
+	snap := f.Snapshot()
+	if len(snap) != 2 || snap[0].Msg != "a" || snap[1].Msg != "b" {
+		t.Fatalf("partial ring snapshot wrong: %v", snap)
+	}
+	for i, msg := range []string{"c", "d", "e"} {
+		f.Record(Event{Ticks: uint64(3 + i), Kind: "probe", Msg: msg})
+	}
+	snap = f.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("full ring retains %d, want 3", len(snap))
+	}
+	for i, want := range []string{"c", "d", "e"} {
+		if snap[i].Msg != want {
+			t.Errorf("snapshot[%d] = %q, want %q (oldest-first order broken)", i, snap[i].Msg, want)
+		}
+	}
+	if f.Total() != 5 {
+		t.Errorf("total = %d, want 5", f.Total())
+	}
+}
+
+func TestFlightRecorderWriteTo(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(Event{Ticks: 42, Kind: "fault", Msg: "link-flap drop subnet=10.0.2.0/29"})
+	var b strings.Builder
+	if _, err := f.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"1 of 1 events retained", "[    42]", "fault", "link-flap drop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIncidentDumpsRecorder(t *testing.T) {
+	clock := &ManualClock{}
+	tel := New(clock)
+	tel.Recorder = NewFlightRecorder(16)
+	var dump strings.Builder
+	tel.SetIncidentWriter(&dump)
+
+	clock.Advance(9)
+	tel.Record("probe", "icmp 10.0.0.1 ttl=3 -> timeout")
+	tel.Incident("breaker-open zone=10.0.0.0/24")
+
+	out := dump.String()
+	for _, want := range []string{
+		"dump #1 at tick 9: breaker-open zone=10.0.0.0/24",
+		"2 of 2 events retained", // the probe event plus the incident itself
+		"icmp 10.0.0.1 ttl=3 -> timeout",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("incident dump lacks %q:\n%s", want, out)
+		}
+	}
+	if tel.Incidents() != 1 {
+		t.Errorf("incidents = %d, want 1", tel.Incidents())
+	}
+	if got := tel.Counter("tracenet_incidents_total").Value(); got != 1 {
+		t.Errorf("incident counter = %d, want 1", got)
+	}
+	// Without a writer, incidents still count but dump nowhere.
+	tel.SetIncidentWriter(nil)
+	tel.Incident("second")
+	if tel.Incidents() != 2 {
+		t.Errorf("incidents = %d, want 2", tel.Incidents())
+	}
+	if strings.Contains(dump.String(), "second") {
+		t.Error("disarmed incident writer still received a dump")
+	}
+}
+
+func TestFlightRecorderBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 did not panic")
+		}
+	}()
+	NewFlightRecorder(0)
+}

@@ -1,0 +1,288 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricKind discriminates the three instrument families of a registry.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use and inert on a nil receiver, so instrumented code can hold
+// nil handles when telemetry is disabled.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram over uint64 observations.
+// Buckets are inclusive upper bounds in ascending order; an implicit +Inf
+// bucket catches everything beyond the last bound.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64
+	count  atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on a nil handle).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// snapshot returns per-bucket counts (cumulative form is built at exposition).
+func (h *Histogram) snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// series is one registered metric: a family name plus an optional label set,
+// holding exactly one instrument.
+type series struct {
+	family string
+	labels string // canonical rendered label set, "" when unlabelled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds a run's metrics. Registration (Counter/Gauge/Histogram) and
+// instrument updates are safe for concurrent use; handles returned for the
+// same (name, labels) are the same instrument, so hot paths should resolve
+// their handles once and update through them.
+type Registry struct {
+	mu       sync.Mutex
+	kinds    map[string]metricKind // family name -> kind
+	byKey    map[string]*series
+	ordered  []*series // registration order; sorted at exposition
+	hbuckets map[string][]uint64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:    make(map[string]metricKind),
+		byKey:    make(map[string]*series),
+		hbuckets: make(map[string][]uint64),
+	}
+}
+
+// labelString canonicalizes alternating key/value pairs into a rendered
+// Prometheus label set, sorting by key so the same labels in any order name
+// the same series. It panics on an odd pair count: label sets are written at
+// instrumentation sites, so a mismatch is a programming error.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// seriesLocked resolves (name, labels) to its series, creating it on first
+// use. It panics when one family name is used with two different kinds —
+// like a conflicting probe.Options, a call-site programming error.
+// Called with r.mu held.
+func (r *Registry) seriesLocked(name, ls string, kind metricKind) *series {
+	if have, ok := r.kinds[name]; ok && have != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %v and %v", name, have, kind))
+	}
+	r.kinds[name] = kind
+	key := name + ls
+	if s, ok := r.byKey[key]; ok {
+		return s
+	}
+	s := &series{family: name, labels: ls}
+	r.byKey[key] = s
+	r.ordered = append(r.ordered, s)
+	return s
+}
+
+// Counter returns the counter for (name, labels), registering it on first
+// use. Labels are alternating key/value pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.seriesLocked(name, ls, kindCounter)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns the gauge for (name, labels), registering it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.seriesLocked(name, ls, kindGauge)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns the histogram for (name, labels) with the given
+// ascending inclusive upper bounds, registering it on first use. Every
+// series of one family must use identical bounds; a mismatch panics.
+func (r *Registry) Histogram(name string, buckets []uint64, labels ...string) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q buckets not ascending: %v", name, buckets))
+		}
+	}
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.seriesLocked(name, ls, kindHistogram)
+	if have, ok := r.hbuckets[name]; ok {
+		same := len(have) == len(buckets)
+		for i := 0; same && i < len(have); i++ {
+			same = have[i] == buckets[i]
+		}
+		if !same {
+			panic(fmt.Sprintf("telemetry: histogram %q re-registered with different buckets", name))
+		}
+	} else {
+		r.hbuckets[name] = append([]uint64(nil), buckets...)
+	}
+	if s.h == nil {
+		s.h = &Histogram{bounds: append([]uint64(nil), buckets...)}
+		s.h.counts = make([]atomic.Uint64, len(buckets)+1)
+	}
+	return s.h
+}
+
+// sortedSeries snapshots the series list ordered by family name then label
+// set — the deterministic exposition order.
+func (r *Registry) sortedSeries() []*series {
+	r.mu.Lock()
+	out := append([]*series(nil), r.ordered...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].family != out[j].family {
+			return out[i].family < out[j].family
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// kindOf returns the registered kind of a family.
+func (r *Registry) kindOf(family string) metricKind {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.kinds[family]
+}

@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Tracer emits hierarchical spans in the Chrome trace-event format
+// (chrome://tracing, Perfetto): a strict JSON array with one event object per
+// line. Timestamps are virtual ticks (rendered in the "ts" microsecond
+// field), so a same-seed simulated run produces a byte-identical trace.
+//
+// Nesting is positional, as the format defines: a "B" (begin) event opens a
+// slice that the next unmatched "E" (end) on the same thread closes, so
+// Start/End call order forms the span hierarchy (session → trace → hop →
+// exploration → probe). The Tracer serializes writes internally; the span
+// *hierarchy* is meaningful per goroutine, like the Prober it instruments.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	opened bool
+	closed bool
+	err    error
+	events uint64
+}
+
+// NewTracer creates a tracer writing trace events to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w}
+}
+
+// Events returns how many trace events were emitted so far.
+func (t *Tracer) Events() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Err returns the first write error the tracer swallowed, if any.
+// Instrumentation sites never handle I/O failures; callers check once at
+// Close time.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close terminates the JSON array, making the output a strict, complete
+// Chrome-loadable document. Further events are discarded. It returns the
+// first error encountered over the tracer's lifetime.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	if !t.opened {
+		t.writeLocked("[\n")
+	}
+	t.writeLocked("\n]\n")
+	return t.err
+}
+
+// writeLocked appends s to the output, latching the first error.
+// Called with t.mu held.
+func (t *Tracer) writeLocked(s string) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = io.WriteString(t.w, s)
+}
+
+// emit writes one event object line. args must have even length.
+// counts, when non-nil, is rendered as a nested "counts" object with sorted
+// keys, so the output is deterministic.
+func (t *Tracer) emit(ph string, ts uint64, dur uint64, name string, args []string, counts map[string]uint64) {
+	if t == nil {
+		return
+	}
+	if len(args)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd span arg list %q", args))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	if !t.opened {
+		t.writeLocked("[\n")
+		t.opened = true
+	} else {
+		t.writeLocked(",\n")
+	}
+	line := `{"name":` + strconv.Quote(name) + `,"cat":"tracenet","ph":"` + ph +
+		`","ts":` + strconv.FormatUint(ts, 10)
+	if ph == "X" {
+		line += `,"dur":` + strconv.FormatUint(dur, 10)
+	}
+	line += `,"pid":1,"tid":1`
+	if len(args) > 0 || len(counts) > 0 {
+		line += `,"args":{`
+		first := true
+		for i := 0; i < len(args); i += 2 {
+			if !first {
+				line += ","
+			}
+			first = false
+			line += strconv.Quote(args[i]) + ":" + strconv.Quote(args[i+1])
+		}
+		if len(counts) > 0 {
+			if !first {
+				line += ","
+			}
+			line += `"counts":{`
+			for i, k := range sortedKeys(counts) {
+				if i > 0 {
+					line += ","
+				}
+				line += strconv.Quote(k) + ":" + strconv.FormatUint(counts[k], 10)
+			}
+			line += "}"
+		}
+		line += "}"
+	}
+	line += "}"
+	t.writeLocked(line)
+	t.events++
+}
+
+// Start opens a span at ts ticks, emitting its "B" event immediately. The
+// returned span carries its own counter set (see Span.Count), emitted with
+// the closing "E" event.
+func (t *Tracer) Start(ts uint64, name string, args ...string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.emit("B", ts, 0, name, args, nil)
+	return &Span{t: t, name: name}
+}
+
+// Instant emits a zero-duration instant event.
+func (t *Tracer) Instant(ts uint64, name string, args ...string) {
+	if t == nil {
+		return
+	}
+	t.emit("i", ts, 0, name, args, nil)
+}
+
+// Complete emits a complete ("X") event covering [start, end] ticks — the
+// compact form used for high-volume leaf spans like probe exchanges.
+func (t *Tracer) Complete(start, end uint64, name string, args ...string) {
+	if t == nil {
+		return
+	}
+	dur := uint64(0)
+	if end > start {
+		dur = end - start
+	}
+	t.emit("X", start, dur, name, args, nil)
+}
+
+// Span is one open slice of the trace. A span additionally acts as a scoped
+// counter set: Count accumulates named values that are attached to the
+// closing event, which is how per-phase accounting (probes per hop, probes
+// per exploration) reaches the trace without global state. Spans follow
+// their instrumented subject's concurrency contract: single-goroutine, like
+// a Prober or a Session. A nil *Span is inert.
+type Span struct {
+	t      *Tracer
+	clock  Clock // stamps End; nil when created directly on a Tracer
+	name   string
+	ended  bool
+	counts map[string]uint64
+}
+
+// Count adds d to the span's named counter.
+func (s *Span) Count(name string, d uint64) {
+	if s == nil || d == 0 {
+		return
+	}
+	if s.counts == nil {
+		s.counts = make(map[string]uint64)
+	}
+	s.counts[name] += d
+}
+
+// Get returns the span counter's current value.
+func (s *Span) Get(name string) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.counts[name]
+}
+
+// End closes the span, stamped from the clock it was created with (tick 0
+// when created directly on a Tracer), emitting its "E" event with the
+// accumulated counters. Multiple Ends are idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	var ts uint64
+	if s.clock != nil {
+		ts = s.clock.Ticks()
+	}
+	s.EndAt(ts)
+}
+
+// EndAt is End with an explicit tick stamp.
+func (s *Span) EndAt(ts uint64) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.t.emit("E", ts, 0, s.name, nil, s.counts)
+}

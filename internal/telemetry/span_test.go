@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// driveTrace emits a small fixed span hierarchy through a full Telemetry.
+func driveTrace(w *strings.Builder) error {
+	clock := &ManualClock{}
+	tel := New(clock)
+	tel.Tracer = NewTracer(w)
+
+	sess := tel.StartSpan("session", "topo", "figure3")
+	clock.Advance(2)
+	hop := tel.StartSpan("hop", "ttl", "1")
+	hop.Count("probes_sent", 3)
+	hop.Count("probes_sent", 1)
+	hop.Count("answered", 2)
+	clock.Advance(5)
+	tel.Complete("probe", 3, 5, "dst", "10.0.0.1")
+	hop.End()
+	hop.End() // idempotent
+	tel.Instant("incident", "reason", "test")
+	clock.Advance(1)
+	sess.End()
+	return tel.Tracer.Close()
+}
+
+func TestTracerGolden(t *testing.T) {
+	var b strings.Builder
+	if err := driveTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "sample_trace.json", b.String())
+}
+
+// TestTracerStrictJSON proves the closed trace is one valid JSON array of
+// event objects with the fields Chrome's trace viewer requires.
+func TestTracerStrictJSON(t *testing.T) {
+	var b strings.Builder
+	if err := driveTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 6:\n%s", len(events), b.String())
+	}
+	phases := ""
+	for _, ev := range events {
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Errorf("event %v lacks %q", ev, field)
+			}
+		}
+		phases += ev["ph"].(string)
+	}
+	if phases != "BBXEiE" {
+		t.Errorf("phase sequence %q, want BBXEiE", phases)
+	}
+	// The hop's span-scoped counters ride on its E event.
+	if got := events[3]["args"].(map[string]any)["counts"].(map[string]any)["probes_sent"]; got != float64(4) {
+		t.Errorf("hop E counts probes_sent = %v, want 4", got)
+	}
+}
+
+func TestTracerDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := driveTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := driveTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two identical trace runs rendered differently")
+	}
+}
+
+func TestTracerEmptyClose(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%q", err, b.String())
+	}
+	if len(events) != 0 {
+		t.Errorf("empty trace holds %d events", len(events))
+	}
+	// Events after Close are discarded, not errors.
+	tr.Instant(1, "late")
+	if tr.Events() != 0 || tr.Err() != nil {
+		t.Error("post-Close event was recorded")
+	}
+}
+
+func TestSpanGet(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b)
+	sp := tr.Start(0, "phase")
+	sp.Count("sent", 7)
+	sp.Count("sent", 2)
+	if got := sp.Get("sent"); got != 9 {
+		t.Errorf("Get(sent) = %d, want 9", got)
+	}
+	if got := sp.Get("missing"); got != 0 {
+		t.Errorf("Get(missing) = %d, want 0", got)
+	}
+}

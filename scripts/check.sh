@@ -27,6 +27,10 @@ go run ./cmd/tracenetlint ./...
 echo "== go test -race -tags invariants ./..."
 go test -race -tags invariants ./...
 
+echo "== bench smoke (1 iteration per benchmark)"
+go test -run '^$' -bench '^(BenchmarkProbeExchange|BenchmarkSingleTrace)(Telemetry)?$' -benchtime 1x .
+go test -run '^$' -bench . -benchtime 1x ./internal/telemetry/
+
 echo "== fuzz smoke (internal/wire, 5s per target)"
 for target in FuzzUnmarshalIPv4 FuzzUnmarshalICMP FuzzUnmarshalUDP FuzzUnmarshalTCP; do
     go test ./internal/wire/ -run '^$' -fuzz "^${target}\$" -fuzztime 5s
