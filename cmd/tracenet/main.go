@@ -25,6 +25,28 @@
 //	-resume file      preload the session from a checkpoint and skip
 //	                  destinations it already completed
 //
+// Campaigns (parallel multi-destination collection, see DESIGN.md §9):
+//
+//	-campaign            force campaign mode (implied by the flags below
+//	                     and by -parallel > 1); useful for a single-worker
+//	                     campaign, e.g. to compare against -parallel 8
+//	-targets file        read destinations from a file, one address per line
+//	                     ('#' starts a comment); combined with positional args
+//	-parallel n          trace up to n destinations concurrently (default 1)
+//	-campaign-budget n   shared wire-probe budget across all workers; targets
+//	                     still queued when it runs out are skipped
+//	-campaign-out file   write a campaign checkpoint (JSON) after the run
+//	-campaign-resume f   resume a campaign: skip targets done in the
+//	                     checkpoint and never re-explore its subnets
+//	-campaign-greedy     also share subnets by member address (saves more
+//	                     probes; probe totals become schedule-dependent)
+//	-campaign-no-cache   disable the shared subnet cache (for comparisons)
+//
+// Any of these flags (or -parallel > 1) selects campaign mode: every
+// destination is traced by its own session/prober pair against a shared
+// subnet cache, and the observations merge into one subnet-level topology.
+// The merged report is byte-identical whatever -parallel is.
+//
 // Telemetry and profiling (see DESIGN.md §8):
 //
 //	-metrics-out file    write the metric registry at exit; Prometheus text
@@ -45,6 +67,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -54,6 +77,7 @@ import (
 	"strings"
 
 	"tracenet/internal/cli"
+	"tracenet/internal/collect"
 	"tracenet/internal/core"
 	"tracenet/internal/ipv4"
 	"tracenet/internal/netsim"
@@ -77,6 +101,15 @@ type options struct {
 	ckptOut string // write checkpoint here after the run
 	ckptIn  string // resume from this checkpoint
 
+	campaign        bool   // force campaign mode even at parallel 1
+	targets         string // destinations file, one address per line
+	parallel        int    // concurrent traces in campaign mode
+	campaignBudget  uint64 // shared wire-probe budget, 0 = unlimited
+	campaignOut     string // write a campaign checkpoint here
+	campaignResume  string // resume a campaign from this checkpoint
+	campaignGreedy  bool   // enable the cache's live member tier
+	campaignNoCache bool   // disable the shared subnet cache
+
 	metricsOut string // metric registry exposition file (.json selects JSON)
 	traceOut   string // Chrome trace-event JSON file
 	flightOut  string // incident dump file; arms the flight recorder
@@ -91,6 +124,13 @@ type options struct {
 // telemetry layer to be attached.
 func (o options) telemetryEnabled() bool {
 	return o.metricsOut != "" || o.traceOut != "" || o.flightOut != ""
+}
+
+// campaignMode reports whether any campaign flag selects the parallel
+// multi-destination collection engine over the single-session path.
+func (o options) campaignMode() bool {
+	return o.campaign || o.targets != "" || o.parallel > 1 || o.campaignBudget > 0 ||
+		o.campaignOut != "" || o.campaignResume != "" || o.campaignGreedy || o.campaignNoCache
 }
 
 func main() {
@@ -108,6 +148,14 @@ func main() {
 	flag.BoolVar(&o.breaker, "breaker", false, "circuit-break probing into persistently silent zones")
 	flag.StringVar(&o.ckptOut, "checkpoint", "", "write a session checkpoint to this file")
 	flag.StringVar(&o.ckptIn, "resume", "", "resume the session from this checkpoint file")
+	flag.BoolVar(&o.campaign, "campaign", false, "force campaign mode even with -parallel 1")
+	flag.StringVar(&o.targets, "targets", "", "read destinations from this file, one address per line")
+	flag.IntVar(&o.parallel, "parallel", 1, "trace up to n destinations concurrently (campaign mode)")
+	flag.Uint64Var(&o.campaignBudget, "campaign-budget", 0, "shared wire-probe budget across all campaign workers")
+	flag.StringVar(&o.campaignOut, "campaign-out", "", "write a campaign checkpoint to this file")
+	flag.StringVar(&o.campaignResume, "campaign-resume", "", "resume a campaign from this checkpoint file")
+	flag.BoolVar(&o.campaignGreedy, "campaign-greedy", false, "share cached subnets by member address (non-deterministic probe totals)")
+	flag.BoolVar(&o.campaignNoCache, "campaign-no-cache", false, "disable the campaign's shared subnet cache")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write metrics here at exit (Prometheus text, or JSON for .json paths)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON file of the run's spans")
 	flag.StringVar(&o.flightOut, "flight-recorder", "", "dump the flight recorder into this file on every incident")
@@ -158,8 +206,15 @@ func run(w io.Writer, o options) error {
 	}
 
 	dests := sc.Destinations
-	if len(o.dests) > 0 {
-		dests = dests[:0]
+	if len(o.dests) > 0 || o.targets != "" {
+		dests = nil
+		if o.targets != "" {
+			fromFile, err := readTargets(o.targets)
+			if err != nil {
+				return err
+			}
+			dests = append(dests, fromFile...)
+		}
 		for _, a := range o.dests {
 			d, err := ipv4.ParseAddr(a)
 			if err != nil {
@@ -244,6 +299,18 @@ func run(w io.Writer, o options) error {
 	if o.breaker {
 		popts.Breaker = &probe.BreakerConfig{}
 	}
+	if o.campaignMode() {
+		if o.ckptIn != "" || o.ckptOut != "" {
+			return fmt.Errorf("-checkpoint and -resume are single-session flags; use -campaign-out and -campaign-resume in campaign mode")
+		}
+		fmt.Fprintf(w, "tracenet campaign over %s, vantage %s (%v), %s probes\n",
+			sc.Description, o.vantage, port.LocalAddr(), proto)
+		if err := runCampaign(w, o, net, popts, tel, dests); err != nil {
+			return err
+		}
+		return writeArtifacts(w, o, tel, traceFile, flightFile)
+	}
+
 	pr := probe.New(tr, port.LocalAddr(), popts)
 
 	cfg := core.Config{MaxTTL: o.maxTTL}
@@ -324,6 +391,102 @@ func run(w io.Writer, o options) error {
 		fmt.Fprintf(w, "checkpoint written to %s\n", o.ckptOut)
 	}
 
+	return writeArtifacts(w, o, tel, traceFile, flightFile)
+}
+
+// runCampaign drives the collect engine: every destination gets its own
+// session/prober pair, the shared subnet cache spans them, and the merged
+// report lands on w.
+func runCampaign(w io.Writer, o options, net *netsim.Network, popts probe.Options, tel *telemetry.Telemetry, dests []ipv4.Addr) error {
+	ccfg := collect.Config{
+		Targets:      dests,
+		Parallel:     o.parallel,
+		Budget:       o.campaignBudget,
+		DisableCache: o.campaignNoCache,
+		Greedy:       o.campaignGreedy,
+		Session:      core.Config{MaxTTL: o.maxTTL},
+		Probe:        popts,
+		Telemetry:    tel,
+		Dial: func(opts probe.Options) (*probe.Prober, error) {
+			port, err := net.PortFor(o.vantage)
+			if err != nil {
+				return nil, err
+			}
+			var tr probe.Transport = port
+			if o.debug {
+				tr = probe.LoggingTransport{Inner: port, W: os.Stderr, Clock: net}
+			}
+			return probe.New(tr, port.LocalAddr(), opts), nil
+		},
+	}
+	if o.campaignResume != "" {
+		f, err := os.Open(o.campaignResume)
+		if err != nil {
+			return err
+		}
+		cp, err := collect.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		ccfg.Resume = cp
+		fmt.Fprintf(w, "resuming campaign from %s: %d of %d targets done, %d subnets\n",
+			o.campaignResume, len(cp.Done), len(cp.Targets), len(cp.Subnets))
+	}
+
+	rep, err := collect.Run(context.Background(), ccfg)
+	if err != nil {
+		return err
+	}
+	if _, err := rep.WriteTo(w); err != nil {
+		return err
+	}
+
+	if o.campaignOut != "" {
+		f, err := os.Create(o.campaignOut)
+		if err != nil {
+			return err
+		}
+		if err := collect.WriteCheckpoint(f, rep.Checkpoint()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "campaign checkpoint written to %s\n", o.campaignOut)
+	}
+	return nil
+}
+
+// readTargets reads a destinations file: one address per line, '#' starts a
+// comment, blank lines are skipped.
+func readTargets(path string) ([]ipv4.Addr, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var dests []ipv4.Addr
+	for i, line := range strings.Split(string(data), "\n") {
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		d, err := ipv4.ParseAddr(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, i+1, err)
+		}
+		dests = append(dests, d)
+	}
+	return dests, nil
+}
+
+// writeArtifacts flushes the telemetry artifacts and heap profile the flags
+// asked for; shared by the single-session and campaign paths.
+func writeArtifacts(w io.Writer, o options, tel *telemetry.Telemetry, traceFile, flightFile *os.File) error {
 	if tel != nil {
 		if tel.Tracer != nil {
 			if err := tel.Tracer.Close(); err != nil {

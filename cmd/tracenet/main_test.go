@@ -287,3 +287,104 @@ func TestRunProfileFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestRunCampaignMode(t *testing.T) {
+	var b strings.Builder
+	o := options{topo: "random", proto: "icmp", maxTTL: 30, seed: 3, parallel: 4}
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"tracenet campaign over random topology",
+		"campaign:", "merged subnet map", "wire probes", "cache hits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCampaignDeterministicAcrossParallel(t *testing.T) {
+	campaign := func(parallel int) string {
+		t.Helper()
+		var b strings.Builder
+		o := options{topo: "random", proto: "icmp", maxTTL: 30, seed: 3, campaign: true, parallel: parallel}
+		if err := run(&b, o); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	p1, p8 := campaign(1), campaign(8)
+	if p1 != p8 {
+		t.Errorf("campaign output differs between -parallel 1 and -parallel 8:\n--- p1\n%s--- p8\n%s", p1, p8)
+	}
+}
+
+func TestRunCampaignTargetsFile(t *testing.T) {
+	dir := t.TempDir()
+	tf := filepath.Join(dir, "targets.txt")
+	if err := os.WriteFile(tf, []byte("# figure3 leaves\n10.0.5.2\n\n10.0.4.2 # inline comment\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	o := options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1, targets: tf, parallel: 2}
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "campaign: 2 targets (done 2") {
+		t.Fatalf("targets file not honoured:\n%s", out)
+	}
+	for _, want := range []string{"10.0.5.2", "10.0.4.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks target %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCampaignCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	cp := filepath.Join(dir, "campaign.json")
+	var b strings.Builder
+	o := options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1, parallel: 2, campaignOut: cp}
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "campaign checkpoint written to") {
+		t.Fatalf("no checkpoint confirmation:\n%s", b.String())
+	}
+
+	b.Reset()
+	o = options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1, parallel: 2, campaignResume: cp}
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "resuming campaign from") {
+		t.Fatalf("no resume banner:\n%s", out)
+	}
+	if !strings.Contains(out, "wire probes 0") {
+		t.Errorf("fully-resumed campaign probed anyway:\n%s", out)
+	}
+}
+
+func TestRunCampaignErrors(t *testing.T) {
+	var b strings.Builder
+	o := options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1, parallel: 2,
+		ckptOut: filepath.Join(t.TempDir(), "session.json")}
+	if err := run(&b, o); err == nil {
+		t.Error("campaign mode accepted single-session -checkpoint flag")
+	}
+	o = options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1,
+		targets: filepath.Join(t.TempDir(), "missing.txt")}
+	if err := run(&b, o); err == nil {
+		t.Error("missing targets file accepted")
+	}
+	tf := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(tf, []byte("not-an-ip\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o = options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1, targets: tf}
+	if err := run(&b, o); err == nil {
+		t.Error("bad targets file accepted")
+	}
+}

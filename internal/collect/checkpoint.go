@@ -1,0 +1,101 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tracenet/internal/core"
+	"tracenet/internal/ipv4"
+)
+
+// CheckpointVersion is the campaign checkpoint schema version.
+const CheckpointVersion = 1
+
+// Checkpoint is a campaign-granularity snapshot: the target list, the
+// destinations whose traces completed, and every distinct subnet collected,
+// in the serialized form shared with session checkpoints. A campaign resumed
+// from its checkpoint skips the completed targets and never re-explores the
+// checkpointed subnets' address space (they seed the cache's frozen member
+// tier), so an interrupted run loses at most the in-flight targets' probes.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Targets is the campaign's full destination list, in input order.
+	Targets []string `json:"targets,omitempty"`
+	// Done lists destinations whose traces ran to completion.
+	Done []string `json:"done,omitempty"`
+	// Subnets are the distinct collected subnets, deterministically ordered.
+	Subnets []core.CheckpointSubnet `json:"subnets,omitempty"`
+}
+
+// Checkpoint snapshots the campaign for a later resume. Deterministic: the
+// subnet list is sorted by prefix and pivot, the done list follows input
+// order, so the serialized bytes are independent of worker scheduling.
+func (r *Report) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{Version: CheckpointVersion}
+	for i := range r.Targets {
+		cp.Targets = append(cp.Targets, r.Targets[i].Dst.String())
+	}
+	inDone := make(map[ipv4.Addr]bool)
+	for _, d := range r.resumeDone {
+		if !inDone[d] {
+			inDone[d] = true
+			cp.Done = append(cp.Done, d.String())
+		}
+	}
+	for i := range r.Targets {
+		t := &r.Targets[i]
+		if t.Status == StatusDone && !inDone[t.Dst] {
+			inDone[t.Dst] = true
+			cp.Done = append(cp.Done, t.Dst.String())
+		}
+	}
+	for _, sub := range r.subnets {
+		cp.Subnets = append(cp.Subnets, core.SnapshotSubnet(sub))
+	}
+	return cp
+}
+
+// WriteCheckpoint serializes a campaign checkpoint as indented JSON.
+func WriteCheckpoint(w io.Writer, cp *Checkpoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cp)
+}
+
+// ReadCheckpoint decodes and validates a JSON campaign checkpoint.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("collect: checkpoint: %w", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("collect: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	return &cp, nil
+}
+
+// restore converts the checkpoint back to in-memory form: the subnets (for
+// the cache's frozen tier) and the done destinations (to skip).
+func (cp *Checkpoint) restore() ([]*core.Subnet, []ipv4.Addr, error) {
+	if cp.Version != CheckpointVersion {
+		return nil, nil, fmt.Errorf("collect: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	var subs []*core.Subnet
+	for _, cs := range cp.Subnets {
+		sub, err := cs.Restore()
+		if err != nil {
+			return nil, nil, err
+		}
+		subs = append(subs, sub)
+	}
+	var done []ipv4.Addr
+	for _, d := range cp.Done {
+		a, err := ipv4.ParseAddr(d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("collect: checkpoint done list: %w", err)
+		}
+		done = append(done, a)
+	}
+	return subs, done, nil
+}

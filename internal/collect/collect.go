@@ -1,0 +1,358 @@
+// Package collect is tracenet's parallel multi-destination collection
+// engine: a campaign traces many destinations concurrently from one vantage
+// point, shares subnet explorations between workers through a single-flight
+// cache, and merges everything into one deterministic subnet-level topology.
+//
+// The paper collects its datasets by running tracenet against thousands of
+// destinations (§4); doing that serially re-explores every backbone subnet
+// once per destination that crosses it. The campaign engine removes both
+// costs: a worker pool overlaps traces in wall-clock time, and the shared
+// cache (internal/collect.Cache) makes each distinct hop context's subnet
+// exploration happen exactly once across the whole campaign — the
+// Doubletree stop-set idea applied to subnet exploration.
+//
+// Determinism contract: on a clean deterministic substrate (netsim without
+// loss, faults, rate limits, or per-packet ECMP; no retries with jitter; no
+// breaker; the greedy cache tier off), a campaign's merged topology, report
+// rendering, and metrics exposition are byte-identical at any Parallel
+// value. Only scheduling-dependent artifacts — span timestamps in the trace
+// output, per-target position/explore probe attribution — vary; everything
+// the campaign renders is derived from schedule-independent quantities.
+package collect
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"tracenet/internal/core"
+	"tracenet/internal/invariant"
+	"tracenet/internal/ipv4"
+	"tracenet/internal/probe"
+	"tracenet/internal/telemetry"
+)
+
+// Config tunes one campaign.
+type Config struct {
+	// Targets are the destinations to trace, in input order. The report
+	// preserves this order regardless of which worker traced what.
+	Targets []ipv4.Addr
+	// Parallel is the worker count; <= 1 means sequential.
+	Parallel int
+	// Budget caps the campaign's total wire packets across all workers
+	// (0 = unlimited). When it is exhausted mid-trace the trace ends with a
+	// budget status, no further targets are started, and the remainder are
+	// marked skipped — the probe layer's atomic reservation guarantees the
+	// cap is never overspent.
+	Budget uint64
+	// MaxBreakerTrips stops dispatching new targets once the campaign has
+	// observed this many circuit-breaker opens across all workers (0 =
+	// disabled). Only meaningful when Probe.Breaker is set.
+	MaxBreakerTrips uint64
+	// DisableCache runs the campaign without the shared subnet cache —
+	// every target re-explores its whole path (the ablation baseline the
+	// probes-saved accounting is measured against).
+	DisableCache bool
+	// Greedy enables the cache's live member-address tier: pivots that are
+	// members of any subnet grown so far are served without a context match.
+	// Saves more probes, but which lookups hit depends on worker timing, so
+	// output is no longer parallelism-independent. Off by default.
+	Greedy bool
+
+	// Session configures each per-target session. Its Shared field is
+	// overwritten by the campaign.
+	Session core.Config
+	// Probe configures each per-target prober. Its SharedBudget field is
+	// overwritten by the campaign; leave retries/breaker unset for
+	// deterministic campaigns.
+	Probe probe.Options
+	// Dial builds the prober a worker uses for one target, from the options
+	// the campaign finished assembling — typically netsim's PortFor plus
+	// probe.New. Called once per target, possibly from several goroutines.
+	Dial func(opts probe.Options) (*probe.Prober, error)
+
+	// Telemetry is the campaign's observability layer (may be nil). Workers
+	// share it: registry counters are atomic; note that B/E span nesting in
+	// the Chrome trace interleaves when Parallel > 1 (the campaign's own
+	// events use duration-complete records, which are interleaving-safe).
+	Telemetry *telemetry.Telemetry
+
+	// Resume seeds the campaign from a checkpoint: targets listed done are
+	// skipped, and the checkpoint's subnets pre-populate the cache's frozen
+	// member tier so their address space is never re-explored.
+	Resume *Checkpoint
+}
+
+// TargetStatus classifies one target's outcome.
+type TargetStatus string
+
+const (
+	// StatusDone: the trace ran to completion (reached or not).
+	StatusDone TargetStatus = "done"
+	// StatusResumed: the checkpoint already contained this target.
+	StatusResumed TargetStatus = "resumed"
+	// StatusBudget: the campaign budget ran out mid-trace; partial result.
+	StatusBudget TargetStatus = "budget"
+	// StatusSkipped: never started (budget/breaker backpressure or cancel).
+	StatusSkipped TargetStatus = "skipped"
+	// StatusFailed: the trace aborted on a non-recoverable error.
+	StatusFailed TargetStatus = "failed"
+)
+
+// TargetResult is one target's row in the campaign report. Only
+// schedule-independent fields are rendered; the full Result carries
+// schedule-dependent detail (probe phase splits, shared-hop marks) for
+// programmatic consumers that know the caveats.
+type TargetResult struct {
+	Dst    ipv4.Addr
+	Status TargetStatus
+	// Note carries the skip reason or abort error text.
+	Note    string
+	Reached bool
+	Hops    int
+	// Subnets is the number of distinct subnets observed on this trace.
+	Subnets int
+	// TraceProbes is the trace-collection phase's packet count — a pure
+	// function of the target on a deterministic substrate.
+	TraceProbes uint64
+	// Result is the full per-target session result (nil when not traced).
+	Result *core.Result
+}
+
+// Run executes a campaign: dispatch every target to the worker pool, collect
+// per-target results, and assemble the deterministic merged report. Workers
+// stop picking up new targets when ctx is cancelled, the budget is exhausted,
+// or the breaker-trip limit is reached; targets already being traced finish
+// (a cancelled campaign still returns a well-formed partial report).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Dial == nil {
+		return nil, errors.New("collect: Config.Dial is required")
+	}
+	if len(cfg.Targets) == 0 {
+		return nil, errors.New("collect: no targets")
+	}
+	parallel := cfg.Parallel
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > len(cfg.Targets) {
+		parallel = len(cfg.Targets)
+	}
+
+	c := &campaign{
+		cfg:    cfg,
+		tel:    cfg.Telemetry,
+		budget: probe.NewSharedBudget(cfg.Budget),
+	}
+	if !cfg.DisableCache {
+		c.cache = NewCache(cfg.Greedy)
+	}
+	resumedDone := make(map[ipv4.Addr]bool)
+	if cfg.Resume != nil {
+		frozen, done, err := cfg.Resume.restore()
+		if err != nil {
+			return nil, err
+		}
+		if c.cache != nil {
+			c.cache.Freeze(frozen)
+		}
+		c.frozen = frozen
+		for _, d := range done {
+			resumedDone[d] = true
+		}
+		c.resumeDone = done
+	}
+	c.bindTelemetry()
+
+	start := c.tel.Ticks()
+	results := make([]TargetResult, len(cfg.Targets))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				c.collectOne(ctx, cfg.Targets[idx], &results[idx])
+			}
+		}()
+	}
+	for idx := range cfg.Targets {
+		if resumedDone[cfg.Targets[idx]] {
+			results[idx] = TargetResult{
+				Dst:    cfg.Targets[idx],
+				Status: StatusResumed,
+				Note:   "completed in checkpoint",
+			}
+			continue
+		}
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	end := c.tel.Ticks()
+	c.tel.Complete("campaign", start, end,
+		"targets", strconv.Itoa(len(cfg.Targets)),
+		"parallel", strconv.Itoa(parallel))
+
+	rep := c.buildReport(results)
+	invariant.Assertf(cfg.Budget == 0 || rep.Stats.WireProbes <= cfg.Budget,
+		"collect: campaign overspent budget: %d of %d wire probes",
+		rep.Stats.WireProbes, cfg.Budget)
+	c.exportStats(rep.Stats)
+	return rep, nil
+}
+
+// campaign is the running state shared by the coordinator and its workers.
+type campaign struct {
+	cfg    Config
+	tel    *telemetry.Telemetry
+	budget *probe.SharedBudget
+	cache  *Cache // nil when the shared cache is disabled
+
+	// frozen and resumeDone carry the restored checkpoint state forward into
+	// the next checkpoint.
+	frozen     []*core.Subnet
+	resumeDone []ipv4.Addr
+
+	wireProbes   atomic.Uint64
+	breakerTrips atomic.Uint64
+
+	cTargets map[TargetStatus]*telemetry.Counter
+	cHits    *telemetry.Counter
+	cMisses  *telemetry.Counter
+	cSaved   *telemetry.Counter
+	cProbes  *telemetry.Counter
+}
+
+// bindTelemetry registers the campaign metric families up front so a
+// campaign's exposition always lists the same series, whatever happens.
+func (c *campaign) bindTelemetry() {
+	c.cTargets = make(map[TargetStatus]*telemetry.Counter)
+	for _, st := range []TargetStatus{StatusDone, StatusResumed, StatusBudget, StatusSkipped, StatusFailed} {
+		c.cTargets[st] = c.tel.Counter("tracenet_campaign_targets_total", "status", string(st))
+	}
+	c.cHits = c.tel.Counter("tracenet_campaign_cache_hits_total")
+	c.cMisses = c.tel.Counter("tracenet_campaign_cache_misses_total")
+	c.cSaved = c.tel.Counter("tracenet_campaign_probes_saved_total")
+	c.cProbes = c.tel.Counter("tracenet_campaign_probes_total")
+}
+
+// backpressure reports why no new target may start, or "" to proceed.
+func (c *campaign) backpressure(ctx context.Context) string {
+	if ctx.Err() != nil {
+		return "campaign cancelled"
+	}
+	if c.budget.Exhausted() {
+		return "campaign budget exhausted"
+	}
+	if limit := c.cfg.MaxBreakerTrips; limit > 0 && c.breakerTrips.Load() >= limit {
+		return "breaker-trip limit reached"
+	}
+	return ""
+}
+
+// collectOne traces a single target with a fresh prober and session, filling
+// in its report row. Every error is captured in the row — a failed target
+// never takes the campaign down.
+func (c *campaign) collectOne(ctx context.Context, dst ipv4.Addr, out *TargetResult) {
+	out.Dst = dst
+	if reason := c.backpressure(ctx); reason != "" {
+		out.Status = StatusSkipped
+		out.Note = reason
+		return
+	}
+
+	opts := c.cfg.Probe
+	opts.SharedBudget = c.budget
+	if opts.Telemetry == nil {
+		opts.Telemetry = c.tel
+	}
+	pr, err := c.cfg.Dial(opts)
+	if err != nil {
+		out.Status = StatusFailed
+		out.Note = err.Error()
+		return
+	}
+
+	scfg := c.cfg.Session
+	scfg.Shared = nil
+	if c.cache != nil {
+		scfg.Shared = c.cache
+	}
+	sess := core.NewSession(pr, scfg)
+
+	start := c.tel.Ticks()
+	res, err := sess.Trace(dst)
+	end := c.tel.Ticks()
+
+	st := pr.Stats()
+	c.wireProbes.Add(st.Sent)
+	c.breakerTrips.Add(st.BreakerOpens)
+
+	out.Result = res
+	if res != nil {
+		out.Reached = res.Reached
+		out.Hops = len(res.Hops)
+		out.Subnets = len(res.Subnets)
+		out.TraceProbes = res.TraceProbes
+	}
+	switch {
+	case err == nil:
+		out.Status = StatusDone
+	case errors.Is(err, probe.ErrBudgetExceeded):
+		out.Status = StatusBudget
+		out.Note = "campaign budget exhausted mid-trace"
+	default:
+		out.Status = StatusFailed
+		out.Note = err.Error()
+	}
+	c.tel.Complete("target", start, end,
+		"dst", dst.String(),
+		"status", string(out.Status))
+}
+
+// buildReport assembles the deterministic campaign report from the
+// per-target rows (already in input order).
+func (c *campaign) buildReport(results []TargetResult) *Report {
+	rep := &Report{Targets: results}
+	for i := range results {
+		switch results[i].Status {
+		case StatusDone:
+			rep.Stats.Done++
+		case StatusResumed:
+			rep.Stats.Resumed++
+		case StatusBudget:
+			rep.Stats.Budget++
+		case StatusSkipped:
+			rep.Stats.Skipped++
+		case StatusFailed:
+			rep.Stats.Failed++
+		}
+	}
+	rep.Stats.Targets = len(results)
+	rep.Stats.WireProbes = c.wireProbes.Load()
+	if c.cache != nil {
+		rep.Stats.CacheHits = c.cache.Hits()
+		rep.Stats.CacheMisses = c.cache.Misses()
+		rep.Stats.ProbesSaved = c.cache.ProbesSaved()
+	}
+	rep.merge(c.frozen)
+	rep.resumeDone = c.resumeDone
+	return rep
+}
+
+// exportStats mirrors the final campaign accounting onto the metric registry.
+func (c *campaign) exportStats(s Stats) {
+	c.cTargets[StatusDone].Add(uint64(s.Done))
+	c.cTargets[StatusResumed].Add(uint64(s.Resumed))
+	c.cTargets[StatusBudget].Add(uint64(s.Budget))
+	c.cTargets[StatusSkipped].Add(uint64(s.Skipped))
+	c.cTargets[StatusFailed].Add(uint64(s.Failed))
+	c.cHits.Add(s.CacheHits)
+	c.cMisses.Add(s.CacheMisses)
+	c.cSaved.Add(s.ProbesSaved)
+	c.cProbes.Add(s.WireProbes)
+}

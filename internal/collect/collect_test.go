@@ -1,0 +1,325 @@
+package collect_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"tracenet/internal/collect"
+	"tracenet/internal/core"
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/telemetry"
+	"tracenet/internal/topo"
+	"tracenet/internal/topomap"
+)
+
+// campaignSpec is a random topology whose 24 leaf destinations share an
+// 8-router backbone — the regime where the shared subnet cache pays off.
+var campaignSpec = topo.RandomSpec{Seed: 42, Backbone: 8, Leaves: 24, LANFraction: 0.25, ExtraLinks: 2}
+
+// newCampaignNet builds a fresh clean network (and a config targeting its
+// leaves) for one run.
+func newCampaignNet(t *testing.T) collect.Config {
+	t.Helper()
+	tp, targets := topo.Random(campaignSpec)
+	if len(targets) < 20 {
+		t.Fatalf("spec yielded %d targets, need >= 20", len(targets))
+	}
+	n := netsim.New(tp, netsim.Config{Seed: 7})
+	tel := telemetry.New(n)
+	n.SetTelemetry(tel)
+	return collect.Config{
+		Targets:   targets,
+		Probe:     probe.Options{Cache: true},
+		Telemetry: tel,
+		Dial: func(opts probe.Options) (*probe.Prober, error) {
+			port, err := n.PortFor("vantage")
+			if err != nil {
+				return nil, err
+			}
+			return probe.New(port, port.LocalAddr(), opts), nil
+		},
+	}
+}
+
+// runCampaign executes one campaign and returns the report plus its rendered
+// output and metrics exposition.
+func runCampaign(t *testing.T, parallel int, mutate func(*collect.Config)) (*collect.Report, string, string) {
+	t.Helper()
+	cfg := newCampaignNet(t)
+	cfg.Parallel = parallel
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rep, err := collect.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("campaign parallel=%d: %v", parallel, err)
+	}
+	var out bytes.Buffer
+	if _, err := rep.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	if err := cfg.Telemetry.Registry.WritePrometheus(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	return rep, out.String(), metrics.String()
+}
+
+// TestCampaignDeterminism is the tentpole guarantee: the same targets on the
+// same substrate produce a byte-identical report AND byte-identical metrics
+// exposition at parallel 1 and parallel 8.
+func TestCampaignDeterminism(t *testing.T) {
+	rep1, out1, met1 := runCampaign(t, 1, nil)
+	rep8, out8, met8 := runCampaign(t, 8, nil)
+
+	if rep1.Stats.Done != rep1.Stats.Targets {
+		t.Fatalf("sequential campaign incomplete: %+v", rep1.Stats)
+	}
+	if out1 != out8 {
+		t.Errorf("report rendering differs between parallel=1 and parallel=8:\n--- p1\n%s--- p8\n%s", out1, out8)
+	}
+	if met1 != met8 {
+		t.Errorf("metrics exposition differs between parallel=1 and parallel=8:\n--- p1\n%s--- p8\n%s", met1, met8)
+	}
+	if rep1.Stats != rep8.Stats {
+		t.Errorf("stats differ: p1 %+v, p8 %+v", rep1.Stats, rep8.Stats)
+	}
+	// Checkpoints are part of the byte-stability contract too.
+	var cp1, cp8 bytes.Buffer
+	if err := collect.WriteCheckpoint(&cp1, rep1.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if err := collect.WriteCheckpoint(&cp8, rep8.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if cp1.String() != cp8.String() {
+		t.Errorf("checkpoints differ between parallel=1 and parallel=8")
+	}
+}
+
+// TestCampaignProbesSaved is the efficiency guarantee: with >= 20
+// destinations sharing backbone paths, the cached campaign puts measurably
+// fewer packets on the wire than the same destinations traced independently,
+// and the probes-saved accounting exposes the difference.
+func TestCampaignProbesSaved(t *testing.T) {
+	cached, _, _ := runCampaign(t, 4, nil)
+	uncached, _, _ := runCampaign(t, 4, func(cfg *collect.Config) {
+		cfg.DisableCache = true
+	})
+
+	// The uncached campaign IS 24 independent Session.Trace calls (each
+	// target gets a fresh prober and session, no sharing).
+	if cached.Stats.CacheHits == 0 {
+		t.Fatal("cache recorded no hits on a backbone-sharing topology")
+	}
+	if cached.Stats.ProbesSaved == 0 {
+		t.Fatal("probes-saved accounting is zero despite cache hits")
+	}
+	if cached.Stats.WireProbes >= uncached.Stats.WireProbes {
+		t.Fatalf("cached campaign spent %d wire probes, independent traces %d — cache saved nothing",
+			cached.Stats.WireProbes, uncached.Stats.WireProbes)
+	}
+	t.Logf("wire probes: cached %d vs independent %d (hits %d, saved %d)",
+		cached.Stats.WireProbes, uncached.Stats.WireProbes,
+		cached.Stats.CacheHits, cached.Stats.ProbesSaved)
+
+	// Sharing must be lossless: both campaigns merge to the same topology.
+	if cached.Map.String() != uncached.Map.String() {
+		t.Errorf("cached and uncached campaigns merged different topologies:\n--- cached\n%s--- uncached\n%s",
+			cached.Map.String(), uncached.Map.String())
+	}
+}
+
+// TestCampaignBudgetBackpressure exhausts a small campaign budget: the cap is
+// never overspent, in-flight targets report budget status, and the remainder
+// are skipped rather than traced.
+func TestCampaignBudgetBackpressure(t *testing.T) {
+	const budget = 40
+	rep, _, _ := runCampaign(t, 4, func(cfg *collect.Config) {
+		cfg.Budget = budget
+	})
+	if rep.Stats.WireProbes > budget {
+		t.Fatalf("campaign overspent: %d wire probes against budget %d", rep.Stats.WireProbes, budget)
+	}
+	if rep.Stats.Budget == 0 {
+		t.Error("no target reports budget exhaustion")
+	}
+	if rep.Stats.Skipped == 0 {
+		t.Error("backpressure never skipped a target")
+	}
+	if rep.Stats.Done+rep.Stats.Budget+rep.Stats.Skipped+rep.Stats.Failed != rep.Stats.Targets {
+		t.Errorf("status counts don't add up: %+v", rep.Stats)
+	}
+}
+
+// TestCampaignCancellation: a cancelled context stops dispatch but still
+// yields a well-formed report with every target accounted for.
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := newCampaignNet(t)
+	cfg.Parallel = 4
+	rep, err := collect.Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Skipped != rep.Stats.Targets {
+		t.Fatalf("cancelled campaign traced targets anyway: %+v", rep.Stats)
+	}
+	var out bytes.Buffer
+	if _, err := rep.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "campaign cancelled") {
+		t.Errorf("report does not mention cancellation:\n%s", out.String())
+	}
+}
+
+// TestCampaignCheckpointResume: a resumed campaign skips completed targets
+// entirely, preserves the checkpointed subnets in its merged topology, and a
+// re-checkpoint carries everything forward.
+func TestCampaignCheckpointResume(t *testing.T) {
+	full, _, _ := runCampaign(t, 4, nil)
+	var buf bytes.Buffer
+	if err := collect.WriteCheckpoint(&buf, full.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := collect.ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, _, _ := runCampaign(t, 4, func(cfg *collect.Config) {
+		cfg.Resume = cp
+	})
+	if resumed.Stats.Resumed != resumed.Stats.Targets {
+		t.Fatalf("resume re-traced targets: %+v", resumed.Stats)
+	}
+	if resumed.Stats.WireProbes != 0 {
+		t.Fatalf("fully-resumed campaign spent %d probes", resumed.Stats.WireProbes)
+	}
+	assertSameSubnets(t, resumed.Map, full.Map)
+
+	var re bytes.Buffer
+	if err := collect.WriteCheckpoint(&re, resumed.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	recp, err := collect.ReadCheckpoint(bytes.NewReader(re.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recp.Done) != len(cp.Done) || len(recp.Subnets) != len(cp.Subnets) {
+		t.Errorf("re-checkpoint lost state: done %d->%d, subnets %d->%d",
+			len(cp.Done), len(recp.Done), len(cp.Subnets), len(recp.Subnets))
+	}
+}
+
+// TestCampaignResumeFrozenTier: resuming with a partial done list makes the
+// remaining targets draw on the frozen member tier — checkpointed subnets are
+// never re-explored, so the cache reports saved probes even for fresh
+// targets.
+func TestCampaignResumeFrozenTier(t *testing.T) {
+	full, _, _ := runCampaign(t, 1, nil)
+	cp := full.Checkpoint()
+	// Pretend the campaign died after the first half of the targets.
+	half := len(cp.Done) / 2
+	cp.Done = cp.Done[:half]
+
+	resumed, _, _ := runCampaign(t, 4, func(cfg *collect.Config) {
+		cfg.Resume = cp
+	})
+	if resumed.Stats.Resumed != half {
+		t.Fatalf("resumed %d targets, want %d", resumed.Stats.Resumed, half)
+	}
+	if resumed.Stats.Done != resumed.Stats.Targets-half {
+		t.Fatalf("done %d targets, want %d: %+v", resumed.Stats.Done, resumed.Stats.Targets-half, resumed.Stats)
+	}
+	if resumed.Stats.ProbesSaved == 0 {
+		t.Error("frozen tier saved no probes for the remaining targets")
+	}
+	assertSameSubnets(t, resumed.Map, full.Map)
+}
+
+// assertSameSubnets compares two merged topologies by membership: same
+// subnets, same addresses. Observation counts are NOT compared — a resumed
+// campaign restores subnets from the checkpoint instead of replaying the
+// per-target observations that produced them.
+func assertSameSubnets(t *testing.T, got, want *topomap.Map) {
+	t.Helper()
+	gs, ws := got.Subnets(), want.Subnets()
+	if len(gs) != len(ws) {
+		t.Fatalf("merged %d subnets, want %d:\n--- got\n%s--- want\n%s",
+			len(gs), len(ws), got.String(), want.String())
+	}
+	for i := range gs {
+		a, b := gs[i], ws[i]
+		if a.Prefix != b.Prefix || fmt.Sprint(a.Addrs) != fmt.Sprint(b.Addrs) {
+			t.Errorf("subnet %d differs: got %v %v, want %v %v",
+				i, a.Prefix, a.Addrs, b.Prefix, b.Addrs)
+		}
+	}
+}
+
+// TestCampaignGreedyTier: the opt-in member tier is at least as effective as
+// the context memo and still merges the same topology (its determinism
+// caveat is about probe attribution, not collected values) when sequential.
+func TestCampaignGreedyTier(t *testing.T) {
+	plain, _, _ := runCampaign(t, 1, nil)
+	greedy, _, _ := runCampaign(t, 1, func(cfg *collect.Config) {
+		cfg.Greedy = true
+	})
+	if greedy.Stats.WireProbes > plain.Stats.WireProbes {
+		t.Errorf("greedy tier spent more probes (%d) than context memo alone (%d)",
+			greedy.Stats.WireProbes, plain.Stats.WireProbes)
+	}
+	if greedy.Map.String() != plain.Map.String() {
+		t.Errorf("greedy campaign merged a different topology:\n--- greedy\n%s--- plain\n%s",
+			greedy.Map.String(), plain.Map.String())
+	}
+}
+
+// TestCampaignMergedEqualsSequentialSession: the campaign's merged topology
+// must equal what one long-lived session tracing every target accumulates —
+// parallel collection is an optimization, not a different measurement.
+func TestCampaignMergedEqualsSequentialSession(t *testing.T) {
+	rep, _, _ := runCampaign(t, 8, nil)
+
+	tp, targets := topo.Random(campaignSpec)
+	n := netsim.New(tp, netsim.Config{Seed: 7})
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+	sess := core.NewSession(pr, core.Config{})
+	m := topomap.New()
+	for _, dst := range targets {
+		res, err := sess.Trace(dst)
+		if err != nil {
+			t.Fatalf("trace %v: %v", dst, err)
+		}
+		m.AddSession(res)
+	}
+
+	// The single session reuses subnets across targets via SkipKnown, the
+	// campaign via the shared cache: both must observe the same subnets.
+	// (Observation counts differ — SkipKnown dedups within the session — so
+	// compare membership, not the full rendering.)
+	campaignSubs := rep.Map.Subnets()
+	sessionSubs := m.Subnets()
+	if len(campaignSubs) != len(sessionSubs) {
+		t.Fatalf("campaign merged %d subnets, sequential session %d:\n--- campaign\n%s--- session\n%s",
+			len(campaignSubs), len(sessionSubs), rep.Map.String(), m.String())
+	}
+	for i := range campaignSubs {
+		a, b := campaignSubs[i], sessionSubs[i]
+		if a.Prefix != b.Prefix || len(a.Addrs) != len(b.Addrs) {
+			t.Errorf("subnet %d differs: campaign %v %v, session %v %v",
+				i, a.Prefix, a.Addrs, b.Prefix, b.Addrs)
+		}
+	}
+}

@@ -43,37 +43,43 @@ type CheckpointSubnet struct {
 	Degraded    bool     `json:"degraded,omitempty"`
 }
 
+// SnapshotSubnet serializes one collected subnet. Campaign checkpoints
+// (internal/collect) share this representation with session checkpoints.
+func SnapshotSubnet(sub *Subnet) CheckpointSubnet {
+	cs := CheckpointSubnet{
+		Prefix:     sub.Prefix.String(),
+		Pivot:      sub.Pivot.String(),
+		PivotDist:  sub.PivotDist,
+		OnPath:     sub.OnPath,
+		Stop:       string(sub.Stop),
+		Probes:     sub.Probes,
+		Confidence: sub.Confidence,
+		Degraded:   sub.Degraded,
+	}
+	for _, a := range sub.Addrs {
+		// The write-side mirror of Restore()'s membership validation: a
+		// subnet must never checkpoint members outside its own prefix.
+		invariant.Assertf(sub.Prefix.Contains(a),
+			"core: checkpoint subnet %v holds stray member %v", sub.Prefix, a)
+		cs.Addrs = append(cs.Addrs, a.String())
+	}
+	if !sub.ContraPivot.IsZero() {
+		cs.ContraPivot = sub.ContraPivot.String()
+	}
+	if !sub.Ingress.IsZero() {
+		cs.Ingress = sub.Ingress.String()
+	}
+	if !sub.TraceEntry.IsZero() {
+		cs.TraceEntry = sub.TraceEntry.String()
+	}
+	return cs
+}
+
 // Checkpoint snapshots the session's collected state.
 func (s *Session) Checkpoint() *Checkpoint {
 	cp := &Checkpoint{Version: CheckpointVersion}
 	for _, sub := range s.subnets {
-		cs := CheckpointSubnet{
-			Prefix:     sub.Prefix.String(),
-			Pivot:      sub.Pivot.String(),
-			PivotDist:  sub.PivotDist,
-			OnPath:     sub.OnPath,
-			Stop:       string(sub.Stop),
-			Probes:     sub.Probes,
-			Confidence: sub.Confidence,
-			Degraded:   sub.Degraded,
-		}
-		for _, a := range sub.Addrs {
-			// The write-side mirror of restore()'s membership validation: a
-			// subnet must never checkpoint members outside its own prefix.
-			invariant.Assertf(sub.Prefix.Contains(a),
-				"core: checkpoint subnet %v holds stray member %v", sub.Prefix, a)
-			cs.Addrs = append(cs.Addrs, a.String())
-		}
-		if !sub.ContraPivot.IsZero() {
-			cs.ContraPivot = sub.ContraPivot.String()
-		}
-		if !sub.Ingress.IsZero() {
-			cs.Ingress = sub.Ingress.String()
-		}
-		if !sub.TraceEntry.IsZero() {
-			cs.TraceEntry = sub.TraceEntry.String()
-		}
-		cp.Subnets = append(cp.Subnets, cs)
+		cp.Subnets = append(cp.Subnets, SnapshotSubnet(sub))
 	}
 	for _, d := range s.done {
 		cp.Done = append(cp.Done, d.String())
@@ -100,8 +106,9 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return &cp, nil
 }
 
-// restore converts a checkpointed subnet back to its in-memory form.
-func (cs CheckpointSubnet) restore() (*Subnet, error) {
+// Restore converts a checkpointed subnet back to its in-memory form,
+// validating prefixes, addresses, and membership.
+func (cs CheckpointSubnet) Restore() (*Subnet, error) {
 	prefix, err := ipv4.ParsePrefix(cs.Prefix)
 	if err != nil {
 		return nil, fmt.Errorf("core: checkpoint subnet: %w", err)
@@ -166,7 +173,7 @@ func NewSessionFromCheckpoint(pr *probe.Prober, cfg Config, cp *Checkpoint) (*Se
 	}
 	s := NewSession(pr, cfg)
 	for _, cs := range cp.Subnets {
-		sub, err := cs.restore()
+		sub, err := cs.Restore()
 		if err != nil {
 			return nil, err
 		}

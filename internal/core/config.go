@@ -34,6 +34,12 @@ type Config struct {
 	// large subnet (MinPrefixBits) and shrink while heuristics fail
 	// (ablation; markedly more probes on small subnets).
 	TopDown bool
+
+	// Shared, when non-nil, lets this session share subnet explorations with
+	// other sessions of the same campaign (see SharedSubnetCache). Before an
+	// owned growth the session clears its prober's response cache so the
+	// growth's wire cost is a pure function of the hop context.
+	Shared SharedSubnetCache
 }
 
 func (c Config) withDefaults() Config {

@@ -44,6 +44,7 @@ type Session struct {
 	cTraceProbes    *telemetry.Counter
 	cPositionProbes *telemetry.Counter
 	cExploreProbes  *telemetry.Counter
+	cShared         *telemetry.Counter
 	hSubnetBits     *telemetry.Histogram
 	hSubnetProbes   *telemetry.Histogram
 }
@@ -82,6 +83,7 @@ func (s *Session) bindTelemetry() {
 	s.cTraceProbes = tel.Counter("tracenet_session_probes_total", "phase", "trace")
 	s.cPositionProbes = tel.Counter("tracenet_session_probes_total", "phase", "position")
 	s.cExploreProbes = tel.Counter("tracenet_session_probes_total", "phase", "explore")
+	s.cShared = tel.Counter("tracenet_session_shared_hits_total")
 	s.hSubnetBits = tel.Histogram("tracenet_session_subnet_prefix_bits", SubnetPrefixBuckets)
 	s.hSubnetProbes = tel.Histogram("tracenet_session_subnet_probes", SubnetProbeBuckets)
 }
@@ -236,7 +238,9 @@ func (s *Session) traceHop(dst ipv4.Addr, d int, u *ipv4.Addr, gaps *int,
 }
 
 // exploreHop positions and grows the subnet for the interface v obtained at
-// hop d, or reuses a previously collected subnet containing v.
+// hop d, reuses a previously collected subnet containing v, or — in a
+// campaign — adopts the growth another session already ran for this hop
+// context through the shared subnet cache.
 func (s *Session) exploreHop(hop *Hop, u, v ipv4.Addr, d int, res *Result) error {
 	if !s.cfg.DisableSkipKnown {
 		if known, ok := s.collected[v]; ok {
@@ -250,6 +254,45 @@ func (s *Session) exploreHop(hop *Hop, u, v ipv4.Addr, d int, res *Result) error
 		}
 	}
 
+	var err error
+	if s.cfg.Shared != nil {
+		// Clear the prober's response cache so an owned growth's wire cost is
+		// a pure function of the hop context (v, u, d) — independent of what
+		// this session probed before — which keeps campaign probe totals
+		// schedule-independent (see SharedSubnetCache).
+		s.pr.ClearCache()
+		var g Growth
+		var hit bool
+		g, hit, err = s.cfg.Shared.ExploreHop(v, u, d, func() (Growth, error) {
+			return s.growSubnet(hop, u, v, d, res)
+		})
+		if err == nil && hit {
+			s.adoptShared(hop, g.Subnet, res)
+		}
+	} else {
+		_, err = s.growSubnet(hop, u, v, d, res)
+	}
+	if err != nil {
+		if recoverable(err) {
+			// Growth died on a faulty transport: record the hop bare and
+			// degraded instead of aborting the session. Waiters on a shared
+			// growth absorb the owner's error the same way.
+			res.Recovered++
+			s.cRecovered.Inc()
+			hop.Degraded = true
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// growSubnet runs the position and explore phases for pivot v at hop d and,
+// on success, registers the grown subnet with the session. Errors propagate
+// raw — the caller decides whether they are absorbable — so a shared cache
+// never memoizes a faulted growth. A nil-Subnet Growth means v was
+// unpositionable (the hop stays bare, and that outcome is memoizable).
+func (s *Session) growSubnet(hop *Hop, u, v ipv4.Addr, d int, res *Result) (Growth, error) {
 	// One scope brackets both phases: its delta is the subnet's own share of
 	// answered/silent/faulted probes, from which Confidence derives.
 	work := s.pr.Scope()
@@ -263,18 +306,11 @@ func (s *Session) exploreHop(hop *Hop, u, v ipv4.Addr, d int, res *Result) error
 	res.PositionProbes += positionCost
 	s.cPositionProbes.Add(positionCost)
 	if err != nil {
-		if recoverable(err) {
-			// Positioning died on a faulty transport: record the hop bare
-			// and degraded instead of aborting the session.
-			res.Recovered++
-			s.cRecovered.Inc()
-			hop.Degraded = true
-			return nil
-		}
-		return err
+		return Growth{Cost: positionCost}, err
 	}
 	if !pos.ok {
-		return nil // v unpositionable: hop recorded without a subnet
+		// v unpositionable: hop recorded without a subnet.
+		return Growth{Cost: positionCost}, nil
 	}
 
 	es := s.pr.Scope()
@@ -286,13 +322,7 @@ func (s *Session) exploreHop(hop *Hop, u, v ipv4.Addr, d int, res *Result) error
 	res.ExploreProbes += exploreCost
 	s.cExploreProbes.Add(exploreCost)
 	if err != nil {
-		if recoverable(err) {
-			res.Recovered++
-			s.cRecovered.Inc()
-			hop.Degraded = true
-			return nil
-		}
-		return err
+		return Growth{Cost: positionCost + exploreCost}, err
 	}
 	sub.Probes = positionCost + exploreCost
 
@@ -330,7 +360,29 @@ func (s *Session) exploreHop(hop *Hop, u, v ipv4.Addr, d int, res *Result) error
 			s.collected[a] = sub
 		}
 	}
-	return nil
+	return Growth{Subnet: sub, Cost: sub.Probes}, nil
+}
+
+// adoptShared installs a subnet grown by another session into this trace: the
+// hop points at the shared subnet, the result lists it once, and its members
+// join the session's SkipKnown index so later hops of this trace reuse it
+// without consulting the cache again. No packets were spent here; a nil sub
+// means the context was memoized as unpositionable and the hop stays bare.
+func (s *Session) adoptShared(hop *Hop, sub *Subnet, res *Result) {
+	hop.Shared = true
+	s.cShared.Inc()
+	if sub == nil {
+		return
+	}
+	hop.Subnet = sub
+	if !containsSubnet(res.Subnets, sub) {
+		res.Subnets = append(res.Subnets, sub)
+	}
+	for _, a := range sub.Addrs {
+		if _, dup := s.collected[a]; !dup {
+			s.collected[a] = sub
+		}
+	}
 }
 
 func containsSubnet(list []*Subnet, s *Subnet) bool {

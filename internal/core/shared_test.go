@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/topo"
+)
+
+// fakeCache is a single-goroutine SharedSubnetCache: a plain memo with full
+// call recording, standing in for the campaign layer's single-flight cache.
+type fakeCache struct {
+	memo    map[hopContext]Growth
+	lookups []hopContext
+	grown   []hopContext
+}
+
+type hopContext struct {
+	v, u ipv4.Addr
+	d    int
+}
+
+func newFakeCache() *fakeCache {
+	return &fakeCache{memo: make(map[hopContext]Growth)}
+}
+
+func (c *fakeCache) ExploreHop(v, u ipv4.Addr, d int, grow func() (Growth, error)) (Growth, bool, error) {
+	key := hopContext{v, u, d}
+	c.lookups = append(c.lookups, key)
+	if g, ok := c.memo[key]; ok {
+		return g, true, nil
+	}
+	g, err := grow()
+	if err != nil {
+		return Growth{}, false, err
+	}
+	c.memo[key] = g
+	c.grown = append(c.grown, key)
+	return g, false, nil
+}
+
+func sharedProber(t *testing.T, n *netsim.Network) *probe.Prober {
+	t.Helper()
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+}
+
+// TestSessionSharedCacheMissThenHit traces the same destination from two
+// sessions sharing one cache: the first session grows every subnet (all
+// misses), the second adopts every one of them (all hits) spending only
+// trace-collection packets — and both report identical subnet sets.
+func TestSessionSharedCacheMissThenHit(t *testing.T) {
+	n := netsim.New(topo.Figure3(), netsim.Config{})
+	dst := ipv4.MustParseAddr("10.0.5.2")
+	cache := newFakeCache()
+
+	first, err := NewSession(sharedProber(t, n), Config{Shared: cache}).Trace(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Subnets) == 0 {
+		t.Fatal("first trace collected no subnets")
+	}
+	if len(cache.grown) != len(cache.lookups) {
+		t.Fatalf("first trace: %d growths for %d lookups, want all misses",
+			len(cache.grown), len(cache.lookups))
+	}
+	grownBefore := len(cache.grown)
+
+	second, err := NewSession(sharedProber(t, n), Config{Shared: cache}).Trace(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cache.grown) != grownBefore {
+		t.Fatalf("second trace grew %d new subnets, want 0 (all hits)",
+			len(cache.grown)-grownBefore)
+	}
+	if second.PositionProbes != 0 || second.ExploreProbes != 0 {
+		t.Fatalf("second trace spent position=%d explore=%d probes, want 0/0",
+			second.PositionProbes, second.ExploreProbes)
+	}
+	if second.TraceProbes == 0 {
+		t.Fatal("second trace spent no trace-collection probes")
+	}
+
+	if len(second.Subnets) != len(first.Subnets) {
+		t.Fatalf("subnet counts differ: first %d, second %d", len(first.Subnets), len(second.Subnets))
+	}
+	for i := range first.Subnets {
+		if first.Subnets[i] != second.Subnets[i] {
+			t.Errorf("subnet %d: second trace did not adopt the shared *Subnet (%v vs %v)",
+				i, first.Subnets[i].Prefix, second.Subnets[i].Prefix)
+		}
+	}
+	shared := 0
+	for _, h := range second.Hops {
+		if h.Shared {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no hop of the second trace is marked Shared")
+	}
+}
+
+// TestSessionSharedCacheEquivalence checks sharing is lossless: the rendered
+// result of a cached trace equals that of an identical uncached trace (the
+// Shared flag is deliberately not rendered).
+func TestSessionSharedCacheEquivalence(t *testing.T) {
+	dst := ipv4.MustParseAddr("10.0.5.2")
+
+	plainNet := netsim.New(topo.Figure3(), netsim.Config{})
+	plain, err := NewSession(sharedProber(t, plainNet), Config{}).Trace(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cachedNet := netsim.New(topo.Figure3(), netsim.Config{})
+	cache := newFakeCache()
+	// Warm the cache with one full trace, then re-trace from a fresh session.
+	if _, err := NewSession(sharedProber(t, cachedNet), Config{Shared: cache}).Trace(dst); err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewSession(sharedProber(t, cachedNet), Config{Shared: cache}).Trace(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hop structure and subnet values must match the uncached baseline;
+	// only the probe accounting (and TotalProbes in the header) may differ.
+	if len(cached.Hops) != len(plain.Hops) {
+		t.Fatalf("hop counts differ: cached %d, plain %d", len(cached.Hops), len(plain.Hops))
+	}
+	for i := range plain.Hops {
+		p, c := plain.Hops[i], cached.Hops[i]
+		if p.Addr != c.Addr || p.Kind != c.Kind || (p.Subnet == nil) != (c.Subnet == nil) {
+			t.Errorf("hop %d diverged: plain %+v, cached %+v", i, p, c)
+			continue
+		}
+		if p.Subnet != nil && p.Subnet.String() != c.Subnet.String() {
+			t.Errorf("hop %d subnet diverged:\nplain  %v\ncached %v", i, p.Subnet, c.Subnet)
+		}
+	}
+	if cached.Reached != plain.Reached || cached.TraceProbes != plain.TraceProbes {
+		t.Errorf("cached reached=%v trace-probes=%d, plain reached=%v trace-probes=%d",
+			cached.Reached, cached.TraceProbes, plain.Reached, plain.TraceProbes)
+	}
+}
+
+// TestSessionSharedCacheSkipKnownFirst checks the local SkipKnown index wins
+// over the shared cache: once a subnet is adopted, later hops whose address
+// is a member reuse it locally without another cache lookup.
+func TestSessionSharedCacheSkipKnownFirst(t *testing.T) {
+	n := netsim.New(topo.Figure3(), netsim.Config{})
+	dst := ipv4.MustParseAddr("10.0.5.2")
+	cache := newFakeCache()
+	res, err := NewSession(sharedProber(t, n), Config{Shared: cache}).Trace(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revisits := 0
+	for _, h := range res.Hops {
+		if h.Revisited {
+			revisits++
+		}
+	}
+	// Every named hop either revisited locally or consulted the cache once.
+	named := 0
+	for _, h := range res.Hops {
+		if !h.Anonymous() {
+			named++
+		}
+	}
+	if revisits+len(cache.lookups) != named {
+		t.Errorf("revisits %d + cache lookups %d != named hops %d",
+			revisits, len(cache.lookups), named)
+	}
+}

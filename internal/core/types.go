@@ -166,6 +166,12 @@ type Hop struct {
 	// Revisited is set when Addr already belonged to a subnet collected at an
 	// earlier hop, which is then reused instead of re-explored.
 	Revisited bool
+	// Shared is set when the hop's exploration was served by the campaign's
+	// shared subnet cache instead of this session's own probing. Which hops
+	// are shared depends on worker scheduling, so renderers that promise
+	// byte-stable output must ignore this flag (the subnet itself is
+	// identical either way).
+	Shared bool
 	// Degraded is set when this hop's collection observed definite fault
 	// evidence (corrupt replies, breaker skips, or a recovered transport
 	// error); the hop and its subnet are degraded-but-usable, not clean.

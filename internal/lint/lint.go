@@ -111,16 +111,20 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full tracenetlint suite with its per-package scoping
 // configured. The determinism and map-order analyzers apply only to the
-// measurement-critical packages (netsim, core, probe, telemetry): elsewhere
-// wall-clock time and iteration order are legitimate (e.g. CLI progress
-// output). Telemetry counts as measurement-critical by design: byte-identical
-// same-seed output is part of its contract, so it gets the same policing.
+// measurement-critical packages (netsim, core, probe, telemetry, collect):
+// elsewhere wall-clock time and iteration order are legitimate (e.g. CLI
+// progress output). Telemetry counts as measurement-critical by design:
+// byte-identical same-seed output is part of its contract, so it gets the
+// same policing — and collect promises byte-identical reports regardless of
+// worker scheduling, which only holds if nothing in it leaks map order or
+// wall-clock time.
 func All() []*Analyzer {
 	measurement := matchPaths(
 		"tracenet/internal/netsim",
 		"tracenet/internal/core",
 		"tracenet/internal/probe",
 		"tracenet/internal/telemetry",
+		"tracenet/internal/collect",
 	)
 	det := *DeterminismAnalyzer
 	det.Match = measurement

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"tracenet/internal/invariant"
 	"tracenet/internal/ipv4"
@@ -46,26 +47,51 @@ func (c Config) validate() error {
 	return nil
 }
 
+// needsSerial reports whether the configuration (or the topology itself)
+// consumes shared mutable state on the injection path — the random stream
+// (loss, per-router reply loss, random IP-IDs), the clock-salted per-packet
+// balancer, or per-router rate-limit buckets. Such networks funnel every
+// injection through the mutex so their behaviour is byte-identical to the
+// historical single-threaded engine; clean networks take the lock-free path.
+func (c Config) needsSerial(t *Topology) bool {
+	if c.LossRate > 0 || c.Mode == PerPacket {
+		return true
+	}
+	for _, r := range t.Routers {
+		if r.RateLimit != nil || r.ReplyLoss > 0 || r.IPIDRandom {
+			return true
+		}
+	}
+	return false
+}
+
 // Network is a runnable simulation over an immutable Topology.
-// An internal mutex makes Exchange, Wait, DistanceTo, and the stats
-// accessors safe for concurrent use, so multiple vantage Ports may share one
-// Network (each injection still executes atomically against the single
-// virtual clock).
+//
+// A Network is safe for concurrent use by multiple vantage Ports: on clean
+// configurations (no loss, per-flow balancing, no faults, no rate limits)
+// injections run lock-free over the immutable topology with atomic counters,
+// so concurrent sessions scale across cores; any configuration that consumes
+// the shared random stream or mutable fault state serializes every injection
+// behind the internal mutex, preserving the exact historical behaviour.
 type Network struct {
 	Topo *Topology
 
-	mu        sync.Mutex
-	cfg       Config
-	rt        *routingState
-	rng       *rand.Rand
-	clock     uint64
-	responder *Router
-	faults    *faultState
-
 	// Probes counts every injected packet; Replies counts non-silent answers.
-	// Use Counters for a race-free snapshot when the Network is shared.
+	// Both are maintained atomically (the lock-free fast path updates them
+	// concurrently); use Counters for a consistently-ordered snapshot while
+	// probing is in flight.
 	Probes  uint64
 	Replies uint64
+
+	// Everything from here to mu is immutable after construction (cfg, rt) or
+	// set once before probing starts (faults via InstallFaults, telemetry
+	// handles via SetTelemetry), or atomic (clock, serial) — the lock-free
+	// fast path reads these fields concurrently.
+	cfg    Config
+	rt     *routingState
+	faults *faultState
+	clock  atomic.Uint64
+	serial atomic.Bool
 
 	// Telemetry mirror of the engine counters; handles are resolved once in
 	// SetTelemetry and nil-safe, so the uninstrumented path stays free.
@@ -74,6 +100,11 @@ type Network struct {
 	cReplies *telemetry.Counter
 	gClock   *telemetry.Gauge
 	cFault   [8]*telemetry.Counter // indexed by FaultKind
+
+	// mu serializes the slow path; rng (and the mutable fault state reached
+	// through faults) is only touched with it held.
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 // New creates a network simulation over topo. It panics if cfg is out of
@@ -97,35 +128,37 @@ func NewChecked(topo *Topology, cfg Config) (*Network, error) {
 		rt:   newRoutingState(topo),
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 	}
+	n.serial.Store(cfg.needsSerial(topo))
 	// Spread the per-router IP-ID counters so distinct routers' sequences
 	// don't coincide by construction.
 	for i, r := range topo.Routers {
-		r.ipid = uint16(i * 1021)
+		r.ipid = uint32(uint16(i * 1021))
 	}
 	return n, nil
 }
 
-// Counters returns a race-free snapshot of the probe/reply counters.
+// Counters returns a race-free snapshot of the probe/reply counters. Replies
+// is loaded first, so the snapshot always satisfies replies <= probes even
+// while injections are in flight.
 func (n *Network) Counters() (probes, replies uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.Probes, n.Replies
+	replies = atomic.LoadUint64(&n.Replies)
+	probes = atomic.LoadUint64(&n.Probes)
+	return probes, replies
 }
 
 // Ticks returns the current virtual clock, making the Network the natural
 // telemetry.Clock for a simulated run: every telemetry timestamp is then an
 // injection tick, which is what makes same-seed telemetry byte-identical.
 func (n *Network) Ticks() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.clock
+	return n.clock.Load()
 }
 
 // SetTelemetry attaches (or, with nil, detaches) the run's telemetry layer,
 // resolving the engine's metric handles once so the injection path never
-// touches the registry. Inside the engine everything runs with n.mu held, so
-// engine code must record through RecordAt with n.clock — never through
-// methods that re-read the clock via Ticks, which would deadlock.
+// touches the registry. Call it before probing starts: the lock-free fast
+// path reads the handles without synchronization. Inside the engine
+// everything records through RecordAt with the current clock — never through
+// methods that re-read the clock via Ticks.
 func (n *Network) SetTelemetry(tel *telemetry.Telemetry) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -141,17 +174,19 @@ func (n *Network) SetTelemetry(tel *telemetry.Telemetry) {
 
 // observeFault mirrors one inflicted fault onto the telemetry layer: the
 // per-kind fault counter and a flight-recorder entry at the current clock.
-// Called with n.mu held.
+// Called with n.mu held (faults only occur on the serialized path).
 func (n *Network) observeFault(kind FaultKind, msg string) {
 	if n.tel == nil {
 		return
 	}
 	n.cFault[kind].Inc()
-	n.tel.RecordAt(n.clock, "fault", msg)
+	n.tel.RecordAt(n.clock.Load(), "fault", msg)
 }
 
 // Port binds a vantage host to the network, exposing the probe.Transport
-// surface: encoded probe in, encoded reply (or nil for silence) out.
+// surface: encoded probe in, encoded reply (or nil for silence) out. Ports
+// are stateless; one Port may be shared by concurrent probers, or each
+// prober may hold its own Port on the same Network.
 type Port struct {
 	net  *Network
 	host *Router
@@ -176,6 +211,7 @@ func (p *Port) LocalAddr() ipv4.Addr { return p.host.Addr() }
 // the encoded reply, or (nil, nil) when the network stays silent. When a
 // fault plan is installed the reply bytes may come back corrupted or
 // truncated, exactly as a mangled datagram would off a raw socket.
+// Safe for concurrent use.
 func (p *Port) Exchange(raw []byte) ([]byte, error) {
 	pkt, err := wire.Decode(raw)
 	if err != nil {
@@ -184,6 +220,17 @@ func (p *Port) Exchange(raw []byte) ([]byte, error) {
 	if pkt.IP.Src != p.host.Addr() {
 		return nil, fmt.Errorf("netsim: probe source %v is not host %s (%v)",
 			pkt.IP.Src, p.host.Name, p.host.Addr())
+	}
+	if !p.net.serial.Load() {
+		reply := p.net.injectFast(pkt, raw, p.host)
+		if reply == nil {
+			return nil, nil
+		}
+		out, err := reply.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("netsim: encoding reply: %w", err)
+		}
+		return out, nil
 	}
 	p.net.mu.Lock()
 	defer p.net.mu.Unlock()
@@ -203,24 +250,54 @@ func (p *Port) Exchange(raw []byte) ([]byte, error) {
 // storm buckets) refill against the clock, so backing off genuinely lets a
 // hammered router recover.
 func (p *Port) Wait(ticks uint64) {
-	p.net.mu.Lock()
-	p.net.clock += ticks
-	p.net.gClock.Set(int64(p.net.clock))
-	p.net.mu.Unlock()
+	clock := p.net.clock.Add(ticks)
+	p.net.gClock.SetMax(int64(clock))
 }
 
-// inject walks one probe through the topology and produces its reply.
-// Called with n.mu held.
-func (n *Network) inject(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packet {
-	n.clock++
-	n.Probes++
+// tick advances the clock and probe counter for one injection, maintaining
+// the clock-mirror gauge and the counter invariant. Shared by both injection
+// paths; all state it touches is atomic.
+func (n *Network) tick() {
+	clock := n.clock.Add(1)
+	// Replies is loaded before Probes is incremented: every reply increment
+	// is preceded by its probe's increment, so this ordering can never
+	// observe a spurious violation.
+	replies := atomic.LoadUint64(&n.Replies)
+	probes := atomic.AddUint64(&n.Probes, 1)
 	n.cProbes.Inc()
-	n.gClock.Set(int64(n.clock))
-	invariant.Assertf(n.Replies <= n.Probes,
-		"netsim: replies %d outran probes %d", n.Replies, n.Probes)
+	n.gClock.SetMax(int64(clock))
+	invariant.Assertf(replies <= probes,
+		"netsim: replies %d outran probes %d", replies, probes)
 	invariant.Assertf(n.cfg.LossRate >= 0 && n.cfg.LossRate <= 1,
 		"netsim: LossRate %v escaped [0,1] after construction", n.cfg.LossRate)
-	reply, responder := n.walkWithResponder(pkt, raw, origin)
+}
+
+// injectFast walks one probe through the topology on the lock-free path:
+// the topology and routing state are immutable, counters are atomic, and no
+// configuration that could consume the shared random stream or mutable fault
+// state is active (see Config.needsSerial, checked by Exchange).
+func (n *Network) injectFast(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packet {
+	n.tick()
+	reply, responder := n.walk(pkt, raw, origin)
+	if reply == nil {
+		return nil
+	}
+	if responder != nil {
+		// IPIDRandom routers force the serialized path, so only the shared
+		// atomic counter is reachable here. Counter values interleave across
+		// concurrent probers but stay per-router monotonic — the alias signal.
+		reply.IP.ID = responder.nextIPID()
+	}
+	atomic.AddUint64(&n.Replies, 1)
+	n.cReplies.Inc()
+	return reply
+}
+
+// inject walks one probe through the topology and produces its reply on the
+// serialized path. Called with n.mu held.
+func (n *Network) inject(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packet {
+	n.tick()
+	reply, responder := n.walk(pkt, raw, origin)
 	if reply == nil {
 		return nil
 	}
@@ -247,26 +324,22 @@ func (n *Network) inject(pkt *wire.Packet, raw []byte, origin *Router) *wire.Pac
 		// window; it consumed the router's tokens and IP-ID all the same.
 		return nil
 	}
-	n.Replies++
+	atomic.AddUint64(&n.Replies, 1)
 	n.cReplies.Inc()
 	return reply
 }
 
-// walkWithResponder is walk plus the identity of the router that generated
-// the reply. Called with n.mu held.
-func (n *Network) walkWithResponder(pkt *wire.Packet, raw []byte, origin *Router) (*wire.Packet, *Router) {
-	n.responder = nil
-	reply := n.walk(pkt, raw, origin)
-	return reply, n.responder
-}
-
-// walk traces one probe hop by hop until it is answered, dropped, or runs
-// out of hops. Called with n.mu held.
-func (n *Network) walk(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packet {
+// walk traces one probe hop by hop until it is answered, dropped, or runs out
+// of hops, returning the reply and the router that generated it. On the
+// serialized path the caller holds n.mu; on the fast path every branch that
+// would touch n.rng or mutable fault state (loss, reply loss, rate limits,
+// faults) is unreachable by construction, and the remaining reads are
+// immutable or atomic.
+func (n *Network) walk(pkt *wire.Packet, raw []byte, origin *Router) (*wire.Packet, *Router) {
 	dst := pkt.IP.Dst
 	ttl := int(pkt.IP.TTL)
 	if ttl <= 0 {
-		return nil
+		return nil, nil
 	}
 	// Self-probe: answered locally without entering the network.
 	if iface := origin.IfaceWithAddr(dst); iface != nil {
@@ -277,10 +350,10 @@ func (n *Network) walk(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packe
 	if verdict != stepForwarded && verdict != stepDelivered {
 		// The vantage itself cannot reach the destination; hosts do not
 		// generate ICMP errors for their own traffic.
-		return nil
+		return nil, nil
 	}
 	if n.subnetDown(in.Subnet) || n.blackholed(cur) {
-		return nil
+		return nil, nil
 	}
 	for hop := 0; hop < maxHops; hop++ {
 		// Local delivery: the packet is addressed to one of cur's interfaces.
@@ -308,18 +381,18 @@ func (n *Network) walk(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packe
 			// crosses nextIn's subnet and enters next — both of which a
 			// fault plan may have taken down.
 			if n.subnetDown(nextIn.Subnet) || n.blackholed(next) {
-				return nil
+				return nil, nil
 			}
 			cur, in = next, nextIn
 		case stepFirewalled:
-			return nil
+			return nil, nil
 		case stepUnassigned:
 			return n.unreachable(cur, in, pkt, raw, wire.CodeHostUnreach)
 		case stepNoRoute:
 			return n.unreachable(cur, in, pkt, raw, wire.CodeNetUnreach)
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // quoteBytes re-encodes the in-flight packet for an ICMP error quote, so the
@@ -344,7 +417,9 @@ const (
 
 // forwardStep decides cur's next hop for pkt. It returns the next router,
 // the interface the packet enters it through, and the outgoing interface on
-// cur (for record-route stamping). Called with n.mu held.
+// cur (for record-route stamping). Serialized path: caller holds n.mu;
+// fast path: per-packet salting is inactive and churn faults are absent, so
+// only immutable routing state is read.
 func (n *Network) forwardStep(cur *Router, pkt *wire.Packet, in *Iface) (*Router, *Iface, *Iface, stepVerdict) {
 	dst := pkt.IP.Dst
 	s := n.rt.targetSubnet(dst)
@@ -368,7 +443,7 @@ func (n *Network) forwardStep(cur *Router, pkt *wire.Packet, in *Iface) (*Router
 	}
 	var salt uint64
 	if n.cfg.Mode == PerPacket {
-		salt = n.clock
+		salt = n.clock.Load()
 	}
 	// An active churn fault reshuffles equal-cost choices per epoch even for
 	// per-flow balancing, modelling mid-session routing changes.
@@ -377,95 +452,96 @@ func (n *Network) forwardStep(cur *Router, pkt *wire.Packet, in *Iface) (*Router
 	return e.to, e.remote, e.local, stepForwarded
 }
 
-// directReply answers a probe delivered to iface on router r.
-// Called with n.mu held.
-func (n *Network) directReply(r *Router, iface, in *Iface, pkt *wire.Packet, raw []byte) *wire.Packet {
+// directReply answers a probe delivered to iface on router r, returning the
+// reply and the responding router. Serialized path: caller holds n.mu; fast
+// path: the rate-limit, storm, and reply-loss branches are unreachable.
+func (n *Network) directReply(r *Router, iface, in *Iface, pkt *wire.Packet, raw []byte) (*wire.Packet, *Router) {
 	if iface.Subnet.Unresponsive {
 		// Firewalled subnet: probes into its range die silently, including
 		// at the hosting router itself.
-		return nil
+		return nil, nil
 	}
 	if !iface.Responsive {
-		return nil
+		return nil, nil
 	}
 	if r.DirectPolicy == PolicyNil || !r.DirectProtos.Has(pkt.IP.Protocol) {
-		return nil
+		return nil, nil
 	}
 	if n.blackholed(r) {
-		return nil
+		return nil, nil
 	}
-	if !r.RateLimit.Allow(n.clock) || !n.stormAllows(r) {
-		return nil
+	if !r.RateLimit.Allow(n.clock.Load()) || !n.stormAllows(r) {
+		return nil, nil
 	}
 	if r.ReplyLoss > 0 && n.rng.Float64() < r.ReplyLoss {
-		return nil
+		return nil, nil
 	}
 	src := n.rt.replySource(r, r.DirectPolicy, iface, in, pkt.IP.Src)
 	if src == nil {
-		return nil
+		return nil, nil
 	}
-	n.responder = r
 	switch {
 	case pkt.ICMP != nil && pkt.ICMP.Type == wire.ICMPEchoRequest:
-		return wire.NewEchoReply(src.Addr, pkt)
+		return wire.NewEchoReply(src.Addr, pkt), r
 	case pkt.UDP != nil:
 		// No listener on traceroute-style high ports: port unreachable.
-		return wire.NewICMPError(src.Addr, wire.ICMPDestUnreach, wire.CodePortUnreach, quoteBytes(pkt, raw))
+		return wire.NewICMPError(src.Addr, wire.ICMPDestUnreach, wire.CodePortUnreach, quoteBytes(pkt, raw)), r
 	case pkt.TCP != nil:
 		// Unsolicited ACK probe: RST from the probed address (TCP replies
 		// always come from the addressed endpoint).
-		return wire.NewTCPReset(iface.Addr, pkt)
+		return wire.NewTCPReset(iface.Addr, pkt), r
 	}
-	return nil
+	return nil, nil
 }
 
-// ttlExceeded answers a probe whose TTL expired at router r.
-// Called with n.mu held.
-func (n *Network) ttlExceeded(r *Router, in *Iface, pkt *wire.Packet, raw []byte) *wire.Packet {
+// ttlExceeded answers a probe whose TTL expired at router r, returning the
+// reply and the responding router. Serialized path: caller holds n.mu; fast
+// path: the rate-limit, storm, and reply-loss branches are unreachable.
+func (n *Network) ttlExceeded(r *Router, in *Iface, pkt *wire.Packet, raw []byte) (*wire.Packet, *Router) {
 	if r.IndirectPolicy == PolicyNil || !r.IndirectProtos.Has(pkt.IP.Protocol) {
-		return nil
+		return nil, nil
 	}
 	if n.blackholed(r) {
-		return nil
+		return nil, nil
 	}
-	if !r.RateLimit.Allow(n.clock) || !n.stormAllows(r) {
-		return nil
+	if !r.RateLimit.Allow(n.clock.Load()) || !n.stormAllows(r) {
+		return nil, nil
 	}
 	if r.ReplyLoss > 0 && n.rng.Float64() < r.ReplyLoss {
-		return nil
+		return nil, nil
 	}
 	src := n.rt.replySource(r, r.IndirectPolicy, nil, in, pkt.IP.Src)
 	if src == nil {
-		return nil
+		return nil, nil
 	}
-	n.responder = r
-	return wire.NewICMPError(src.Addr, wire.ICMPTimeExceeded, wire.CodeTTLExceeded, quoteBytes(pkt, raw))
+	return wire.NewICMPError(src.Addr, wire.ICMPTimeExceeded, wire.CodeTTLExceeded, quoteBytes(pkt, raw)), r
 }
 
-// unreachable answers a probe that cannot be delivered past router r.
-// Called with n.mu held.
-func (n *Network) unreachable(r *Router, in *Iface, pkt *wire.Packet, raw []byte, code uint8) *wire.Packet {
+// unreachable answers a probe that cannot be delivered past router r,
+// returning the reply and the responding router. Serialized path: caller
+// holds n.mu; fast path: the rate-limit, storm, and reply-loss branches are
+// unreachable.
+func (n *Network) unreachable(r *Router, in *Iface, pkt *wire.Packet, raw []byte, code uint8) (*wire.Packet, *Router) {
 	if !r.EmitUnreachable {
-		return nil
+		return nil, nil
 	}
 	if r.IndirectPolicy == PolicyNil || !r.IndirectProtos.Has(pkt.IP.Protocol) {
-		return nil
+		return nil, nil
 	}
 	if n.blackholed(r) {
-		return nil
+		return nil, nil
 	}
-	if !r.RateLimit.Allow(n.clock) || !n.stormAllows(r) {
-		return nil
+	if !r.RateLimit.Allow(n.clock.Load()) || !n.stormAllows(r) {
+		return nil, nil
 	}
 	if r.ReplyLoss > 0 && n.rng.Float64() < r.ReplyLoss {
-		return nil
+		return nil, nil
 	}
 	src := n.rt.replySource(r, r.IndirectPolicy, nil, in, pkt.IP.Src)
 	if src == nil {
-		return nil
+		return nil, nil
 	}
-	n.responder = r
-	return wire.NewICMPError(src.Addr, wire.ICMPDestUnreach, code, quoteBytes(pkt, raw))
+	return wire.NewICMPError(src.Addr, wire.ICMPDestUnreach, code, quoteBytes(pkt, raw)), r
 }
 
 // DistanceTo returns the observed hop distance from the named host to addr:
@@ -491,7 +567,7 @@ func (n *Network) DistanceTo(hostName string, addr ipv4.Addr) int {
 		if err != nil {
 			return -1
 		}
-		reply := probe.walk(pkt, raw, h)
+		reply, _ := probe.walk(pkt, raw, h)
 		if reply != nil && reply.ICMP != nil && reply.ICMP.Type == wire.ICMPEchoReply {
 			return ttl
 		}

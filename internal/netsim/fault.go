@@ -274,9 +274,14 @@ func (n *Network) InstallFaults(plan FaultPlan) error {
 			fs.mangles = append(fs.mangles, f)
 		}
 	}
+	// A fault plan consumes shared mutable state on every injection, so the
+	// network drops to the serialized path from here on. Install the plan
+	// before probing starts: the lock-free path reads n.faults and the
+	// serial flag without the mutex.
 	n.mu.Lock()
 	n.faults = fs
 	n.mu.Unlock()
+	n.serial.Store(true)
 	return nil
 }
 
@@ -312,7 +317,7 @@ func (n *Network) subnetDown(s *Subnet) bool {
 		return false
 	}
 	for _, f := range n.faults.flaps {
-		if f.target == s && f.active(n.clock) {
+		if f.target == s && f.active(n.clock.Load()) {
 			n.faults.stats.FlapDrops++
 			n.observeFault(FaultLinkFlap, "link-flap drop subnet="+s.Prefix.String())
 			return true
@@ -328,7 +333,7 @@ func (n *Network) blackholed(r *Router) bool {
 		return false
 	}
 	for _, f := range n.faults.holes {
-		if (f.target == nil || f.target == r) && f.active(n.clock) {
+		if (f.target == nil || f.target == r) && f.active(n.clock.Load()) {
 			n.faults.stats.BlackholeDrops++
 			n.observeFault(FaultBlackhole, "blackhole drop router="+r.Name)
 			return true
@@ -348,7 +353,7 @@ func (n *Network) stormAllows(r *Router) bool {
 		if st.target != nil && st.target != r {
 			continue
 		}
-		if !st.active(n.clock) {
+		if !st.active(n.clock.Load()) {
 			continue
 		}
 		b := st.buckets[r]
@@ -356,7 +361,7 @@ func (n *Network) stormAllows(r *Router) bool {
 			b = NewTokenBucket(st.Rate, st.Burst)
 			st.buckets[r] = b
 		}
-		if !b.Allow(n.clock) {
+		if !b.Allow(n.clock.Load()) {
 			n.faults.stats.StormDrops++
 			n.observeFault(FaultRateStorm, "rate-storm drop router="+r.Name)
 			return false
@@ -373,8 +378,8 @@ func (n *Network) churnSalt() uint64 {
 		return 0
 	}
 	for _, f := range n.faults.churns {
-		if f.active(n.clock) {
-			return (n.clock/churnPeriod + 1) * 0x9e3779b97f4a7c15
+		if f.active(n.clock.Load()) {
+			return (n.clock.Load()/churnPeriod + 1) * 0x9e3779b97f4a7c15
 		}
 	}
 	return 0
@@ -387,7 +392,7 @@ func (n *Network) replyDelayed() bool {
 		return false
 	}
 	for _, f := range n.faults.mangles {
-		if f.Kind == FaultDelay && f.active(n.clock) && n.faults.rng.Float64() < f.Prob {
+		if f.Kind == FaultDelay && f.active(n.clock.Load()) && n.faults.rng.Float64() < f.Prob {
 			n.faults.stats.Delayed++
 			n.observeFault(FaultDelay, "delayed reply (seen as silence)")
 			return true
@@ -403,7 +408,7 @@ func (n *Network) duplicateChance() bool {
 		return false
 	}
 	for _, f := range n.faults.mangles {
-		if f.Kind == FaultDuplicate && f.active(n.clock) && n.faults.rng.Float64() < f.Prob {
+		if f.Kind == FaultDuplicate && f.active(n.clock.Load()) && n.faults.rng.Float64() < f.Prob {
 			n.faults.stats.Duplicated++
 			n.observeFault(FaultDuplicate, "duplicated reply")
 			return true
@@ -420,7 +425,7 @@ func (n *Network) mangleReply(raw []byte) []byte {
 		return raw
 	}
 	for _, f := range n.faults.mangles {
-		if !f.active(n.clock) {
+		if !f.active(n.clock.Load()) {
 			continue
 		}
 		switch f.Kind {

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"hash/fnv"
+	"sync"
 
 	"tracenet/internal/ipv4"
 	"tracenet/internal/wire"
@@ -19,8 +20,12 @@ const unreachableDist int32 = 1 << 30
 type routingState struct {
 	topo *Topology
 	// dist[s.idx][r.idx] = forwarding steps from router r until attached to
-	// subnet s (0 if attached).
+	// subnet s (0 if attached). Immutable after construction.
 	dist [][]int32
+	// mu guards the lazily-built hops memo — the only mutable routing state,
+	// so it carries its own lock rather than riding on the Network mutex
+	// (which the concurrent fast path deliberately avoids).
+	mu sync.Mutex
 	// hops memoizes equal-cost candidate edges per (router, subnet).
 	hops map[hopKey][]edge
 }
@@ -111,13 +116,17 @@ func (rs *routingState) distTo(r *Router, s *Subnet) int32 { return rs.dist[s.id
 // nextHops returns the equal-cost candidate edges from r toward subnet s.
 // The result is ordered as the router's edge list, so selection by flow hash
 // is deterministic. Results are memoized: the edge scan over a router with a
-// large LAN attachment would otherwise dominate every forwarding step.
+// large LAN attachment would otherwise dominate every forwarding step. The
+// memo is guarded by its own mutex, making nextHops safe for concurrent
+// walks; memoized slices are never mutated after publication.
 func (rs *routingState) nextHops(r *Router, s *Subnet) []edge {
 	d := rs.dist[s.idx][r.idx]
 	if d == unreachableDist || d == 0 {
 		return nil
 	}
 	key := hopKey{r.idx, s.idx}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
 	if out, ok := rs.hops[key]; ok {
 		return out
 	}

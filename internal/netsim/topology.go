@@ -15,6 +15,7 @@ package netsim
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"tracenet/internal/ipv4"
 )
@@ -146,15 +147,18 @@ type Router struct {
 
 	idx   int
 	edges []edge
-	ipid  uint16
+	// ipid is the router's shared IP-ID counter, widened to uint32 so it can
+	// be advanced atomically (the lock-free injection path increments it from
+	// concurrent probers); replies carry its low 16 bits.
+	ipid uint32
 }
 
 // nextIPID returns the router's next IP identifier. Replies from all of a
 // router's interfaces share one counter — the signal the Ally technique uses
-// to group interfaces into routers.
+// to group interfaces into routers. Atomic: concurrent probers interleave
+// draws but the per-router sequence stays strictly increasing (mod 2^16).
 func (r *Router) nextIPID() uint16 {
-	r.ipid++
-	return r.ipid
+	return uint16(atomic.AddUint32(&r.ipid, 1))
 }
 
 // edge is a usable adjacency: a neighbouring router reachable across one

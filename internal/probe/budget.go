@@ -1,0 +1,80 @@
+package probe
+
+import (
+	"sync/atomic"
+
+	"tracenet/internal/invariant"
+)
+
+// SharedBudget caps the number of packets a set of probers may put on the
+// wire collectively — the campaign-level analogue of Options.Budget, shared
+// across every worker of a parallel collection run. Reservation is atomic:
+// once the cap is reached every further spend attempt fails, no matter how
+// many probers race for the last packet, so the campaign can never overspend.
+type SharedBudget struct {
+	cap  uint64
+	used atomic.Uint64
+}
+
+// NewSharedBudget creates a budget allowing cap wire packets in total.
+// cap == 0 means unlimited (every spend succeeds); a nil *SharedBudget
+// behaves the same, so an unbudgeted campaign carries no extra cost.
+func NewSharedBudget(cap uint64) *SharedBudget {
+	return &SharedBudget{cap: cap}
+}
+
+// TrySpend reserves n packets against the budget, reporting whether the
+// reservation fit. A failed reservation consumes nothing.
+func (b *SharedBudget) TrySpend(n uint64) bool {
+	if b == nil || b.cap == 0 {
+		return true
+	}
+	for {
+		used := b.used.Load()
+		if used+n > b.cap {
+			return false
+		}
+		if b.used.CompareAndSwap(used, used+n) {
+			invariant.Assertf(used+n <= b.cap,
+				"probe: shared budget overspent: %d of %d", used+n, b.cap)
+			return true
+		}
+	}
+}
+
+// Used returns how many packets have been reserved so far.
+func (b *SharedBudget) Used() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Cap returns the budget's capacity (0 = unlimited).
+func (b *SharedBudget) Cap() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.cap
+}
+
+// Remaining returns how many packets may still be spent; unlimited budgets
+// (and nil) report ^uint64(0).
+func (b *SharedBudget) Remaining() uint64 {
+	if b == nil || b.cap == 0 {
+		return ^uint64(0)
+	}
+	used := b.used.Load()
+	if used >= b.cap {
+		return 0
+	}
+	return b.cap - used
+}
+
+// Exhausted reports whether the budget is fully spent.
+func (b *SharedBudget) Exhausted() bool {
+	if b == nil || b.cap == 0 {
+		return false
+	}
+	return b.used.Load() >= b.cap
+}

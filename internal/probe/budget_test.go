@@ -1,0 +1,172 @@
+package probe
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"tracenet/internal/netsim"
+	"tracenet/internal/topo"
+)
+
+func TestSharedBudgetAccounting(t *testing.T) {
+	b := NewSharedBudget(5)
+	if !b.TrySpend(3) || b.Used() != 3 || b.Remaining() != 2 {
+		t.Fatalf("after spend 3: used %d remaining %d", b.Used(), b.Remaining())
+	}
+	if b.TrySpend(3) {
+		t.Fatal("spend 3 fit in a budget with 2 remaining")
+	}
+	if b.Used() != 3 {
+		t.Fatalf("failed spend consumed budget: used %d", b.Used())
+	}
+	if !b.TrySpend(2) || !b.Exhausted() || b.Remaining() != 0 {
+		t.Fatalf("exact fill: used %d exhausted %v", b.Used(), b.Exhausted())
+	}
+	if b.TrySpend(1) {
+		t.Fatal("spend succeeded on exhausted budget")
+	}
+}
+
+func TestSharedBudgetUnlimited(t *testing.T) {
+	var nilBudget *SharedBudget
+	for _, b := range []*SharedBudget{nilBudget, NewSharedBudget(0)} {
+		if !b.TrySpend(1 << 40) {
+			t.Fatal("unlimited budget refused a spend")
+		}
+		if b.Exhausted() {
+			t.Fatal("unlimited budget reports exhausted")
+		}
+		if b.Remaining() != ^uint64(0) {
+			t.Fatalf("unlimited remaining = %d", b.Remaining())
+		}
+	}
+}
+
+// TestSharedBudgetConcurrentSpend races many goroutines against one budget:
+// exactly cap single-packet reservations may succeed, never more, and the
+// final accounting must agree with the per-goroutine tallies.
+func TestSharedBudgetConcurrentSpend(t *testing.T) {
+	const (
+		workers  = 8
+		attempts = 1000
+		cap      = 3000 // < workers*attempts, so contention hits the limit
+	)
+	b := NewSharedBudget(cap)
+	granted := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				if b.TrySpend(1) {
+					granted[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, g := range granted {
+		total += g
+	}
+	if total != cap {
+		t.Fatalf("%d spends granted, cap %d", total, cap)
+	}
+	if b.Used() != cap || !b.Exhausted() {
+		t.Fatalf("used %d exhausted %v after concurrent fill", b.Used(), b.Exhausted())
+	}
+}
+
+// TestProberSharedBudgetExceeded wires one SharedBudget into two probers on a
+// shared network: once the collective wire spend reaches the cap, every
+// further probe from either prober fails with ErrBudgetExceeded and nothing
+// more goes on the wire.
+func TestProberSharedBudgetExceeded(t *testing.T) {
+	const cap = 6
+	n := netsim.New(topo.Figure3(), netsim.Config{})
+	budget := NewSharedBudget(cap)
+	probers := make([]*Prober, 2)
+	for i := range probers {
+		port, err := n.PortFor("vantage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		probers[i] = New(port, port.LocalAddr(), Options{SharedBudget: budget})
+	}
+
+	sent := 0
+	for i := 0; i < cap; i++ {
+		if _, err := probers[i%2].Direct(addr("10.0.2.3")); err != nil {
+			t.Fatalf("probe %d within budget: %v", i, err)
+		}
+		sent++
+	}
+	for i := range probers {
+		if _, err := probers[i].Direct(addr("10.0.2.3")); !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("prober %d past budget: err = %v, want ErrBudgetExceeded", i, err)
+		}
+	}
+	if budget.Used() != cap {
+		t.Fatalf("budget used %d, want %d", budget.Used(), cap)
+	}
+	probes, _ := n.Counters()
+	if probes != uint64(sent) {
+		t.Fatalf("network saw %d probes, budget admitted %d", probes, sent)
+	}
+}
+
+// TestProberSharedBudgetRetries checks the budget is charged per wire packet,
+// not per logical probe: a silent destination with retries enabled burns one
+// reservation per attempt.
+func TestProberSharedBudgetRetries(t *testing.T) {
+	budget := NewSharedBudget(3)
+	p, n := newProber(t, netsim.Config{}, Options{
+		SharedBudget: budget,
+		Retry:        &RetryPolicy{MaxRetries: 5, BackoffBase: 1, BackoffMax: 1},
+	})
+	// Silent address: attempts 1..3 spend the whole budget, attempt 4 trips it.
+	if _, err := p.Direct(addr("10.0.2.200")); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded mid-retry", err)
+	}
+	if budget.Used() != 3 {
+		t.Fatalf("budget used %d, want 3", budget.Used())
+	}
+	probes, _ := n.Counters()
+	if probes != 3 {
+		t.Fatalf("network saw %d probes, want 3", probes)
+	}
+}
+
+func TestClearCache(t *testing.T) {
+	p, _ := newProber(t, netsim.Config{}, Options{Cache: true})
+	for i := 0; i < 2; i++ {
+		if _, err := p.Direct(addr("10.0.2.3")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := p.Stats(); s.Sent != 1 || s.Cached != 1 {
+		t.Fatalf("before clear: sent %d cached %d, want 1/1", s.Sent, s.Cached)
+	}
+	p.ClearCache()
+	if _, err := p.Direct(addr("10.0.2.3")); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Stats(); s.Sent != 2 || s.Cached != 1 {
+		t.Fatalf("after clear: sent %d cached %d, want 2/1", s.Sent, s.Cached)
+	}
+}
+
+func TestClearCacheWithoutCache(t *testing.T) {
+	p, _ := newProber(t, netsim.Config{}, Options{})
+	p.ClearCache() // must not enable caching
+	for i := 0; i < 2; i++ {
+		if _, err := p.Direct(addr("10.0.2.3")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := p.Stats(); s.Sent != 2 || s.Cached != 0 {
+		t.Fatalf("sent %d cached %d, want 2/0", s.Sent, s.Cached)
+	}
+}

@@ -285,6 +285,12 @@ type Options struct {
 	VaryFlow bool
 	// Budget caps the number of packets sent (0 = unlimited).
 	Budget uint64
+	// SharedBudget caps packets across a set of probers (a campaign's
+	// workers); nil disables it. Checked before every wire send in addition
+	// to the per-prober Budget — whichever trips first stops the prober with
+	// ErrBudgetExceeded. The budget is reserved atomically, so concurrent
+	// probers can never collectively overspend it.
+	SharedBudget *SharedBudget
 	// Cache memoizes (destination, TTL) outcomes so repeated logical probes
 	// cost no packets. tracenet's rule merging (§3.5: "both H3 and H6
 	// require the same single probe") relies on this.
@@ -437,6 +443,17 @@ func (p *Prober) Protocol() Protocol { return p.opts.Protocol }
 // Stats returns a snapshot of the probe accounting.
 func (p *Prober) Stats() Stats { return p.stats }
 
+// ClearCache empties the prober's response cache (a no-op when caching is
+// disabled). The campaign layer clears it before every shared subnet
+// exploration so an exploration's probe cost is a pure function of its hop
+// context — independent of which worker happens to run it — which is what
+// keeps parallel campaigns byte-deterministic. Stats are unaffected.
+func (p *Prober) ClearCache() {
+	if p.cache != nil {
+		p.cache = make(map[cacheKey]Result)
+	}
+}
+
 // Direct sends a direct probe (large TTL) testing whether dst is alive.
 func (p *Prober) Direct(dst ipv4.Addr) (Result, error) {
 	return p.Probe(dst, DirectTTL)
@@ -468,6 +485,9 @@ func (p *Prober) Probe(dst ipv4.Addr, ttl int) (Result, error) {
 	var res Result
 	for attempt := 0; ; attempt++ {
 		if p.opts.Budget > 0 && p.stats.Sent >= p.opts.Budget {
+			return Result{}, ErrBudgetExceeded
+		}
+		if !p.opts.SharedBudget.TrySpend(1) {
 			return Result{}, ErrBudgetExceeded
 		}
 		r, err := p.once(dst, uint8(ttl))

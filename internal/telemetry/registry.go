@@ -76,6 +76,23 @@ func (g *Gauge) Add(d int64) {
 	g.v.Add(d)
 }
 
+// SetMax raises the gauge to v unless the current value is already larger —
+// a monotonic Set. Concurrent writers mirroring a monotonic source (like the
+// simulator's virtual clock) can race a plain Set so the final value is a
+// stale intermediate; SetMax guarantees the gauge converges to the maximum
+// regardless of write interleaving.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 on a nil handle).
 func (g *Gauge) Value() int64 {
 	if g == nil {

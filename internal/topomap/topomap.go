@@ -45,6 +45,36 @@ type Entry struct {
 	// OnPath reports whether any observation found the subnet on its trace
 	// path.
 	OnPath bool
+	// Conflicts records prefix-length disagreements among the observations
+	// merged into this entry (e.g. "observed as 10.0.3.0/31 and 10.0.3.0/29"),
+	// sorted and deduplicated. A conflicted entry keeps the largest observed
+	// prefix; the notes preserve what the losing observations claimed.
+	Conflicts []string
+}
+
+// addConflict records a prefix-length disagreement between two observations
+// of the same address space, keeping the note list sorted and deduplicated.
+func (e *Entry) addConflict(a, b ipv4.Prefix) {
+	if a == b {
+		return
+	}
+	// Canonical operand order keeps the note stable regardless of which
+	// observation arrived first.
+	if b.Base() < a.Base() || (b.Base() == a.Base() && b.Bits() < a.Bits()) {
+		a, b = b, a
+	}
+	e.addNote(fmt.Sprintf("observed as %v and %v", a, b))
+}
+
+// addNote appends a conflict note, keeping the list sorted and deduplicated.
+func (e *Entry) addNote(note string) {
+	for _, have := range e.Conflicts {
+		if have == note {
+			return
+		}
+	}
+	e.Conflicts = append(e.Conflicts, note)
+	sort.Strings(e.Conflicts)
 }
 
 // New returns an empty map.
@@ -104,39 +134,79 @@ func (m *Map) AddSession(res *core.Result) {
 func (m *Map) addSubnet(s *core.Subnet) {
 	// Reconcile overlapping prefixes: the same physical subnet may have been
 	// observed at different sizes from different campaigns; one entry keyed
-	// by the larger (shorter) prefix holds the union.
-	var e *Entry
-	for p, cand := range m.subnets {
-		if p.Overlaps(s.Prefix) {
-			e = cand
-			break
+	// by the largest (shortest) prefix holds the union. A large observation
+	// can cover several previously separate entries, so every overlapping
+	// entry is absorbed — merging just the first one found would leave
+	// duplicate rows for the same address space (and map iteration order
+	// would make the survivor random).
+	var overlapping []*Entry
+	for _, cand := range m.subnets {
+		if cand.Prefix.Overlaps(s.Prefix) {
+			overlapping = append(overlapping, cand)
 		}
 	}
-	if e == nil {
-		e = &Entry{Prefix: s.Prefix}
+	sort.Slice(overlapping, func(i, j int) bool {
+		if overlapping[i].Prefix.Base() != overlapping[j].Prefix.Base() {
+			return overlapping[i].Prefix.Base() < overlapping[j].Prefix.Base()
+		}
+		return overlapping[i].Prefix.Bits() < overlapping[j].Prefix.Bits()
+	})
+
+	if len(overlapping) == 0 {
+		e := &Entry{Prefix: s.Prefix}
 		m.subnets[e.Prefix] = e
-	} else if s.Prefix.Bits() < e.Prefix.Bits() {
-		// The new observation is larger: re-key the entry and re-point its
-		// existing members.
+		m.mergeObservation(e, s)
+		return
+	}
+
+	e := overlapping[0]
+	for _, o := range overlapping[1:] {
+		// Absorb the later entry: its members, observation count, and any
+		// conflict notes it already carried move onto the survivor, and the
+		// size disagreement between the two is itself recorded.
+		delete(m.subnets, o.Prefix)
+		e.addConflict(e.Prefix, o.Prefix)
+		for _, c := range o.Conflicts {
+			e.addNote(c)
+		}
+		e.Addrs = append(e.Addrs, o.Addrs...)
+		e.Observations += o.Observations
+		e.OnPath = e.OnPath || o.OnPath
+	}
+	if s.Prefix != e.Prefix {
+		e.addConflict(e.Prefix, s.Prefix)
+	}
+	if s.Prefix.Bits() < e.Prefix.Bits() {
+		// The new observation is the largest: re-key the survivor.
 		delete(m.subnets, e.Prefix)
 		e.Prefix = s.Prefix
-		m.subnets[e.Prefix] = e
-		for _, a := range e.Addrs {
-			m.addrToPrefix[a] = e.Prefix
+	}
+	m.subnets[e.Prefix] = e
+	m.mergeObservation(e, s)
+}
+
+// mergeObservation unions one observation's members into e, re-points the
+// address index at e's (possibly re-keyed) prefix, and bumps its accounting.
+func (m *Map) mergeObservation(e *Entry, s *core.Subnet) {
+	have := map[ipv4.Addr]bool{}
+	deduped := e.Addrs[:0]
+	for _, a := range e.Addrs {
+		if !have[a] {
+			deduped = append(deduped, a)
+			have[a] = true
 		}
 	}
-	have := map[ipv4.Addr]bool{}
-	for _, a := range e.Addrs {
-		have[a] = true
-	}
+	e.Addrs = deduped
 	for _, a := range s.Addrs {
 		if !have[a] {
 			e.Addrs = append(e.Addrs, a)
 			have[a] = true
 		}
-		m.addrToPrefix[a] = e.Prefix
 	}
 	sort.Slice(e.Addrs, func(i, j int) bool { return e.Addrs[i] < e.Addrs[j] })
+	for _, a := range e.Addrs {
+		m.addrToPrefix[a] = e.Prefix
+	}
 	e.Observations++
 	e.OnPath = e.OnPath || s.OnPath
 }
@@ -263,6 +333,9 @@ func (m *Map) String() string {
 			kind = "p2p"
 		}
 		fmt.Fprintf(&b, "  %-18v %s x%d %v\n", e.Prefix, kind, e.Observations, e.Addrs)
+		for _, c := range e.Conflicts {
+			fmt.Fprintf(&b, "    conflict: %s\n", c)
+		}
 	}
 	return b.String()
 }

@@ -289,3 +289,115 @@ func TestNoAnonymousRoutersOnCleanPath(t *testing.T) {
 		t.Fatalf("placeholders on a clean path: %+v", got)
 	}
 }
+
+// sub builds a synthetic observation for merge tests.
+func sub(prefix string, addrs ...string) *core.Subnet {
+	s := &core.Subnet{Prefix: pfx(prefix)}
+	for _, a := range addrs {
+		s.Addrs = append(s.Addrs, addr(a))
+	}
+	return s
+}
+
+// TestMergeOverlappingTracesNoDuplicates merges two traces that observed the
+// same subnet: the map must hold one row for it, with the membership union
+// counted once (the duplicate-row regression this guards against came from
+// merging only the first overlapping entry found in random map order).
+func TestMergeOverlappingTracesNoDuplicates(t *testing.T) {
+	m := New()
+	first := traceInto(t, m, topo.Figure3(), "vantage", "10.0.5.2")
+	second := traceInto(t, m, topo.Figure3(), "vantage", "10.0.5.2")
+	if len(first.Subnets) != len(second.Subnets) {
+		t.Fatalf("traces disagree: %d vs %d subnets", len(first.Subnets), len(second.Subnets))
+	}
+
+	entries := m.Subnets()
+	if got := len(entries); got != 4 {
+		t.Fatalf("merged map has %d rows, want 4 (no duplicates):\n%v", got, m)
+	}
+	seen := map[ipv4.Prefix]bool{}
+	for _, e := range entries {
+		if seen[e.Prefix] {
+			t.Fatalf("duplicate row for %v:\n%v", e.Prefix, m)
+		}
+		seen[e.Prefix] = true
+		if e.Observations != 2 {
+			t.Errorf("%v observed %d times, want 2", e.Prefix, e.Observations)
+		}
+		addrSeen := map[ipv4.Addr]bool{}
+		for _, a := range e.Addrs {
+			if addrSeen[a] {
+				t.Errorf("%v double-counts member %v", e.Prefix, a)
+			}
+			addrSeen[a] = true
+		}
+		if len(e.Conflicts) != 0 {
+			t.Errorf("%v reports conflicts %v for agreeing observations", e.Prefix, e.Conflicts)
+		}
+	}
+
+	// Address accounting must match a single trace: re-observation adds
+	// nothing new.
+	single := New()
+	traceInto(t, single, topo.Figure3(), "vantage", "10.0.5.2")
+	if m.AddrCount() != single.AddrCount() {
+		t.Errorf("merged map counts %d addresses, single trace %d", m.AddrCount(), single.AddrCount())
+	}
+}
+
+// TestMergeLargerPrefixAbsorbsAll checks a large observation absorbs EVERY
+// overlapping entry, not just the first found: two /31s under one /29 must
+// collapse to a single row keyed by the /29, with a conflict note per
+// disagreeing observation.
+func TestMergeLargerPrefixAbsorbsAll(t *testing.T) {
+	m := New()
+	m.AddSubnets([]*core.Subnet{
+		sub("10.0.3.0/31", "10.0.3.0", "10.0.3.1"),
+		sub("10.0.3.4/31", "10.0.3.4", "10.0.3.5"),
+		sub("10.0.3.0/29", "10.0.3.2"),
+	})
+	entries := m.Subnets()
+	if len(entries) != 1 {
+		t.Fatalf("map has %d rows, want 1:\n%v", len(entries), m)
+	}
+	e := entries[0]
+	if e.Prefix != pfx("10.0.3.0/29") {
+		t.Fatalf("survivor keyed %v, want 10.0.3.0/29", e.Prefix)
+	}
+	if e.Observations != 3 {
+		t.Errorf("observations = %d, want 3", e.Observations)
+	}
+	want := []string{"10.0.3.0", "10.0.3.1", "10.0.3.2", "10.0.3.4", "10.0.3.5"}
+	if len(e.Addrs) != len(want) {
+		t.Fatalf("members = %v, want %v", e.Addrs, want)
+	}
+	for i, a := range want {
+		if e.Addrs[i] != addr(a) {
+			t.Fatalf("members = %v, want %v", e.Addrs, want)
+		}
+	}
+	if len(e.Conflicts) != 2 {
+		t.Fatalf("conflicts = %v, want 2 prefix-length disagreements", e.Conflicts)
+	}
+	for _, a := range want {
+		if got := m.SubnetOf(addr(a)); got != e {
+			t.Errorf("SubnetOf(%s) = %v, want the merged entry", a, got)
+		}
+	}
+	if !strings.Contains(m.String(), "conflict: ") {
+		t.Errorf("rendered map omits conflict notes:\n%v", m)
+	}
+}
+
+// TestMergeConflictNoteStableOrder checks the conflict note is identical no
+// matter which observation arrives first.
+func TestMergeConflictNoteStableOrder(t *testing.T) {
+	a := New()
+	a.AddSubnets([]*core.Subnet{sub("10.0.3.0/30", "10.0.3.1"), sub("10.0.3.0/29", "10.0.3.2")})
+	b := New()
+	b.AddSubnets([]*core.Subnet{sub("10.0.3.0/29", "10.0.3.2"), sub("10.0.3.0/30", "10.0.3.1")})
+	ea, eb := a.Subnets()[0], b.Subnets()[0]
+	if len(ea.Conflicts) != 1 || len(eb.Conflicts) != 1 || ea.Conflicts[0] != eb.Conflicts[0] {
+		t.Errorf("conflict notes differ by arrival order: %v vs %v", ea.Conflicts, eb.Conflicts)
+	}
+}

@@ -27,8 +27,14 @@ go run ./cmd/tracenetlint ./...
 echo "== go test -race -tags invariants ./..."
 go test -race -tags invariants ./...
 
+# The campaign engine's determinism contract (identical merged topology and
+# metrics at -parallel 1 and 8) is its core guarantee; exercise it explicitly
+# under the race detector even when the full suite above is trimmed.
+echo "== go test -race ./internal/collect/ (campaign engine)"
+go test -race -count=1 ./internal/collect/
+
 echo "== bench smoke (1 iteration per benchmark)"
-go test -run '^$' -bench '^(BenchmarkProbeExchange|BenchmarkSingleTrace)(Telemetry)?$' -benchtime 1x .
+go test -run '^$' -bench '^(BenchmarkProbeExchange|BenchmarkSingleTrace)(Telemetry)?$|^BenchmarkCampaign$' -benchtime 1x .
 go test -run '^$' -bench . -benchtime 1x ./internal/telemetry/
 
 echo "== fuzz smoke (internal/wire, 5s per target)"
