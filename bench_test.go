@@ -416,3 +416,26 @@ func BenchmarkCampaign(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAccuracy runs the ground-truth accuracy ensemble (DESIGN.md §10)
+// and reports the per-regime subnet/address precision and recall, so
+// BENCH_*.json baselines record what the collector gets RIGHT alongside what
+// it costs. The committed floors in internal/experiments gate regressions;
+// this benchmark makes the actual values diffable across baselines.
+func BenchmarkAccuracy(b *testing.B) {
+	var results []*experiments.AccuracyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiments.AccuracySweep(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, res := range results {
+		r := string(res.Regime)
+		b.ReportMetric(res.SubnetPrecision, r+"-subnet-prec")
+		b.ReportMetric(res.SubnetRecall, r+"-subnet-rec")
+		b.ReportMetric(res.AddrPrecision, r+"-addr-prec")
+		b.ReportMetric(res.AddrRecall, r+"-addr-rec")
+	}
+}

@@ -7,7 +7,8 @@
 //	experiments [-run what] [-seed n]
 //
 // what: all (default), table1, table2, table3, fig6, fig7, fig8, fig9,
-// overhead, ablations, coverage, offline, routermap.
+// overhead, ablations, coverage, offline, routermap, heuristics, ingress,
+// accuracy.
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		what = flag.String("run", "all", "experiment: all, table1, table2, table3, fig6, fig7, fig8, fig9, overhead, ablations, coverage, offline, routermap, heuristics, ingress")
+		what = flag.String("run", "all", "experiment: all, table1, table2, table3, fig6, fig7, fig8, fig9, overhead, ablations, coverage, offline, routermap, heuristics, ingress, accuracy")
 		seed = flag.Int64("seed", 7, "experiment seed")
 	)
 	flag.Parse()
@@ -152,9 +153,17 @@ func run(w io.Writer, what string, seed int64) error {
 		report.EntryLimitation(w, frac)
 		sep()
 	}
+	if all || what == "accuracy" {
+		results, err := experiments.AccuracySweep(nil)
+		if err != nil {
+			return err
+		}
+		report.AccuracyTable(w, results)
+		sep()
+	}
 
 	switch what {
-	case "all", "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "overhead", "ablations", "coverage", "offline", "routermap", "heuristics", "ingress":
+	case "all", "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "overhead", "ablations", "coverage", "offline", "routermap", "heuristics", "ingress", "accuracy":
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q", what)

@@ -12,6 +12,7 @@ func TestRunSingleExperiments(t *testing.T) {
 		"overhead":   {"7|S|+7"},
 		"heuristics": {"Stop-reason"},
 		"routermap":  {"precision/recall"},
+		"accuracy":   {"Ground-Truth Accuracy Ensemble", "committed floors:", "clean", "faulted", "ecmp"},
 	}
 	for what, wants := range cases {
 		var b strings.Builder

@@ -47,6 +47,20 @@
 // subnet cache, and the observations merge into one subnet-level topology.
 // The merged report is byte-identical whatever -parallel is.
 //
+// Ground-truth evaluation (see DESIGN.md §10):
+//
+//	-eval             score the collected subnets against the simulator's
+//	                  true topology: per-subnet verdicts (exact, subset,
+//	                  superset, phantom, missed), precision/recall on subnets
+//	                  and addresses, prefix-length error histogram
+//	-eval-out file    also write the evaluation as a JSON artifact (implies
+//	                  -eval)
+//	-eval-core        score against router-to-router core subnets only,
+//	                  excluding host access subnets from the truth
+//
+// Works in both single-session and campaign mode; with telemetry enabled the
+// scores also land in the registry as the tracenet_eval_* metric families.
+//
 // Telemetry and profiling (see DESIGN.md §8):
 //
 //	-metrics-out file    write the metric registry at exit; Prometheus text
@@ -79,6 +93,7 @@ import (
 	"tracenet/internal/cli"
 	"tracenet/internal/collect"
 	"tracenet/internal/core"
+	"tracenet/internal/groundtruth"
 	"tracenet/internal/ipv4"
 	"tracenet/internal/netsim"
 	"tracenet/internal/probe"
@@ -110,6 +125,10 @@ type options struct {
 	campaignGreedy  bool   // enable the cache's live member tier
 	campaignNoCache bool   // disable the shared subnet cache
 
+	eval     bool   // score collected subnets against the simulated truth
+	evalOut  string // write the evaluation JSON artifact here (implies eval)
+	evalCore bool   // score against core (non-host) subnets only
+
 	metricsOut string // metric registry exposition file (.json selects JSON)
 	traceOut   string // Chrome trace-event JSON file
 	flightOut  string // incident dump file; arms the flight recorder
@@ -124,6 +143,11 @@ type options struct {
 // telemetry layer to be attached.
 func (o options) telemetryEnabled() bool {
 	return o.metricsOut != "" || o.traceOut != "" || o.flightOut != ""
+}
+
+// evalMode reports whether a ground-truth evaluation was requested.
+func (o options) evalMode() bool {
+	return o.eval || o.evalOut != "" || o.evalCore
 }
 
 // campaignMode reports whether any campaign flag selects the parallel
@@ -156,6 +180,9 @@ func main() {
 	flag.StringVar(&o.campaignResume, "campaign-resume", "", "resume a campaign from this checkpoint file")
 	flag.BoolVar(&o.campaignGreedy, "campaign-greedy", false, "share cached subnets by member address (non-deterministic probe totals)")
 	flag.BoolVar(&o.campaignNoCache, "campaign-no-cache", false, "disable the campaign's shared subnet cache")
+	flag.BoolVar(&o.eval, "eval", false, "score the collected subnets against the simulated ground truth")
+	flag.StringVar(&o.evalOut, "eval-out", "", "write the ground-truth evaluation as JSON to this file (implies -eval)")
+	flag.BoolVar(&o.evalCore, "eval-core", false, "evaluate against core subnets only, excluding host access subnets")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write metrics here at exit (Prometheus text, or JSON for .json paths)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON file of the run's spans")
 	flag.StringVar(&o.flightOut, "flight-recorder", "", "dump the flight recorder into this file on every incident")
@@ -305,7 +332,7 @@ func run(w io.Writer, o options) error {
 		}
 		fmt.Fprintf(w, "tracenet campaign over %s, vantage %s (%v), %s probes\n",
 			sc.Description, o.vantage, port.LocalAddr(), proto)
-		if err := runCampaign(w, o, net, popts, tel, dests); err != nil {
+		if err := runCampaign(w, o, sc.Topo, net, popts, tel, dests); err != nil {
 			return err
 		}
 		return writeArtifacts(w, o, tel, traceFile, flightFile)
@@ -376,6 +403,12 @@ func run(w io.Writer, o options) error {
 			fs.FlapDrops, fs.BlackholeDrops, fs.Corrupted, fs.Truncated, fs.Delayed, fs.Duplicated, fs.StormDrops)
 	}
 
+	if o.evalMode() {
+		if err := runEval(w, o, sc.Topo, groundtruth.FromCoreSubnets(sess.Subnets()), tel); err != nil {
+			return err
+		}
+	}
+
 	if o.ckptOut != "" {
 		f, err := os.Create(o.ckptOut)
 		if err != nil {
@@ -397,7 +430,7 @@ func run(w io.Writer, o options) error {
 // runCampaign drives the collect engine: every destination gets its own
 // session/prober pair, the shared subnet cache spans them, and the merged
 // report lands on w.
-func runCampaign(w io.Writer, o options, net *netsim.Network, popts probe.Options, tel *telemetry.Telemetry, dests []ipv4.Addr) error {
+func runCampaign(w io.Writer, o options, top *netsim.Topology, net *netsim.Network, popts probe.Options, tel *telemetry.Telemetry, dests []ipv4.Addr) error {
 	ccfg := collect.Config{
 		Targets:      dests,
 		Parallel:     o.parallel,
@@ -442,6 +475,12 @@ func runCampaign(w io.Writer, o options, net *netsim.Network, popts probe.Option
 		return err
 	}
 
+	if o.evalMode() {
+		if err := runEval(w, o, top, groundtruth.FromTopomap(rep.Map), tel); err != nil {
+			return err
+		}
+	}
+
 	if o.campaignOut != "" {
 		f, err := os.Create(o.campaignOut)
 		if err != nil {
@@ -455,6 +494,35 @@ func runCampaign(w io.Writer, o options, net *netsim.Network, popts probe.Option
 			return err
 		}
 		fmt.Fprintf(w, "campaign checkpoint written to %s\n", o.campaignOut)
+	}
+	return nil
+}
+
+// runEval scores the collected subnets against the simulator's ground truth,
+// prints the deterministic text report, mirrors the scores onto the telemetry
+// registry, and optionally writes the JSON artifact. Shared by the
+// single-session and campaign paths.
+func runEval(w io.Writer, o options, top *netsim.Topology, collected []groundtruth.CollectedSubnet, tel *telemetry.Telemetry) error {
+	truth := groundtruth.FromTopology(top, groundtruth.Options{ExcludeHostSubnets: o.evalCore})
+	score := truth.Score(collected)
+	fmt.Fprintln(w)
+	if _, err := score.WriteText(w); err != nil {
+		return err
+	}
+	score.Export(tel)
+	if o.evalOut != "" {
+		f, err := os.Create(o.evalOut)
+		if err != nil {
+			return err
+		}
+		if err := score.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "evaluation written to %s\n", o.evalOut)
 	}
 	return nil
 }

@@ -388,3 +388,116 @@ func TestRunCampaignErrors(t *testing.T) {
 		t.Error("bad targets file accepted")
 	}
 }
+
+func TestRunEvalCleanChainPerfect(t *testing.T) {
+	dir := t.TempDir()
+	evalRun := func(out string) string {
+		t.Helper()
+		var b strings.Builder
+		o := options{topo: "chain", proto: "icmp", maxTTL: 30, seed: 1,
+			eval: true, evalOut: out, dests: []string{"10.9.255.2"}}
+		if err := run(&b, o); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	out1 := evalRun(filepath.Join(dir, "eval1.json"))
+	for _, want := range []string{
+		"ground-truth eval: 9 true subnets, 9 collected",
+		"subnet precision 1.000 (9/9 exact), recall 1.000 (9/9 matched exactly)",
+		"address precision 1.000 (18/18), recall 1.000 (18/18)",
+		"verdicts: exact 9",
+	} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("eval output lacks %q:\n%s", want, out1)
+		}
+	}
+
+	// Rerun with identical flags: console output and JSON artifact must be
+	// byte-identical.
+	out2 := evalRun(filepath.Join(dir, "eval2.json"))
+	if norm := strings.ReplaceAll(out2, "eval2.json", "eval1.json"); norm != out1 {
+		t.Errorf("eval output differs across reruns:\n--- 1\n%s--- 2\n%s", out1, out2)
+	}
+	js1, err := os.ReadFile(filepath.Join(dir, "eval1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	js2, err := os.ReadFile(filepath.Join(dir, "eval2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, js2) {
+		t.Errorf("eval JSON artifacts differ across reruns:\n--- 1\n%s--- 2\n%s", js1, js2)
+	}
+
+	var doc struct {
+		SubnetPrecision float64        `json:"subnet_precision"`
+		SubnetRecall    float64        `json:"subnet_recall"`
+		Verdicts        map[string]int `json:"verdicts"`
+	}
+	if err := json.Unmarshal(js1, &doc); err != nil {
+		t.Fatalf("eval artifact does not parse: %v\n%s", err, js1)
+	}
+	if doc.SubnetPrecision != 1 || doc.SubnetRecall != 1 || doc.Verdicts["exact"] != 9 {
+		t.Errorf("eval artifact scores = %+v", doc)
+	}
+}
+
+func TestRunEvalCampaign(t *testing.T) {
+	var b strings.Builder
+	o := options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1,
+		campaign: true, parallel: 2, eval: true,
+		dests: []string{"10.0.3.1", "10.0.4.1", "10.0.5.2"}}
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Figure 3's LAN is a /24 with only four assigned addresses, so the
+	// minimal covering /29 is the best any collector can infer: 5 exact plus
+	// one subset, with perfect address-level accuracy.
+	for _, want := range []string{
+		"ground-truth eval: 6 true subnets, 6 collected",
+		"verdicts: exact 5 subset 1",
+		"address precision 1.000 (14/14), recall 1.000 (14/14)",
+		"10.0.2.0/29        subset    true 10.0.2.0/24 members 4/4 k=+5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign eval output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunEvalCoreAndTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	mf := filepath.Join(dir, "metrics.txt")
+	var b strings.Builder
+	o := options{topo: "chain", proto: "icmp", maxTTL: 30, seed: 1,
+		evalCore: true, metricsOut: mf, dests: []string{"10.9.255.2"}}
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	// Core universe excludes the two host /30s: 7 true subnets; the two
+	// collected host subnets become phantoms.
+	out := b.String()
+	if !strings.Contains(out, "ground-truth eval: 7 true subnets, 9 collected") {
+		t.Errorf("core eval universe wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "phantom 2") {
+		t.Errorf("host subnets not scored as phantoms in core mode:\n%s", out)
+	}
+	metrics, err := os.ReadFile(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`tracenet_eval_subnets_total{verdict="exact"} 7`,
+		`tracenet_eval_subnets_total{verdict="phantom"} 2`,
+		"tracenet_eval_subnet_recall_ppm 1000000",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics exposition lacks %q:\n%s", want, metrics)
+		}
+	}
+}

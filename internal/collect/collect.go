@@ -91,6 +91,11 @@ type TargetStatus string
 const (
 	// StatusDone: the trace ran to completion (reached or not).
 	StatusDone TargetStatus = "done"
+	// StatusBreaker: the trace ended without reaching the destination while
+	// the circuit breaker was skipping probes — the terminating silence was
+	// locally manufactured, so the partial result is kept but the target is
+	// NOT recorded done; a resume (fresh breaker) retries it.
+	StatusBreaker TargetStatus = "breaker"
 	// StatusResumed: the checkpoint already contained this target.
 	StatusResumed TargetStatus = "resumed"
 	// StatusBudget: the campaign budget ran out mid-trace; partial result.
@@ -300,6 +305,9 @@ func (c *campaign) collectOne(ctx context.Context, dst ipv4.Addr, out *TargetRes
 		out.TraceProbes = res.TraceProbes
 	}
 	switch {
+	case err == nil && res != nil && res.BreakerLimited:
+		out.Status = StatusBreaker
+		out.Note = "breaker-truncated trace; not recorded done"
 	case err == nil:
 		out.Status = StatusDone
 	case errors.Is(err, probe.ErrBudgetExceeded):
@@ -322,6 +330,8 @@ func (c *campaign) buildReport(results []TargetResult) *Report {
 		switch results[i].Status {
 		case StatusDone:
 			rep.Stats.Done++
+		case StatusBreaker:
+			rep.Stats.Breaker++
 		case StatusResumed:
 			rep.Stats.Resumed++
 		case StatusBudget:

@@ -9,6 +9,8 @@ import (
 
 	"tracenet/internal/collect"
 	"tracenet/internal/core"
+	"tracenet/internal/groundtruth"
+	"tracenet/internal/ipv4"
 	"tracenet/internal/netsim"
 	"tracenet/internal/probe"
 	"tracenet/internal/telemetry"
@@ -321,5 +323,118 @@ func TestCampaignMergedEqualsSequentialSession(t *testing.T) {
 			t.Errorf("subnet %d differs: campaign %v %v, session %v %v",
 				i, a.Prefix, a.Addrs, b.Prefix, b.Addrs)
 		}
+	}
+}
+
+// TestCampaignBreakerTruncatedNotDone is the regression test for the
+// campaign-level checkpoint/resume hole: a target whose trace the circuit
+// breaker cut short ends with err == nil, so it used to be marked done,
+// listed in the checkpoint's Done set, and silently skipped on resume. It
+// must instead carry the breaker status, stay out of Done, and be retried by
+// a resumed campaign.
+func TestCampaignBreakerTruncatedNotDone(t *testing.T) {
+	tp := topo.Figure3()
+	n := netsim.New(tp, netsim.Config{})
+	reachable := ipv4.MustParseAddr("10.0.5.2")
+	unroutable := ipv4.MustParseAddr("172.16.0.1")
+	cfg := collect.Config{
+		Targets: []ipv4.Addr{reachable, unroutable},
+		Probe: probe.Options{
+			Cache:   true,
+			NoRetry: true,
+			Breaker: &probe.BreakerConfig{Threshold: 2, Cooldown: 64, KeyBits: 24},
+		},
+		Dial: func(opts probe.Options) (*probe.Prober, error) {
+			port, err := n.PortFor("vantage")
+			if err != nil {
+				return nil, err
+			}
+			return probe.New(port, port.LocalAddr(), opts), nil
+		},
+	}
+
+	rep, err := collect.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Targets[0].Status != collect.StatusDone {
+		t.Fatalf("reachable target status = %s", rep.Targets[0].Status)
+	}
+	if rep.Targets[1].Status != collect.StatusBreaker {
+		t.Fatalf("breaker-truncated target status = %s, want %s", rep.Targets[1].Status, collect.StatusBreaker)
+	}
+	if rep.Stats.Breaker != 1 || rep.Stats.Done != 1 {
+		t.Fatalf("stats = %+v", rep.Stats)
+	}
+	var out bytes.Buffer
+	if _, err := rep.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "breaker 1") {
+		t.Errorf("report does not surface the breaker count:\n%s", out.String())
+	}
+
+	cp := rep.Checkpoint()
+	if len(cp.Done) != 1 || cp.Done[0] != reachable.String() {
+		t.Fatalf("checkpoint done = %v; breaker-truncated target must not be listed", cp.Done)
+	}
+
+	// Resume: the done target is skipped, the truncated one is retraced.
+	cfg.Resume = cp
+	rep2, err := collect.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Targets[0].Status != collect.StatusResumed {
+		t.Errorf("resumed campaign retraced the done target: %s", rep2.Targets[0].Status)
+	}
+	if rep2.Targets[1].Status == collect.StatusResumed {
+		t.Error("resumed campaign silently skipped the breaker-truncated target")
+	}
+}
+
+// TestCampaignResumeEvalEquivalence closes the loop between the checkpoint
+// machinery and the ground-truth scorer: a campaign resumed from a half-done
+// checkpoint (remaining targets served partly by the cache's frozen tier)
+// must score IDENTICALLY against the true topology to the fresh end-to-end
+// run — same verdicts, same precision/recall, byte-identical evaluation
+// text. And every subnet carried through the checkpoint must keep its
+// confidence annotation inside the documented (0,1] range.
+func TestCampaignResumeEvalEquivalence(t *testing.T) {
+	full, _, _ := runCampaign(t, 1, nil)
+	cp := full.Checkpoint()
+	half := len(cp.Done) / 2
+	cp.Done = cp.Done[:half]
+
+	resumed, _, _ := runCampaign(t, 4, func(cfg *collect.Config) {
+		cfg.Resume = cp
+	})
+
+	for _, sub := range resumed.Subnets() {
+		if sub.Confidence <= 0 || sub.Confidence > 1 {
+			t.Errorf("checkpoint-carried subnet %v has confidence %v outside (0,1]",
+				sub.Prefix, sub.Confidence)
+		}
+	}
+
+	tp, _ := topo.Random(campaignSpec)
+	truth := groundtruth.FromTopology(tp, groundtruth.Options{})
+	fullScore := truth.Score(groundtruth.FromTopomap(full.Map))
+	resumedScore := truth.Score(groundtruth.FromTopomap(resumed.Map))
+
+	var fullText, resumedText bytes.Buffer
+	if _, err := fullScore.WriteText(&fullText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumedScore.WriteText(&resumedText); err != nil {
+		t.Fatal(err)
+	}
+	if fullText.String() != resumedText.String() {
+		t.Errorf("resumed campaign scores differently from fresh run:\n--- fresh\n%s--- resumed\n%s",
+			fullText.String(), resumedText.String())
+	}
+	if fullScore.SubnetPrecision != 1 {
+		t.Errorf("clean campaign subnet precision %v, want 1 (collector invented subnets)",
+			fullScore.SubnetPrecision)
 	}
 }

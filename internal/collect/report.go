@@ -17,6 +17,7 @@ import (
 type Stats struct {
 	Targets int
 	Done    int
+	Breaker int
 	Resumed int
 	Budget  int
 	Skipped int
@@ -92,13 +93,17 @@ func (r *Report) Subnets() []*core.Subnet { return r.subnets }
 func (r *Report) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
 
-	fmt.Fprintf(&b, "campaign: %d targets (done %d, resumed %d, budget %d, skipped %d, failed %d)\n",
+	fmt.Fprintf(&b, "campaign: %d targets (done %d, resumed %d, budget %d, skipped %d, failed %d",
 		r.Stats.Targets, r.Stats.Done, r.Stats.Resumed, r.Stats.Budget, r.Stats.Skipped, r.Stats.Failed)
+	if r.Stats.Breaker > 0 {
+		fmt.Fprintf(&b, ", breaker %d", r.Stats.Breaker)
+	}
+	b.WriteString(")\n")
 	for i := range r.Targets {
 		t := &r.Targets[i]
 		fmt.Fprintf(&b, "  %-15v %-8s", t.Dst, t.Status)
 		switch t.Status {
-		case StatusDone, StatusBudget:
+		case StatusDone, StatusBudget, StatusBreaker:
 			fmt.Fprintf(&b, " reached=%v hops=%d subnets=%d trace-probes=%d",
 				t.Reached, t.Hops, t.Subnets, t.TraceProbes)
 		}

@@ -278,3 +278,66 @@ func TestCheckpointMidCampaignResume(t *testing.T) {
 		}
 	}
 }
+
+// TestBreakerTruncatedTraceNotDone is the regression test for a
+// checkpoint/resume hole: a trace the circuit breaker cut short ends with
+// err == nil (breaker skips read as local silence), but its terminating
+// silence was manufactured, not observed. Such a destination must NOT be
+// recorded done — a session resumed from the checkpoint (breaker starts
+// closed) has to retry it rather than silently skip it.
+func TestBreakerTruncatedTraceNotDone(t *testing.T) {
+	n := netsim.New(topo.Figure3(), netsim.Config{})
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := probe.New(port, port.LocalAddr(), probe.Options{
+		NoRetry: true,
+		Breaker: &probe.BreakerConfig{Threshold: 2, Cooldown: 64, KeyBits: 24},
+	})
+	sess := NewSession(pr, Config{})
+
+	// A reachable destination completes normally and is recorded done.
+	if _, err := sess.Trace(addr("10.0.5.2")); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.IsDone(addr("10.0.5.2")) {
+		t.Fatal("reached destination not recorded done")
+	}
+
+	// 172.16.0.1 is unroutable: every hop beyond the first is silent, the
+	// breaker opens after two silences and skips the rest of the trace.
+	res, err := sess.Trace(addr("172.16.0.1"))
+	if err != nil {
+		t.Fatalf("breaker-truncated trace errored: %v", err)
+	}
+	if res.Reached {
+		t.Fatal("unroutable destination reported reached")
+	}
+	if pr.Stats().BreakerSkips == 0 {
+		t.Fatal("scenario did not exercise the breaker: no skips recorded")
+	}
+	if !res.BreakerLimited {
+		t.Error("truncated result not marked BreakerLimited")
+	}
+	if sess.IsDone(addr("172.16.0.1")) {
+		t.Error("breaker-truncated destination recorded done; a resume would silently skip it")
+	}
+
+	// The checkpoint round-trip preserves the distinction.
+	var buf bytes.Buffer
+	if err := sess.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := NewSessionFromCheckpoint(pr, Config{}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.IsDone(addr("10.0.5.2")) || resumed.IsDone(addr("172.16.0.1")) {
+		t.Errorf("resumed done list wrong: done=%v", resumed.Done())
+	}
+}

@@ -117,6 +117,19 @@ func (cs CheckpointSubnet) Restore() (*Subnet, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: checkpoint subnet %s: %w", cs.Prefix, err)
 	}
+	// Confidence is documented (0,1]. The field is omitempty, so a checkpoint
+	// written before confidence tracking existed (or a fully-clean snapshot
+	// round-tripped through tooling that drops zero fields) decodes as 0 —
+	// normalize that to 1 ("fully answered") instead of restoring a subnet
+	// that violates the contract. Values actually outside the range are
+	// corruption, not legacy, and are rejected.
+	conf := cs.Confidence
+	if conf == 0 {
+		conf = 1
+	}
+	if conf < 0 || conf > 1 {
+		return nil, fmt.Errorf("core: checkpoint subnet %s: confidence %v outside (0,1]", cs.Prefix, cs.Confidence)
+	}
 	sub := &Subnet{
 		Prefix:     prefix,
 		Pivot:      pivot,
@@ -124,7 +137,7 @@ func (cs CheckpointSubnet) Restore() (*Subnet, error) {
 		OnPath:     cs.OnPath,
 		Stop:       StopReason(cs.Stop),
 		Probes:     cs.Probes,
-		Confidence: cs.Confidence,
+		Confidence: conf,
 		Degraded:   cs.Degraded,
 	}
 	for _, a := range cs.Addrs {

@@ -147,7 +147,14 @@ func (s *Session) Trace(dst ipv4.Addr) (*Result, error) {
 	scope.CountInto(span)
 	span.End()
 	if err == nil {
-		s.done = append(s.done, dst)
+		// A trace the breaker truncated ended on manufactured silence, not
+		// an observed outcome: leave it out of the done list so a resumed
+		// session (whose breaker starts closed) retries it.
+		if !res.Reached && scope.Delta().BreakerSkips > 0 {
+			res.BreakerLimited = true
+		} else {
+			s.done = append(s.done, dst)
+		}
 	}
 	return res, err
 }

@@ -195,6 +195,12 @@ type Result struct {
 	// Recovered counts transport errors the session absorbed by treating
 	// the probe as silent instead of aborting (graceful degradation).
 	Recovered uint64
+	// BreakerLimited marks a trace that ended without reaching dst while the
+	// circuit breaker was skipping probes: the silence that terminated it was
+	// locally manufactured, not observed, so the outcome is provisional. Such
+	// destinations are not recorded as done — a checkpoint resume (with a
+	// fresh breaker) retries them instead of silently skipping.
+	BreakerLimited bool
 }
 
 // DegradedSubnets returns the subnets of this result flagged as degraded.

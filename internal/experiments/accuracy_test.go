@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+
+	"tracenet/internal/groundtruth"
+)
+
+// TestAccuracyFloors is the committed regression gate: ensemble-mean accuracy
+// under every regime must stay at or above the pinned floors.
+func TestAccuracyFloors(t *testing.T) {
+	results, err := AccuracySweep(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Regimes) {
+		t.Fatalf("sweep returned %d regimes, want %d", len(results), len(Regimes))
+	}
+	for _, res := range results {
+		floor, ok := AccuracyFloors[res.Regime]
+		if !ok {
+			t.Fatalf("no committed floor for regime %s", res.Regime)
+		}
+		for _, v := range res.Violations(floor) {
+			t.Error(v)
+		}
+		if len(res.Runs) != len(AccuracySeeds) {
+			t.Errorf("%s: %d runs, want %d", res.Regime, len(res.Runs), len(AccuracySeeds))
+		}
+	}
+}
+
+// TestAccuracyRunDeterministic pins that the same (regime, seed) pair scores
+// identically across runs — the property the floors rely on.
+func TestAccuracyRunDeterministic(t *testing.T) {
+	a, err := RunAccuracy(RegimeECMP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAccuracy(RegimeECMP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score.SubnetPrecision != b.Score.SubnetPrecision ||
+		a.Score.SubnetRecall != b.Score.SubnetRecall ||
+		a.Score.CommonAddrs != b.Score.CommonAddrs ||
+		len(a.Score.Rows) != len(b.Score.Rows) {
+		t.Fatalf("same seed scored differently:\n%+v\nvs\n%+v", a.Score, b.Score)
+	}
+}
+
+// TestAccuracyFaultedNeverInvents pins the resilience shape of the faulted
+// regime: heavy faults may collapse recall, but the collector must not invent
+// subnets or addresses (precision stays perfect on every seed).
+func TestAccuracyFaultedNeverInvents(t *testing.T) {
+	res, err := AccuracyEnsemble(RegimeFaulted, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range res.Runs {
+		if n := run.Score.Count(groundtruth.VerdictPhantom); n != 0 {
+			t.Errorf("seed %d: %d phantom subnets under faults", run.Seed, n)
+		}
+		if run.Score.AddrPrecision != 1 {
+			t.Errorf("seed %d: addr precision %v under faults", run.Seed, run.Score.AddrPrecision)
+		}
+	}
+}
+
+func TestAccuracyUnknownRegime(t *testing.T) {
+	if _, err := RunAccuracy(Regime("bogus"), 1); err == nil {
+		t.Fatal("unknown regime accepted")
+	}
+}

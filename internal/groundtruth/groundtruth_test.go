@@ -1,0 +1,397 @@
+package groundtruth
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tracenet/internal/core"
+	"tracenet/internal/ipv4"
+	"tracenet/internal/netsim"
+	"tracenet/internal/probe"
+	"tracenet/internal/telemetry"
+	"tracenet/internal/topo"
+)
+
+func addr(s string) ipv4.Addr     { return ipv4.MustParseAddr(s) }
+func prefix(s string) ipv4.Prefix { return ipv4.MustParsePrefix(s) }
+
+func addrs(ss ...string) []ipv4.Addr {
+	out := make([]ipv4.Addr, len(ss))
+	for i, s := range ss {
+		out[i] = addr(s)
+	}
+	return out
+}
+
+func TestFromTopologyFigure3(t *testing.T) {
+	tr := FromTopology(topo.Figure3(), Options{})
+	want := []struct {
+		prefix  string
+		members []string
+		p2p     bool
+		host    bool
+	}{
+		{"10.0.0.0/30", []string{"10.0.0.1", "10.0.0.2"}, true, true},
+		{"10.0.1.0/31", []string{"10.0.1.0", "10.0.1.1"}, true, false},
+		{"10.0.2.0/24", []string{"10.0.2.1", "10.0.2.2", "10.0.2.3", "10.0.2.4"}, false, false},
+		{"10.0.3.0/31", []string{"10.0.3.0", "10.0.3.1"}, true, false},
+		{"10.0.4.0/31", []string{"10.0.4.0", "10.0.4.1"}, true, false},
+		{"10.0.5.0/30", []string{"10.0.5.1", "10.0.5.2"}, true, true},
+	}
+	if len(tr.Subnets) != len(want) {
+		t.Fatalf("subnets = %d, want %d: %+v", len(tr.Subnets), len(want), tr.Subnets)
+	}
+	for i, w := range want {
+		got := tr.Subnets[i]
+		if got.Prefix != prefix(w.prefix) {
+			t.Errorf("subnet %d prefix = %v, want %s", i, got.Prefix, w.prefix)
+		}
+		if len(got.Addrs) != len(w.members) {
+			t.Fatalf("subnet %s members = %v, want %v", w.prefix, got.Addrs, w.members)
+		}
+		for j, m := range w.members {
+			if got.Addrs[j] != addr(m) {
+				t.Errorf("subnet %s member %d = %v, want %s", w.prefix, j, got.Addrs[j], m)
+			}
+		}
+		if got.PointToPoint != w.p2p {
+			t.Errorf("subnet %s p2p = %v, want %v", w.prefix, got.PointToPoint, w.p2p)
+		}
+		if got.HostAttached != w.host {
+			t.Errorf("subnet %s host = %v, want %v", w.prefix, got.HostAttached, w.host)
+		}
+	}
+	if tr.AddrCount() != 14 {
+		t.Errorf("AddrCount = %d, want 14", tr.AddrCount())
+	}
+	if !tr.HasAddr(addr("10.0.2.4")) || tr.HasAddr(addr("10.0.2.5")) {
+		t.Error("HasAddr misclassifies membership")
+	}
+	if s := tr.ByPrefix(prefix("10.0.2.0/24")); s == nil || len(s.Addrs) != 4 {
+		t.Errorf("ByPrefix(10.0.2.0/24) = %+v", s)
+	}
+}
+
+func TestFromTopologyExcludeHostSubnets(t *testing.T) {
+	tr := FromTopology(topo.Figure3(), Options{ExcludeHostSubnets: true})
+	if len(tr.Subnets) != 4 {
+		t.Fatalf("core subnets = %d, want 4: %+v", len(tr.Subnets), tr.Subnets)
+	}
+	for _, s := range tr.Subnets {
+		if s.HostAttached {
+			t.Errorf("host subnet %v leaked into core universe", s.Prefix)
+		}
+	}
+}
+
+// collect runs a clean full session over the topology toward each
+// destination and reconciles the result through a topology map.
+func collect(t *testing.T, top *netsim.Topology, dests ...string) []CollectedSubnet {
+	t.Helper()
+	n := netsim.New(top, netsim.Config{})
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := probe.New(port, port.LocalAddr(), probe.Options{})
+	sess := core.NewSession(pr, core.Config{})
+	for _, dst := range addrs(dests...) {
+		if _, err := sess.Trace(dst); err != nil {
+			t.Fatalf("trace %v: %v", dst, err)
+		}
+	}
+	return FromCoreSubnets(sess.Subnets())
+}
+
+func collectFigure3(t *testing.T) []CollectedSubnet {
+	t.Helper()
+	return collect(t, topo.Figure3(), "10.0.3.1", "10.0.4.1", "10.0.5.2")
+}
+
+// denseTopology builds a topology whose every subnet is exactly inferable
+// from its assigned addresses: /31 and /30 links, plus a /29 LAN with all six
+// usable addresses assigned. (Contrast figure 3's 10.0.2.0/24, where only
+// four addresses are assigned, so the minimal covering prefix — the best any
+// collector can infer — is a /29.)
+func denseTopology() *netsim.Topology {
+	b := netsim.NewBuilder()
+	v := b.Host("vantage")
+	r1 := b.Router("R1")
+	r2 := b.Router("R2")
+	r3 := b.Router("R3")
+	r4 := b.Router("R4")
+	r5 := b.Router("R5")
+	r6 := b.Router("R6")
+	r7 := b.Router("R7")
+	d := b.Host("dest")
+
+	a := b.Subnet("10.1.0.0/30")
+	b.Attach(v, a, "10.1.0.1")
+	b.Attach(r1, a, "10.1.0.2")
+
+	p := b.Subnet("10.1.1.0/31")
+	b.Attach(r1, p, "10.1.1.0")
+	b.Attach(r2, p, "10.1.1.1")
+
+	lan := b.Subnet("10.1.2.0/29")
+	b.Attach(r2, lan, "10.1.2.1")
+	b.Attach(r3, lan, "10.1.2.2")
+	b.Attach(r4, lan, "10.1.2.3")
+	b.Attach(r5, lan, "10.1.2.4")
+	b.Attach(r6, lan, "10.1.2.5")
+	b.Attach(r7, lan, "10.1.2.6")
+
+	ds := b.Subnet("10.1.3.0/30")
+	b.Attach(r4, ds, "10.1.3.1")
+	b.Attach(d, ds, "10.1.3.2")
+
+	return b.MustBuild()
+}
+
+func TestScoreDenseCleanCollectionPerfect(t *testing.T) {
+	top := denseTopology()
+	truth := FromTopology(top, Options{})
+	score := truth.Score(collect(t, top, "10.1.3.2"))
+	if !score.Perfect() {
+		var b bytes.Buffer
+		score.WriteText(&b)
+		t.Fatalf("clean dense collection not perfect:\n%s", b.String())
+	}
+	if score.Count(VerdictExact) != 4 || score.Count(VerdictMissed) != 0 {
+		t.Fatalf("verdicts: exact=%d missed=%d", score.Count(VerdictExact), score.Count(VerdictMissed))
+	}
+	if score.CommonAddrs != 12 {
+		t.Fatalf("common addrs = %d, want 12", score.CommonAddrs)
+	}
+	if len(score.PrefixErrs) != 1 || score.PrefixErrs[0] != (PrefixErrCount{Err: 0, Count: 4}) {
+		t.Fatalf("prefix errs = %+v", score.PrefixErrs)
+	}
+}
+
+// TestScoreFigure3Collection documents the inherent limit the scorer must
+// surface: figure 3's LAN is a /24 with only four assigned addresses, so a
+// correct collector infers the minimal covering /29 — a subset verdict with
+// k=+5, while address-level accuracy stays perfect.
+func TestScoreFigure3Collection(t *testing.T) {
+	truth := FromTopology(topo.Figure3(), Options{})
+	s := truth.Score(collectFigure3(t))
+	if s.Count(VerdictExact) != 5 || s.Count(VerdictSubset) != 1 || s.Count(VerdictMissed) != 0 || s.Count(VerdictPhantom) != 0 {
+		var b bytes.Buffer
+		s.WriteText(&b)
+		t.Fatalf("figure-3 verdicts unexpected:\n%s", b.String())
+	}
+	if s.AddrPrecision != 1 || s.AddrRecall != 1 {
+		t.Fatalf("addr precision/recall = %v/%v", s.AddrPrecision, s.AddrRecall)
+	}
+	var subset Row
+	for _, r := range s.Rows {
+		if r.Verdict == VerdictSubset {
+			subset = r
+		}
+	}
+	if subset.Collected != prefix("10.0.2.0/29") || subset.Truth != prefix("10.0.2.0/24") || subset.PrefixErr != 5 {
+		t.Fatalf("subset row = %+v", subset)
+	}
+	if subset.MemberHits != 4 || subset.MemberTotal != 4 || subset.MemberExtra != 0 {
+		t.Fatalf("subset membership = %+v", subset)
+	}
+}
+
+func testTruth() *Truth {
+	return FromSubnets([]TrueSubnet{
+		{Prefix: prefix("10.0.1.0/31"), Addrs: addrs("10.0.1.0", "10.0.1.1"), PointToPoint: true},
+		{Prefix: prefix("10.0.2.0/29"), Addrs: addrs("10.0.2.1", "10.0.2.2", "10.0.2.3")},
+		{Prefix: prefix("10.0.3.0/31"), Addrs: addrs("10.0.3.0", "10.0.3.1"), PointToPoint: true, Unresponsive: true},
+	})
+}
+
+func TestScoreVerdicts(t *testing.T) {
+	truth := testTruth()
+	collected := []CollectedSubnet{
+		{Prefix: prefix("10.0.1.0/31"), Addrs: addrs("10.0.1.0", "10.0.1.1")}, // exact
+		{Prefix: prefix("10.0.2.0/30"), Addrs: addrs("10.0.2.1", "10.0.2.2")}, // subset of the /29
+		{Prefix: prefix("172.16.0.0/31"), Addrs: addrs("172.16.0.0")},         // phantom
+	}
+	s := truth.Score(collected)
+
+	if got := []int{s.Count(VerdictExact), s.Count(VerdictSubset), s.Count(VerdictSuperset), s.Count(VerdictPhantom), s.Count(VerdictMissed)}; got[0] != 1 || got[1] != 1 || got[2] != 0 || got[3] != 1 || got[4] != 1 {
+		t.Fatalf("verdict counts = %v", got)
+	}
+	if s.MissedUnresponsive != 1 {
+		t.Errorf("missed unresponsive = %d, want 1", s.MissedUnresponsive)
+	}
+	if s.SubnetPrecision != 1.0/3 || s.SubnetRecall != 1.0/3 {
+		t.Errorf("subnet precision/recall = %v/%v", s.SubnetPrecision, s.SubnetRecall)
+	}
+	// Addresses: collected 5 distinct, 4 of them real, truth has 7.
+	if s.CollectedAddrs != 5 || s.CommonAddrs != 4 || s.TruthAddrs != 7 {
+		t.Errorf("addr counts = %d/%d/%d", s.CollectedAddrs, s.CommonAddrs, s.TruthAddrs)
+	}
+
+	byVerdict := map[Verdict]Row{}
+	for _, r := range s.Rows {
+		byVerdict[r.Verdict] = r
+	}
+	if r := byVerdict[VerdictSubset]; r.PrefixErr != 1 || r.Truth != prefix("10.0.2.0/29") || r.MemberHits != 2 || r.MemberTotal != 3 {
+		t.Errorf("subset row = %+v", r)
+	}
+	if r := byVerdict[VerdictPhantom]; r.MemberExtra != 1 || r.Overlaps != 0 {
+		t.Errorf("phantom row = %+v", r)
+	}
+	if r := byVerdict[VerdictMissed]; r.Truth != prefix("10.0.3.0/31") || r.MemberTotal != 2 {
+		t.Errorf("missed row = %+v", r)
+	}
+}
+
+func TestScoreSupersetSpansMultipleTruths(t *testing.T) {
+	truth := testTruth()
+	// One wide observation covering both the /31 and part of the /29.
+	s := truth.Score([]CollectedSubnet{
+		{Prefix: prefix("10.0.0.0/22"), Addrs: addrs("10.0.1.0", "10.0.1.1", "10.0.2.1", "10.0.3.0", "10.0.3.1")},
+	})
+	if s.Count(VerdictSuperset) != 1 || s.Count(VerdictMissed) != 0 {
+		t.Fatalf("superset=%d missed=%d", s.Count(VerdictSuperset), s.Count(VerdictMissed))
+	}
+	r := s.Rows[0]
+	if r.Overlaps != 3 {
+		t.Errorf("overlaps = %d, want 3", r.Overlaps)
+	}
+	// Primary match is the overlapped subnet sharing the most members: the
+	// /31s tie at 2, the lowest-base one wins.
+	if r.Truth != prefix("10.0.1.0/31") || r.PrefixErr != 22-31 {
+		t.Errorf("superset row = %+v", r)
+	}
+	// A superset covers the truths it spans, so recall counts no misses, but
+	// none are exact matches.
+	if s.ExactTruth != 0 || s.SubnetRecall != 0 {
+		t.Errorf("exactTruth=%d recall=%v", s.ExactTruth, s.SubnetRecall)
+	}
+}
+
+func TestScoreEmptyUniverses(t *testing.T) {
+	empty := FromSubnets(nil)
+	s := empty.Score(nil)
+	if !s.Perfect() {
+		t.Fatalf("empty-vs-empty not perfect: %+v", s)
+	}
+	s = testTruth().Score(nil)
+	if s.SubnetRecall != 0 || s.Count(VerdictMissed) != 3 || s.SubnetPrecision != 1 {
+		t.Fatalf("nothing-collected score: %+v", s)
+	}
+}
+
+func TestRenderingDeterministic(t *testing.T) {
+	top := denseTopology()
+	truth := FromTopology(top, Options{})
+	collected := collect(t, top, "10.1.3.2")
+
+	var txt1, txt2, js1, js2 bytes.Buffer
+	s1 := truth.Score(collected)
+	s2 := truth.Score(collected)
+	if _, err := s1.WriteText(&txt1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.WriteText(&txt2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.WriteJSON(&js1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteJSON(&js2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(txt1.Bytes(), txt2.Bytes()) {
+		t.Errorf("text artifacts differ:\n%s\n--- vs ---\n%s", txt1.String(), txt2.String())
+	}
+	if !bytes.Equal(js1.Bytes(), js2.Bytes()) {
+		t.Errorf("JSON artifacts differ:\n%s\n--- vs ---\n%s", js1.String(), js2.String())
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(js1.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON artifact does not parse: %v", err)
+	}
+	if doc["subnet_precision"] != 1.0 || doc["subnet_recall"] != 1.0 {
+		t.Errorf("JSON precision/recall = %v/%v", doc["subnet_precision"], doc["subnet_recall"])
+	}
+	rows, _ := doc["rows"].([]any)
+	if len(rows) != 4 {
+		t.Errorf("JSON rows = %d, want 4", len(rows))
+	}
+	if !strings.Contains(txt1.String(), "subnet precision 1.000") {
+		t.Errorf("text artifact lacks headline:\n%s", txt1.String())
+	}
+	if !strings.Contains(txt1.String(), "10.1.2.0/29") {
+		t.Errorf("text artifact lacks per-subnet row:\n%s", txt1.String())
+	}
+}
+
+func TestRenderImperfect(t *testing.T) {
+	var b bytes.Buffer
+	s := testTruth().Score([]CollectedSubnet{
+		{Prefix: prefix("10.0.2.0/30"), Addrs: addrs("10.0.2.1", "172.16.9.9")},
+		{Prefix: prefix("172.16.0.0/31"), Addrs: addrs("172.16.0.0")},
+	})
+	if _, err := s.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"subset", "phantom", "missed", "missed-unresponsive 1", "k=+1", "prefix-length error", "phantom members"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text artifact lacks %q:\n%s", want, out)
+		}
+	}
+	var js bytes.Buffer
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Verdicts["missed"] != 2 || doc.Verdicts["phantom"] != 1 || doc.Verdicts["subset"] != 1 {
+		t.Errorf("JSON verdicts = %+v", doc.Verdicts)
+	}
+	// Missed rows omit the collected side; phantom rows omit the truth side.
+	for _, r := range doc.Rows {
+		switch r.Verdict {
+		case VerdictMissed:
+			if r.Collected != "" {
+				t.Errorf("missed row carries collected prefix: %+v", r)
+			}
+		case VerdictPhantom:
+			if r.Truth != "" {
+				t.Errorf("phantom row carries truth prefix: %+v", r)
+			}
+		}
+	}
+}
+
+func TestExportTelemetry(t *testing.T) {
+	tel := telemetry.New(nil)
+	s := testTruth().Score([]CollectedSubnet{
+		{Prefix: prefix("10.0.1.0/31"), Addrs: addrs("10.0.1.0", "10.0.1.1")},
+	})
+	s.Export(tel)
+	var b bytes.Buffer
+	if err := tel.Registry.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`tracenet_eval_subnets_total{verdict="exact"} 1`,
+		`tracenet_eval_subnets_total{verdict="missed"} 2`,
+		`tracenet_eval_subnets_total{verdict="phantom"} 0`,
+		`tracenet_eval_addrs_total{class="common"} 2`,
+		`tracenet_eval_addrs_total{class="missed"} 5`,
+		`tracenet_eval_subnet_precision_ppm 1000000`,
+		`tracenet_eval_subnet_recall_ppm 333333`,
+		`tracenet_eval_addr_recall_ppm 285714`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package groundtruth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"tracenet/internal/telemetry"
+)
+
+// WriteText renders the evaluation as a deterministic human-readable report:
+// headline precision/recall, the verdict histogram, the prefix-length error
+// histogram, and one row per subnet.
+func (s *Score) WriteText(w io.Writer) (int64, error) {
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "ground-truth eval: %d true subnets, %d collected\n",
+		s.TruthSubnets, s.CollectedSubnets)
+	fmt.Fprintf(&b, "  subnet precision %.3f (%d/%d exact), recall %.3f (%d/%d matched exactly)\n",
+		s.SubnetPrecision, s.ExactCollected, s.CollectedSubnets,
+		s.SubnetRecall, s.ExactTruth, s.TruthSubnets)
+	fmt.Fprintf(&b, "  address precision %.3f (%d/%d), recall %.3f (%d/%d)\n",
+		s.AddrPrecision, s.CommonAddrs, s.CollectedAddrs,
+		s.AddrRecall, s.CommonAddrs, s.TruthAddrs)
+
+	b.WriteString("  verdicts:")
+	for _, v := range Verdicts {
+		if n := s.Count(v); n > 0 {
+			fmt.Fprintf(&b, " %s %d", v, n)
+		}
+	}
+	if s.MissedUnresponsive > 0 {
+		fmt.Fprintf(&b, " (missed-unresponsive %d)", s.MissedUnresponsive)
+	}
+	b.WriteByte('\n')
+
+	if len(s.PrefixErrs) > 0 {
+		b.WriteString("  prefix-length error:")
+		for _, pe := range s.PrefixErrs {
+			fmt.Fprintf(&b, " %+d:%d", pe.Err, pe.Count)
+		}
+		b.WriteByte('\n')
+	}
+
+	for _, r := range s.Rows {
+		switch r.Verdict {
+		case VerdictMissed:
+			fmt.Fprintf(&b, "  %-18s %-9s true %v [%d members]\n",
+				"-", r.Verdict, r.Truth, r.MemberTotal)
+		case VerdictPhantom:
+			fmt.Fprintf(&b, "  %-18v %-9s overlaps no true subnet", r.Collected, r.Verdict)
+			if r.MemberExtra > 0 {
+				fmt.Fprintf(&b, " [%d phantom members]", r.MemberExtra)
+			}
+			b.WriteByte('\n')
+		default:
+			fmt.Fprintf(&b, "  %-18v %-9s true %v members %d/%d",
+				r.Collected, r.Verdict, r.Truth, r.MemberHits, r.MemberTotal)
+			if r.PrefixErr != 0 {
+				fmt.Fprintf(&b, " k=%+d", r.PrefixErr)
+			}
+			if r.Overlaps > 1 {
+				fmt.Fprintf(&b, " (spans %d true subnets)", r.Overlaps)
+			}
+			if r.MemberExtra > 0 {
+				fmt.Fprintf(&b, " [%d phantom members]", r.MemberExtra)
+			}
+			b.WriteByte('\n')
+		}
+	}
+
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// jsonRow is the artifact form of a Row: prefixes as CIDR strings, empty
+// sides omitted.
+type jsonRow struct {
+	Verdict     Verdict `json:"verdict"`
+	Collected   string  `json:"collected,omitempty"`
+	Truth       string  `json:"truth,omitempty"`
+	PrefixErr   int     `json:"prefix_err,omitempty"`
+	Overlaps    int     `json:"overlaps,omitempty"`
+	MemberHits  int     `json:"member_hits,omitempty"`
+	MemberTotal int     `json:"member_total,omitempty"`
+	MemberExtra int     `json:"member_extra,omitempty"`
+}
+
+// jsonDoc is the JSON artifact schema. Every field is a scalar or a
+// deterministically ordered slice, so same-input serializations are
+// byte-identical.
+type jsonDoc struct {
+	TruthSubnets       int              `json:"truth_subnets"`
+	CollectedSubnets   int              `json:"collected_subnets"`
+	ExactCollected     int              `json:"exact_collected"`
+	ExactTruth         int              `json:"exact_truth"`
+	MissedUnresponsive int              `json:"missed_unresponsive,omitempty"`
+	SubnetPrecision    float64          `json:"subnet_precision"`
+	SubnetRecall       float64          `json:"subnet_recall"`
+	TruthAddrs         int              `json:"truth_addrs"`
+	CollectedAddrs     int              `json:"collected_addrs"`
+	CommonAddrs        int              `json:"common_addrs"`
+	AddrPrecision      float64          `json:"addr_precision"`
+	AddrRecall         float64          `json:"addr_recall"`
+	Verdicts           map[string]int   `json:"verdicts"`
+	PrefixErrs         []PrefixErrCount `json:"prefix_errs,omitempty"`
+	Rows               []jsonRow        `json:"rows"`
+}
+
+// WriteJSON renders the evaluation as an indented JSON artifact. Output is
+// deterministic: rows keep their order, histograms are sorted, and the
+// verdict map serializes with encoding/json's sorted keys.
+func (s *Score) WriteJSON(w io.Writer) error {
+	doc := jsonDoc{
+		TruthSubnets:       s.TruthSubnets,
+		CollectedSubnets:   s.CollectedSubnets,
+		ExactCollected:     s.ExactCollected,
+		ExactTruth:         s.ExactTruth,
+		MissedUnresponsive: s.MissedUnresponsive,
+		SubnetPrecision:    s.SubnetPrecision,
+		SubnetRecall:       s.SubnetRecall,
+		TruthAddrs:         s.TruthAddrs,
+		CollectedAddrs:     s.CollectedAddrs,
+		CommonAddrs:        s.CommonAddrs,
+		AddrPrecision:      s.AddrPrecision,
+		AddrRecall:         s.AddrRecall,
+		Verdicts:           make(map[string]int, len(Verdicts)),
+		PrefixErrs:         s.PrefixErrs,
+		Rows:               make([]jsonRow, 0, len(s.Rows)),
+	}
+	for _, v := range Verdicts {
+		doc.Verdicts[string(v)] = s.Count(v)
+	}
+	for _, r := range s.Rows {
+		jr := jsonRow{
+			Verdict:     r.Verdict,
+			PrefixErr:   r.PrefixErr,
+			Overlaps:    r.Overlaps,
+			MemberHits:  r.MemberHits,
+			MemberTotal: r.MemberTotal,
+			MemberExtra: r.MemberExtra,
+		}
+		if r.Verdict != VerdictMissed {
+			jr.Collected = r.Collected.String()
+		}
+		if r.Verdict != VerdictPhantom {
+			jr.Truth = r.Truth.String()
+		}
+		doc.Rows = append(doc.Rows, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ppm converts a ratio in [0,1] to integer parts-per-million, the fixed-point
+// form the int64 gauge registry carries.
+func ppm(r float64) int64 { return int64(r*1e6 + 0.5) }
+
+// Export mirrors the evaluation onto the telemetry registry as the eval_*
+// metric families, so accuracy is observable alongside probe cost. All
+// series are registered even when zero, keeping expositions stable.
+func (s *Score) Export(tel *telemetry.Telemetry) {
+	for _, v := range Verdicts {
+		tel.Counter("tracenet_eval_subnets_total", "verdict", string(v)).Add(uint64(s.Count(v)))
+	}
+	tel.Counter("tracenet_eval_addrs_total", "class", "common").Add(uint64(s.CommonAddrs))
+	tel.Counter("tracenet_eval_addrs_total", "class", "collected_only").Add(uint64(s.CollectedAddrs - s.CommonAddrs))
+	tel.Counter("tracenet_eval_addrs_total", "class", "missed").Add(uint64(s.TruthAddrs - s.CommonAddrs))
+	tel.Gauge("tracenet_eval_subnet_precision_ppm").Set(ppm(s.SubnetPrecision))
+	tel.Gauge("tracenet_eval_subnet_recall_ppm").Set(ppm(s.SubnetRecall))
+	tel.Gauge("tracenet_eval_addr_precision_ppm").Set(ppm(s.AddrPrecision))
+	tel.Gauge("tracenet_eval_addr_recall_ppm").Set(ppm(s.AddrRecall))
+}

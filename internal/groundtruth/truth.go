@@ -1,0 +1,147 @@
+// Package groundtruth scores collected subnet-level topologies against the
+// true topology of the simulated network — the machine-checked counterpart of
+// the paper's §4 evaluation, where tracenet's inferences are compared against
+// Internet2/GEANT router configurations for completeness and correctness.
+//
+// The simulator knows every link's real prefix, member interfaces, and
+// p2p/multi-access kind; this package extracts that truth from a
+// netsim.Topology and scores any collected topology map against it:
+// per-subnet verdicts (exact, prefix-off-by-k as superset/subset, phantom,
+// missed), aggregate precision/recall on subnets and on member addresses, and
+// a prefix-length error histogram. All artifacts render deterministically
+// (text and JSON), so same-seed runs are byte-identical and accuracy floors
+// can gate regressions in CI.
+package groundtruth
+
+import (
+	"sort"
+
+	"tracenet/internal/ipv4"
+	"tracenet/internal/netsim"
+)
+
+// TrueSubnet is one subnet of the ground-truth topology.
+type TrueSubnet struct {
+	// Prefix is the subnet's real CIDR prefix.
+	Prefix ipv4.Prefix `json:"prefix"`
+	// Addrs are the assigned member interface addresses, ascending.
+	Addrs []ipv4.Addr `json:"addrs"`
+	// PointToPoint marks /31 and /30 links (the paper's p2p/multi-access
+	// distinction).
+	PointToPoint bool `json:"p2p,omitempty"`
+	// HostAttached marks access subnets with a host (vantage or end system)
+	// on them.
+	HostAttached bool `json:"host_attached,omitempty"`
+	// Unresponsive marks subnets firewalled in the simulation — subnets no
+	// collector can observe, which recall accounting may want to discount.
+	Unresponsive bool `json:"unresponsive,omitempty"`
+}
+
+// Options tunes truth extraction.
+type Options struct {
+	// ExcludeHostSubnets drops host access subnets from the scoring universe,
+	// leaving only the router-to-router core (the paper's Tables 1–2 score
+	// against backbone subnets). Off by default: a collector that traces
+	// toward hosts legitimately observes their access subnets, and scoring
+	// them as phantoms would be wrong.
+	ExcludeHostSubnets bool
+}
+
+// Truth is the extracted scoring universe: the true subnets, sorted by
+// prefix, plus the union of their member addresses.
+type Truth struct {
+	Subnets []TrueSubnet
+
+	byPrefix map[ipv4.Prefix]int
+	addrs    map[ipv4.Addr]bool
+}
+
+// FromTopology extracts the ground-truth subnet-level topology from a built
+// netsim topology. The result is deterministic: subnets are sorted by base
+// address then prefix length, members ascending.
+func FromTopology(t *netsim.Topology, opt Options) *Truth {
+	tr := &Truth{
+		byPrefix: make(map[ipv4.Prefix]int),
+		addrs:    make(map[ipv4.Addr]bool),
+	}
+	for _, s := range t.Subnets {
+		if opt.ExcludeHostSubnets && s.HostAttached() {
+			continue
+		}
+		tr.Subnets = append(tr.Subnets, TrueSubnet{
+			Prefix:       s.Prefix,
+			Addrs:        s.MemberAddrs(),
+			PointToPoint: s.IsPointToPoint(),
+			HostAttached: s.HostAttached(),
+			Unresponsive: s.Unresponsive,
+		})
+	}
+	sortTrueSubnets(tr.Subnets)
+	tr.reindex()
+	return tr
+}
+
+// FromSubnets builds a Truth directly from explicit subnets — for tests and
+// for scoring against hand-written ground truth (e.g. a parsed router
+// config).
+func FromSubnets(subs []TrueSubnet) *Truth {
+	tr := &Truth{
+		Subnets:  make([]TrueSubnet, len(subs)),
+		byPrefix: make(map[ipv4.Prefix]int),
+		addrs:    make(map[ipv4.Addr]bool),
+	}
+	copy(tr.Subnets, subs)
+	for i := range tr.Subnets {
+		addrs := make([]ipv4.Addr, len(tr.Subnets[i].Addrs))
+		copy(addrs, tr.Subnets[i].Addrs)
+		sort.Slice(addrs, func(a, b int) bool { return addrs[a] < addrs[b] })
+		tr.Subnets[i].Addrs = addrs
+	}
+	sortTrueSubnets(tr.Subnets)
+	tr.reindex()
+	return tr
+}
+
+func (t *Truth) reindex() {
+	for i, s := range t.Subnets {
+		t.byPrefix[s.Prefix] = i
+		for _, a := range s.Addrs {
+			t.addrs[a] = true
+		}
+	}
+}
+
+// AddrCount returns the number of distinct member addresses in the truth.
+func (t *Truth) AddrCount() int { return len(t.addrs) }
+
+// HasAddr reports whether addr is a member interface of some true subnet.
+func (t *Truth) HasAddr(addr ipv4.Addr) bool { return t.addrs[addr] }
+
+// ByPrefix returns the true subnet with exactly the given prefix, or nil.
+func (t *Truth) ByPrefix(p ipv4.Prefix) *TrueSubnet {
+	if i, ok := t.byPrefix[p]; ok {
+		return &t.Subnets[i]
+	}
+	return nil
+}
+
+// overlapping returns the indices of true subnets whose address range
+// intersects p, in sorted subnet order.
+func (t *Truth) overlapping(p ipv4.Prefix) []int {
+	var out []int
+	for i := range t.Subnets {
+		if t.Subnets[i].Prefix.Overlaps(p) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sortTrueSubnets(subs []TrueSubnet) {
+	sort.Slice(subs, func(i, j int) bool {
+		if subs[i].Prefix.Base() != subs[j].Prefix.Base() {
+			return subs[i].Prefix.Base() < subs[j].Prefix.Base()
+		}
+		return subs[i].Prefix.Bits() < subs[j].Prefix.Bits()
+	})
+}

@@ -21,6 +21,20 @@ type Addr uint32
 // Zero is the unspecified address, used for anonymous (non-responding) hops.
 const Zero Addr = 0
 
+// MarshalText renders the address in dotted-quad form, so addresses embed in
+// JSON artifacts as strings rather than raw uint32s.
+func (a Addr) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText parses a dotted-quad address.
+func (a *Addr) UnmarshalText(text []byte) error {
+	parsed, err := ParseAddr(string(text))
+	if err != nil {
+		return err
+	}
+	*a = parsed
+	return nil
+}
+
 // MustParseAddr parses a dotted-quad string and panics on error. It is
 // intended for test fixtures and static topology definitions.
 func MustParseAddr(s string) Addr {

@@ -84,6 +84,21 @@ func (p Prefix) String() string {
 	return p.base.String() + "/" + strconv.Itoa(p.bits)
 }
 
+// MarshalText renders CIDR notation, so prefixes embed in JSON artifacts as
+// strings (a Prefix's fields are unexported and would otherwise serialize as
+// an empty object).
+func (p Prefix) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText parses CIDR notation.
+func (p *Prefix) UnmarshalText(text []byte) error {
+	parsed, err := ParsePrefix(string(text))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
 // Contains reports whether addr falls inside p.
 func (p Prefix) Contains(addr Addr) bool {
 	return addr&mask(p.bits) == p.base

@@ -216,6 +216,29 @@ type Subnet struct {
 // link, the paper's distinction between p2p and multi-access LANs.
 func (s *Subnet) IsPointToPoint() bool { return s.Prefix.Bits() >= 30 }
 
+// HostAttached reports whether any interface on the subnet belongs to a host
+// (vantage point or end system) rather than a router.
+func (s *Subnet) HostAttached() bool {
+	for _, i := range s.Ifaces {
+		if i.Router.IsHost {
+			return true
+		}
+	}
+	return false
+}
+
+// MemberAddrs returns the subnet's assigned interface addresses in ascending
+// order — the ground-truth membership the evaluation layer scores collected
+// subnets against.
+func (s *Subnet) MemberAddrs() []ipv4.Addr {
+	out := make([]ipv4.Addr, 0, len(s.Ifaces))
+	for _, i := range s.Ifaces {
+		out = append(out, i.Addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 func (s *Subnet) String() string { return s.Prefix.String() }
 
 // Topology is the static router-and-subnet graph plus its address indexes.
@@ -259,14 +282,7 @@ func (t *Topology) HostByName(name string) *Router { return t.hostByName[name] }
 func (t *Topology) CoreSubnets() []*Subnet {
 	var out []*Subnet
 	for _, s := range t.Subnets {
-		hostAttached := false
-		for _, i := range s.Ifaces {
-			if i.Router.IsHost {
-				hostAttached = true
-				break
-			}
-		}
-		if !hostAttached {
+		if !s.HostAttached() {
 			out = append(out, s)
 		}
 	}

@@ -231,3 +231,23 @@ func RouterMap(w io.Writer, r *experiments.RouterMapResult) {
 	fmt.Fprintf(w, "  alias probes:              %d with subnet constraint, %d without\n",
 		r.ProbesWithConstraint, r.ProbesWithout)
 }
+
+// AccuracyTable writes the ground-truth accuracy ensemble: one row per
+// regime with ensemble-mean precision/recall and verdict totals, plus the
+// committed floors the CI gate enforces.
+func AccuracyTable(w io.Writer, results []*experiments.AccuracyResult) {
+	fmt.Fprintf(w, "Ground-Truth Accuracy Ensemble (%d seeds per regime)\n", len(experiments.AccuracySeeds))
+	fmt.Fprintf(w, "%-9s %7s %7s %7s %7s  %5s %6s %8s %7s %6s\n",
+		"regime", "sub-P", "sub-R", "addr-P", "addr-R", "exact", "subset", "superset", "phantom", "missed")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-9s %7.3f %7.3f %7.3f %7.3f  %5d %6d %8d %7d %6d\n",
+			r.Regime, r.SubnetPrecision, r.SubnetRecall, r.AddrPrecision, r.AddrRecall,
+			r.Exact, r.Subset, r.Superset, r.Phantom, r.Missed)
+	}
+	fmt.Fprintln(w, "committed floors:")
+	for _, regime := range experiments.Regimes {
+		f := experiments.AccuracyFloors[regime]
+		fmt.Fprintf(w, "%-9s %7.3f %7.3f %7.3f %7.3f\n",
+			regime, f.SubnetPrecision, f.SubnetRecall, f.AddrPrecision, f.AddrRecall)
+	}
+}

@@ -33,14 +33,27 @@ go test -race -tags invariants ./...
 echo "== go test -race ./internal/collect/ (campaign engine)"
 go test -race -count=1 ./internal/collect/
 
+# The ground-truth accuracy floors (internal/experiments/accuracy.go) are the
+# regression gate for collector accuracy: the seeded ensemble must stay at or
+# above the committed per-regime precision/recall floors. The full suite above
+# already runs this; the explicit invocation makes a floor violation stand out
+# as its own gate failure.
+echo "== ground-truth accuracy floors"
+go test -count=1 -run '^TestAccuracyFloors$' ./internal/experiments/
+
+# End-to-end eval smoke: a clean deterministic topology must score perfectly.
+echo "== tracenet -eval smoke (chain topology, must be exact)"
+go run ./cmd/tracenet -topo chain -eval | grep "subnet precision 1.000"
+
 echo "== bench smoke (1 iteration per benchmark)"
-go test -run '^$' -bench '^(BenchmarkProbeExchange|BenchmarkSingleTrace)(Telemetry)?$|^BenchmarkCampaign$' -benchtime 1x .
+go test -run '^$' -bench '^(BenchmarkProbeExchange|BenchmarkSingleTrace)(Telemetry)?$|^BenchmarkCampaign$|^BenchmarkAccuracy$' -benchtime 1x .
 go test -run '^$' -bench . -benchtime 1x ./internal/telemetry/
 
-echo "== fuzz smoke (internal/wire, 5s per target)"
+echo "== fuzz smoke (internal/wire + groundtruth scoring, 5s per target)"
 for target in FuzzUnmarshalIPv4 FuzzUnmarshalICMP FuzzUnmarshalUDP FuzzUnmarshalTCP; do
     go test ./internal/wire/ -run '^$' -fuzz "^${target}\$" -fuzztime 5s
 done
+go test ./internal/groundtruth/ -run '^$' -fuzz '^FuzzScoreInvariants$' -fuzztime 5s
 
 # govulncheck is not vendored; run it when the toolchain has it and the
 # vulnerability database is reachable, but never fail the gate offline.
