@@ -8,7 +8,7 @@
 //
 // what: all (default), table1, table2, table3, fig6, fig7, fig8, fig9,
 // overhead, ablations, coverage, offline, routermap, heuristics, ingress,
-// accuracy.
+// accuracy, adversarial.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		what = flag.String("run", "all", "experiment: all, table1, table2, table3, fig6, fig7, fig8, fig9, overhead, ablations, coverage, offline, routermap, heuristics, ingress, accuracy")
+		what = flag.String("run", "all", "experiment: all, table1, table2, table3, fig6, fig7, fig8, fig9, overhead, ablations, coverage, offline, routermap, heuristics, ingress, accuracy, adversarial")
 		seed = flag.Int64("seed", 7, "experiment seed")
 	)
 	flag.Parse()
@@ -161,9 +161,17 @@ func run(w io.Writer, what string, seed int64) error {
 		report.AccuracyTable(w, results)
 		sep()
 	}
+	if all || what == "adversarial" {
+		results, err := experiments.AdversarialSweep(nil)
+		if err != nil {
+			return err
+		}
+		report.AdversarialTable(w, results)
+		sep()
+	}
 
 	switch what {
-	case "all", "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "overhead", "ablations", "coverage", "offline", "routermap", "heuristics", "ingress", "accuracy":
+	case "all", "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "overhead", "ablations", "coverage", "offline", "routermap", "heuristics", "ingress", "accuracy", "adversarial":
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q", what)

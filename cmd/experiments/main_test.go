@@ -13,6 +13,8 @@ func TestRunSingleExperiments(t *testing.T) {
 		"heuristics": {"Stop-reason"},
 		"routermap":  {"precision/recall"},
 		"accuracy":   {"Ground-Truth Accuracy Ensemble", "committed floors:", "clean", "faulted", "ecmp"},
+		"adversarial": {"Adversarial Robustness Ensemble", "committed floors", "liar",
+			"alias-confuse", "hidden-hop", "echo", "byzantine"},
 	}
 	for what, wants := range cases {
 		var b strings.Builder

@@ -21,6 +21,10 @@
 //	-chaos seed       install a random fault plan generated from seed
 //	-backoff          retry silent probes with exponential backoff + jitter
 //	-breaker          shed load to silent zones with a circuit breaker
+//	-defend           harden inference against lying responders: cross-validate
+//	                  suspicious replies from a second TTL, quarantine
+//	                  inconsistent sources, demote conflicted subnets
+//	                  (DESIGN.md §11)
 //	-checkpoint file  write a session checkpoint after tracing
 //	-resume file      preload the session from a checkpoint and skip
 //	                  destinations it already completed
@@ -113,6 +117,7 @@ type options struct {
 	chaos   int64  // random fault-plan seed, 0 = off
 	backoff bool
 	breaker bool
+	defend  bool
 	ckptOut string // write checkpoint here after the run
 	ckptIn  string // resume from this checkpoint
 
@@ -170,6 +175,7 @@ func main() {
 	flag.Int64Var(&o.chaos, "chaos", 0, "install a random fault plan from this seed")
 	flag.BoolVar(&o.backoff, "backoff", false, "retry silent probes with exponential backoff")
 	flag.BoolVar(&o.breaker, "breaker", false, "circuit-break probing into persistently silent zones")
+	flag.BoolVar(&o.defend, "defend", false, "cross-validate suspicious replies and quarantine inconsistent responders")
 	flag.StringVar(&o.ckptOut, "checkpoint", "", "write a session checkpoint to this file")
 	flag.StringVar(&o.ckptIn, "resume", "", "resume the session from this checkpoint file")
 	flag.BoolVar(&o.campaign, "campaign", false, "force campaign mode even with -parallel 1")
@@ -340,7 +346,7 @@ func run(w io.Writer, o options) error {
 
 	pr := probe.New(tr, port.LocalAddr(), popts)
 
-	cfg := core.Config{MaxTTL: o.maxTTL}
+	cfg := core.Config{MaxTTL: o.maxTTL, Defend: o.defend}
 	var sess *core.Session
 	if o.ckptIn != "" {
 		f, err := os.Open(o.ckptIn)
@@ -364,7 +370,7 @@ func run(w io.Writer, o options) error {
 
 	fmt.Fprintf(w, "tracenet over %s, vantage %s (%v), %s probes\n",
 		sc.Description, o.vantage, port.LocalAddr(), proto)
-	var recovered uint64
+	var recovered, defenseProbes uint64
 	for _, dst := range dests {
 		if sess.IsDone(dst) {
 			fmt.Fprintf(w, "tracenet to %v: already completed in checkpoint, skipped\n", dst)
@@ -375,6 +381,7 @@ func run(w io.Writer, o options) error {
 			return err
 		}
 		recovered += res.Recovered
+		defenseProbes += res.DefenseProbes
 		fmt.Fprint(w, res)
 	}
 	if o.subnets {
@@ -401,6 +408,18 @@ func run(w io.Writer, o options) error {
 		fs := net.FaultStats()
 		fmt.Fprintf(w, "faults injected: flap drops %d, blackhole drops %d, corrupted %d, truncated %d, delayed %d, duplicated %d, storm drops %d\n",
 			fs.FlapDrops, fs.BlackholeDrops, fs.Corrupted, fs.Truncated, fs.Delayed, fs.Duplicated, fs.StormDrops)
+		if fs.Byzantine() > 0 {
+			fmt.Fprintf(w, "byzantine replies: liar spoofs %d, alias shares %d, hidden drops %d, echo mirrors %d\n",
+				fs.LiarSpoofs, fs.AliasShares, fs.HiddenDrops, fs.EchoMirrors)
+		}
+	}
+	if o.defend {
+		q := sess.Quarantined()
+		fmt.Fprintf(w, "defense: cross-check probes %d, quarantined %d", defenseProbes, len(q))
+		if len(q) > 0 {
+			fmt.Fprintf(w, " %v", q)
+		}
+		fmt.Fprintln(w)
 	}
 
 	if o.evalMode() {
@@ -437,7 +456,7 @@ func runCampaign(w io.Writer, o options, top *netsim.Topology, net *netsim.Netwo
 		Budget:       o.campaignBudget,
 		DisableCache: o.campaignNoCache,
 		Greedy:       o.campaignGreedy,
-		Session:      core.Config{MaxTTL: o.maxTTL},
+		Session:      core.Config{MaxTTL: o.maxTTL, Defend: o.defend},
 		Probe:        popts,
 		Telemetry:    tel,
 		Dial: func(opts probe.Options) (*probe.Prober, error) {

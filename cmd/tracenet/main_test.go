@@ -103,6 +103,48 @@ func TestRunFaultPlanFile(t *testing.T) {
 	}
 }
 
+func TestRunAdversarialPlanDefended(t *testing.T) {
+	plan := filepath.Join(t.TempDir(), "byzantine.json")
+	if err := os.WriteFile(plan, []byte(`{"seed": 3, "faults": [
+		{"kind": "liar", "prob": 0.4},
+		{"kind": "alias-confuse"},
+		{"kind": "hidden-hop", "router": "R3"},
+		{"kind": "echo", "prob": 0.3}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	collect := func() string {
+		var b strings.Builder
+		if err := run(&b, options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1,
+			faults: plan, defend: true, subnets: true}); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	out := collect()
+	for _, want := range []string{"faults injected:", "byzantine replies:", "defense: cross-check probes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("adversarial output lacks %q:\n%s", want, out)
+		}
+	}
+	// Same seed, same plan: the defended run must be byte-identical.
+	if again := collect(); again != out {
+		t.Errorf("same-seed defended runs differ:\n--- first\n%s\n--- second\n%s", out, again)
+	}
+}
+
+func TestRunRejectsUnknownFaultKind(t *testing.T) {
+	plan := filepath.Join(t.TempDir(), "bogus.json")
+	if err := os.WriteFile(plan, []byte(`{"seed": 1, "faults": [{"kind": "gremlin"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err := run(&b, options{topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1, faults: plan})
+	if err == nil || !strings.Contains(err.Error(), "unknown fault kind") {
+		t.Fatalf("unknown fault kind not rejected: %v", err)
+	}
+}
+
 func TestRunCheckpointResume(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "session.json")
 	var b1 strings.Builder

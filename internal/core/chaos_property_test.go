@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"tracenet/internal/ipv4"
 	"tracenet/internal/netsim"
 	"tracenet/internal/probe"
 	"tracenet/internal/topo"
@@ -123,6 +124,47 @@ func TestFaultFreeRunsStayClean(t *testing.T) {
 	}
 	if strings.Contains(res.String(), "degraded") {
 		t.Errorf("clean run renders degraded annotations:\n%v", res)
+	}
+}
+
+// TestAdversarialChaosProperties drives 20 seeded random topologies, each
+// under a random byzantine fault plan (lying, alias-confused, hidden and
+// echoing responders all candidates), with defenses on. The properties that
+// must hold for every seed: the session terminates without error or panic,
+// quarantined addresses never survive as subnet members, and every
+// degraded subnet keeps a sane confidence.
+func TestAdversarialChaosProperties(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		topol, targets := topo.Random(topo.RandomSpec{Seed: seed, ExtraLinks: -1})
+		n := netsim.New(topol, netsim.Config{Seed: seed})
+		if err := n.InstallFaults(netsim.RandomAdversarialPlan(topol, seed)); err != nil {
+			t.Fatalf("seed %d: install: %v", seed, err)
+		}
+		port, err := n.PortFor("vantage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := probe.New(port, port.LocalAddr(), probe.Options{Cache: true})
+		sess := NewSession(pr, Config{Defend: true})
+		for _, dst := range targets {
+			if _, err := sess.Trace(dst); err != nil {
+				t.Fatalf("seed %d: trace %v aborted: %v", seed, dst, err)
+			}
+		}
+		quarantined := map[ipv4.Addr]bool{}
+		for _, a := range sess.Quarantined() {
+			quarantined[a] = true
+		}
+		for _, s := range sess.Subnets() {
+			for _, a := range s.Addrs {
+				if quarantined[a] {
+					t.Errorf("seed %d: quarantined %v is a member of %v", seed, a, s.Prefix)
+				}
+			}
+			if s.Confidence < 0 || s.Confidence > 1 {
+				t.Errorf("seed %d: subnet %v confidence %v outside [0,1]", seed, s.Prefix, s.Confidence)
+			}
+		}
 	}
 }
 

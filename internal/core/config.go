@@ -35,6 +35,13 @@ type Config struct {
 	// (ablation; markedly more probes on small subnets).
 	TopDown bool
 
+	// Defend enables the adversarial defenses: cross-validation of trace and
+	// membership observations from a second probe/TTL position, and
+	// quarantine of addresses whose responses are internally inconsistent.
+	// Default off — the paper's behaviour, which trusts every reply. See
+	// DESIGN.md §11.
+	Defend bool
+
 	// Shared, when non-nil, lets this session share subnet explorations with
 	// other sessions of the same campaign (see SharedSubnetCache). Before an
 	// owned growth the session clears its prober's response cache so the

@@ -22,6 +22,10 @@ type explorer struct {
 	probed     map[ipv4.Addr]bool
 	mate31Dead bool // pivot's /31 mate found not in use (enables the H5 /30 shortcut)
 	stop       StopReason
+
+	// quarantined, when non-nil, bars candidates the session has quarantined
+	// (Config.Defend) from ever becoming members.
+	quarantined func(ipv4.Addr) bool
 }
 
 // examineVerdict is the outcome of running the heuristics on one candidate.
@@ -34,17 +38,20 @@ const (
 )
 
 // explore runs subnet exploration and returns the collected subnet.
-func explore(pr *probe.Prober, pos position, u ipv4.Addr, cfg Config) (*Subnet, error) {
+// quarantined, when non-nil, bars the given addresses from membership.
+func explore(pr *probe.Prober, pos position, u ipv4.Addr, cfg Config,
+	quarantined func(ipv4.Addr) bool) (*Subnet, error) {
 	e := &explorer{
-		pr:         pr,
-		cfg:        cfg,
-		pivot:      pos.pivot,
-		pd:         pos.pivotDist,
-		ingress:    pos.ingress,
-		traceEntry: u,
-		onPath:     pos.onPath,
-		members:    map[ipv4.Addr]bool{pos.pivot: true},
-		probed:     map[ipv4.Addr]bool{pos.pivot: true},
+		pr:          pr,
+		cfg:         cfg,
+		pivot:       pos.pivot,
+		pd:          pos.pivotDist,
+		ingress:     pos.ingress,
+		traceEntry:  u,
+		onPath:      pos.onPath,
+		members:     map[ipv4.Addr]bool{pos.pivot: true},
+		probed:      map[ipv4.Addr]bool{pos.pivot: true},
+		quarantined: quarantined,
 	}
 	var prefix ipv4.Prefix
 	var err error
@@ -244,6 +251,10 @@ func (e *explorer) reduceBoundary(p ipv4.Prefix) ipv4.Prefix {
 
 // examine runs heuristics H2–H8 on candidate address a.
 func (e *explorer) examine(a ipv4.Addr) (examineVerdict, error) {
+	if e.quarantined != nil && e.quarantined(a) {
+		// Quarantined addresses are never re-admitted as members.
+		return verdictSkip, nil
+	}
 	// H2 upper-bound subnet contiguity: a must be alive at the pivot's
 	// distance. A TTL expiry means a lies farther than the subnet.
 	r, err := e.pr.Probe(a, e.pd)

@@ -30,6 +30,10 @@ type Session struct {
 	subnets   []*Subnet
 	done      []ipv4.Addr
 
+	// quarantined maps addresses with internally inconsistent responses onto
+	// the reason they were quarantined (Config.Defend; see defense.go).
+	quarantined map[ipv4.Addr]string
+
 	// Telemetry handles, resolved once from the prober's layer and nil-safe,
 	// so an uninstrumented session pays only nil checks. Phase accounting
 	// (trace/position/explore probes) comes from probe.Scope deltas, which
@@ -44,7 +48,11 @@ type Session struct {
 	cTraceProbes    *telemetry.Counter
 	cPositionProbes *telemetry.Counter
 	cExploreProbes  *telemetry.Counter
+	cDefenseProbes  *telemetry.Counter
 	cShared         *telemetry.Counter
+	cQuarantined    *telemetry.Counter
+	cCrossChecks    *telemetry.Counter
+	cDemotions      *telemetry.Counter
 	hSubnetBits     *telemetry.Histogram
 	hSubnetProbes   *telemetry.Histogram
 }
@@ -61,9 +69,10 @@ var SubnetProbeBuckets = []uint64{4, 8, 16, 32, 64, 128, 256, 512}
 // the prober's telemetry layer (if any).
 func NewSession(pr *probe.Prober, cfg Config) *Session {
 	s := &Session{
-		pr:        pr,
-		cfg:       cfg.withDefaults(),
-		collected: make(map[ipv4.Addr]*Subnet),
+		pr:          pr,
+		cfg:         cfg.withDefaults(),
+		collected:   make(map[ipv4.Addr]*Subnet),
+		quarantined: make(map[ipv4.Addr]string),
 	}
 	s.bindTelemetry()
 	return s
@@ -83,7 +92,11 @@ func (s *Session) bindTelemetry() {
 	s.cTraceProbes = tel.Counter("tracenet_session_probes_total", "phase", "trace")
 	s.cPositionProbes = tel.Counter("tracenet_session_probes_total", "phase", "position")
 	s.cExploreProbes = tel.Counter("tracenet_session_probes_total", "phase", "explore")
+	s.cDefenseProbes = tel.Counter("tracenet_session_probes_total", "phase", "defense")
 	s.cShared = tel.Counter("tracenet_session_shared_hits_total")
+	s.cQuarantined = tel.Counter("tracenet_defense_quarantined_total")
+	s.cCrossChecks = tel.Counter("tracenet_defense_crosschecks_total")
+	s.cDemotions = tel.Counter("tracenet_defense_demotions_total")
 	s.hSubnetBits = tel.Histogram("tracenet_session_subnet_prefix_bits", SubnetPrefixBuckets)
 	s.hSubnetProbes = tel.Histogram("tracenet_session_subnet_probes", SubnetProbeBuckets)
 }
@@ -202,8 +215,17 @@ func (s *Session) traceHop(dst ipv4.Addr, d int, u *ipv4.Addr, gaps *int,
 	tcd := tc.Delta()
 	res.TraceProbes += tcd.Sent
 	s.cTraceProbes.Add(tcd.Sent)
-	hop := Hop{TTL: d, Addr: r.From, Kind: r.Kind,
-		Degraded: tcd.FaultEvents() > 0 || recoveredHere}
+	degraded := tcd.FaultEvents() > 0 || recoveredHere
+	if s.cfg.Defend {
+		ds := s.pr.Scope()
+		var flagged bool
+		r, flagged = s.defendHop(dst, d, r)
+		dd := ds.Delta().Sent
+		res.DefenseProbes += dd
+		s.cDefenseProbes.Add(dd)
+		degraded = degraded || flagged
+	}
+	hop := Hop{TTL: d, Addr: r.From, Kind: r.Kind, Degraded: degraded}
 
 	switch {
 	case r.Expired() || r.Alive():
@@ -214,6 +236,20 @@ func (s *Session) traceHop(dst ipv4.Addr, d int, u *ipv4.Addr, gaps *int,
 			v = r.From
 		}
 		if seen[v] && !r.Alive() {
+			if s.cfg.Defend {
+				// The same source answering at two TTLs is the alias-confuse
+				// symptom (or a genuine routing loop — either way the address
+				// cannot pin a hop): quarantine it and keep walking with an
+				// anonymous hop instead of declaring the trace finished.
+				s.quarantineAddr(v, fmt.Sprintf("answered at multiple TTLs (latest %d)", d))
+				hop.Addr = ipv4.Zero
+				hop.Kind = probe.None
+				hop.Degraded = true
+				res.Hops = append(res.Hops, hop)
+				*u = ipv4.Zero
+				*gaps = *gaps + 1
+				return *gaps >= s.cfg.MaxConsecutiveGaps, nil
+			}
 			// Routing loop: the same interface answered two TTLs.
 			res.Hops = append(res.Hops, hop)
 			return true, nil
@@ -249,6 +285,11 @@ func (s *Session) traceHop(dst ipv4.Addr, d int, u *ipv4.Addr, gaps *int,
 // campaign — adopts the growth another session already ran for this hop
 // context through the shared subnet cache.
 func (s *Session) exploreHop(hop *Hop, u, v ipv4.Addr, d int, res *Result) error {
+	if s.cfg.Defend && s.isQuarantined(v) {
+		// A quarantined address may not seed a subnet: the hop stays bare.
+		hop.Degraded = true
+		return nil
+	}
 	if !s.cfg.DisableSkipKnown {
 		if known, ok := s.collected[v]; ok {
 			hop.Subnet = known
@@ -319,10 +360,24 @@ func (s *Session) growSubnet(hop *Hop, u, v ipv4.Addr, d int, res *Result) (Grow
 		// v unpositionable: hop recorded without a subnet.
 		return Growth{Cost: positionCost}, nil
 	}
+	if s.cfg.Defend && s.cfg.Shared == nil && s.isQuarantined(pos.pivot) {
+		// Positioning may move the pivot off the hop address (onto the
+		// destination's /31 mate, say); a quarantined pivot may not seed a
+		// subnet any more than a quarantined hop address — it would enter
+		// the membership unexamined.
+		hop.Degraded = true
+		return Growth{Cost: positionCost}, nil
+	}
 
+	var quar func(ipv4.Addr) bool
+	if s.cfg.Defend && s.cfg.Shared == nil {
+		// Shared growths must stay pure functions of their hop context, so
+		// the session-global quarantine set never gates their candidates.
+		quar = s.isQuarantined
+	}
 	es := s.pr.Scope()
 	expSpan := s.tel.StartSpan("explore", "pivot", v.String())
-	sub, err := explore(s.pr, pos, u, s.cfg)
+	sub, err := explore(s.pr, pos, u, s.cfg, quar)
 	es.CountInto(expSpan)
 	expSpan.End()
 	exploreCost := es.Delta().Sent
@@ -347,6 +402,24 @@ func (s *Session) growSubnet(hop *Hop, u, v ipv4.Addr, d int, res *Result) (Grow
 	if faults > 0 {
 		sub.Degraded = true
 		hop.Degraded = true
+	}
+
+	if s.cfg.Defend {
+		// Cross-validate the membership from a second TTL position before the
+		// subnet is published (DESIGN.md §11); runs inside the owned growth so
+		// a shared cache memoizes the defended subnet.
+		ds := s.pr.Scope()
+		defErr := s.defendSubnet(sub)
+		dd := ds.Delta().Sent
+		res.DefenseProbes += dd
+		s.cDefenseProbes.Add(dd)
+		sub.Probes += dd
+		if defErr != nil {
+			return Growth{Cost: positionCost + exploreCost + dd}, defErr
+		}
+		if sub.Degraded {
+			hop.Degraded = true
+		}
 	}
 
 	hop.Subnet = sub

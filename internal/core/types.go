@@ -188,10 +188,12 @@ type Result struct {
 	Reached bool
 	// Subnets are the distinct subnets collected, in discovery order.
 	Subnets []*Subnet
-	// Probe accounting per phase (§3.6).
+	// Probe accounting per phase (§3.6). DefenseProbes counts the
+	// cross-validation re-probes spent by Config.Defend (0 when off).
 	TraceProbes    uint64
 	PositionProbes uint64
 	ExploreProbes  uint64
+	DefenseProbes  uint64
 	// Recovered counts transport errors the session absorbed by treating
 	// the probe as silent instead of aborting (graceful degradation).
 	Recovered uint64
@@ -216,7 +218,7 @@ func (r *Result) DegradedSubnets() []*Subnet {
 
 // TotalProbes returns the packets spent across all phases.
 func (r *Result) TotalProbes() uint64 {
-	return r.TraceProbes + r.PositionProbes + r.ExploreProbes
+	return r.TraceProbes + r.PositionProbes + r.ExploreProbes + r.DefenseProbes
 }
 
 // AddrCount returns the number of distinct interface addresses discovered,

@@ -1,0 +1,116 @@
+package groundtruth
+
+import (
+	"sort"
+
+	"tracenet/internal/netsim"
+)
+
+// Attribute annotates a score's error rows with the planned byzantine fault
+// kind most plausibly responsible, closing the loop between the adversarial
+// regimes of DESIGN.md §11 and the accuracy harness: an experiment does not
+// just report that precision collapsed, it reports *which lie* minted each
+// phantom or merged each superset.
+//
+// The heuristics key on each fault kind's observable symptom:
+//
+//   - echo responders mirror the probe destination as the reply source, so
+//     they mint members that are not assigned anywhere in the truth — a
+//     phantom row with MemberExtra > 0 blames echo first;
+//   - liars rotate spoofed sources drawn from real interfaces, so their
+//     phantoms are built from genuine addresses glued into invented prefixes
+//     (MemberExtra == 0);
+//   - a shared anycast-style source (alias-confuse) makes distinct links
+//     look like one, so a superset spanning several true subnets blames it;
+//   - hidden hops forward transparently and are never observed, so missed
+//     rows are attributed to them when planned.
+//
+// Exact rows are never blamed; subset rows are blamed only when a
+// fabrication kind (echo, liar) is planned, since benign subsets also
+// happen. When the plan carries no adversarial fault the call is a no-op,
+// so clean and classic-chaos scores are unchanged.
+func Attribute(s *Score, plan netsim.FaultPlan) {
+	planned := map[netsim.FaultKind]bool{}
+	for _, f := range plan.Faults {
+		if f.Kind.Adversarial() {
+			planned[f.Kind] = true
+		}
+	}
+	if len(planned) == 0 {
+		return
+	}
+	// Deterministic fallback: the first planned adversarial kind in the
+	// canonical FaultKinds order.
+	var fallback string
+	for _, k := range netsim.FaultKinds {
+		if planned[k] {
+			fallback = k.String()
+			break
+		}
+	}
+
+	for i := range s.Rows {
+		row := &s.Rows[i]
+		switch row.Verdict {
+		case VerdictPhantom:
+			switch {
+			case row.MemberExtra > 0 && planned[netsim.FaultEcho]:
+				row.Blame = netsim.FaultEcho.String()
+			case planned[netsim.FaultLiar]:
+				row.Blame = netsim.FaultLiar.String()
+			default:
+				row.Blame = fallback
+			}
+		case VerdictSuperset:
+			switch {
+			case row.Overlaps > 1 && planned[netsim.FaultAliasConfuse]:
+				row.Blame = netsim.FaultAliasConfuse.String()
+			case planned[netsim.FaultEcho]:
+				row.Blame = netsim.FaultEcho.String()
+			default:
+				row.Blame = fallback
+			}
+		case VerdictSubset:
+			// A too-narrow subnet under attack: fabricated alive replies at
+			// boundary addresses trip the growth-stopping heuristics early
+			// (echo), and mid-trace source rotation fragments one subnet
+			// into shards pivoted at spoofed positions (liar). Benign
+			// subsets happen too, so without either kind planned the row
+			// stays unblamed.
+			switch {
+			case planned[netsim.FaultEcho]:
+				row.Blame = netsim.FaultEcho.String()
+			case planned[netsim.FaultLiar]:
+				row.Blame = netsim.FaultLiar.String()
+			}
+		case VerdictMissed:
+			if planned[netsim.FaultHiddenHop] {
+				row.Blame = netsim.FaultHiddenHop.String()
+			}
+		}
+	}
+}
+
+// BlameCount is one bucket of the blame histogram.
+type BlameCount struct {
+	Blame string `json:"blame"`
+	Count int    `json:"count"`
+}
+
+// BlameSummary tallies the attributed rows by fault kind, ascending by kind
+// name so renderers stay deterministic. Empty before Attribute runs or when
+// nothing was blamed.
+func (s *Score) BlameSummary() []BlameCount {
+	counts := map[string]int{}
+	for _, row := range s.Rows {
+		if row.Blame != "" {
+			counts[row.Blame]++
+		}
+	}
+	out := make([]BlameCount, 0, len(counts))
+	for b, n := range counts {
+		out = append(out, BlameCount{Blame: b, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Blame < out[j].Blame })
+	return out
+}

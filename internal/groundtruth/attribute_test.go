@@ -1,0 +1,76 @@
+package groundtruth
+
+import (
+	"testing"
+
+	"tracenet/internal/netsim"
+)
+
+func adversarialPlan(kinds ...netsim.FaultKind) netsim.FaultPlan {
+	p := netsim.FaultPlan{Seed: 1}
+	for _, k := range kinds {
+		f := netsim.Fault{Kind: k}
+		switch k {
+		case netsim.FaultLiar, netsim.FaultEcho:
+			f.Prob = 0.5
+		case netsim.FaultAliasConfuse:
+			f.Addr = "10.0.0.1"
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	return p
+}
+
+func TestAttributeBlamesPlannedKinds(t *testing.T) {
+	s := &Score{Rows: []Row{
+		{Verdict: VerdictPhantom, MemberExtra: 2},
+		{Verdict: VerdictPhantom},
+		{Verdict: VerdictSuperset, Overlaps: 3},
+		{Verdict: VerdictSuperset, Overlaps: 1},
+		{Verdict: VerdictMissed},
+		{Verdict: VerdictExact},
+	}}
+	Attribute(s, adversarialPlan(netsim.FaultLiar, netsim.FaultAliasConfuse, netsim.FaultHiddenHop, netsim.FaultEcho))
+
+	want := []string{"echo", "liar", "alias-confuse", "echo", "hidden-hop", ""}
+	for i, w := range want {
+		if got := s.Rows[i].Blame; got != w {
+			t.Errorf("row %d: blame %q, want %q", i, got, w)
+		}
+	}
+
+	sum := s.BlameSummary()
+	if len(sum) != 4 {
+		t.Fatalf("summary buckets = %d, want 4: %v", len(sum), sum)
+	}
+	for i := 1; i < len(sum); i++ {
+		if sum[i-1].Blame >= sum[i].Blame {
+			t.Fatalf("summary not sorted: %v", sum)
+		}
+	}
+	if sum[1].Blame != "echo" || sum[1].Count != 2 {
+		t.Fatalf("echo bucket = %+v, want echo x2", sum[1])
+	}
+}
+
+func TestAttributeFallbackAndNoOp(t *testing.T) {
+	// A phantom with no liar planned falls back to the first planned
+	// adversarial kind in canonical order.
+	s := &Score{Rows: []Row{{Verdict: VerdictPhantom}}}
+	Attribute(s, adversarialPlan(netsim.FaultAliasConfuse))
+	if got := s.Rows[0].Blame; got != "alias-confuse" {
+		t.Fatalf("fallback blame = %q, want alias-confuse", got)
+	}
+
+	// Classic chaos kinds are not adversarial: attribution is a no-op.
+	s = &Score{Rows: []Row{{Verdict: VerdictPhantom}, {Verdict: VerdictMissed}}}
+	Attribute(s, netsim.FaultPlan{Seed: 1, Faults: []netsim.Fault{{Kind: netsim.FaultBlackhole}}})
+	for i, row := range s.Rows {
+		if row.Blame != "" {
+			t.Fatalf("row %d blamed %q under non-adversarial plan", i, row.Blame)
+		}
+	}
+	if len(s.BlameSummary()) != 0 {
+		t.Fatal("summary not empty for unblamed score")
+	}
+}

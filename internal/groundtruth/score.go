@@ -88,6 +88,10 @@ type Row struct {
 	MemberHits  int `json:"member_hits,omitempty"`
 	MemberTotal int `json:"member_total,omitempty"`
 	MemberExtra int `json:"member_extra,omitempty"`
+	// Blame names the planned fault kind most plausibly responsible for a
+	// phantom/superset/missed row, set by Attribute. Empty when the run had
+	// no adversarial faults or the row needs no explanation.
+	Blame string `json:"blame,omitempty"`
 }
 
 // PrefixErrCount is one bucket of the prefix-length error histogram.

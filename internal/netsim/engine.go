@@ -99,7 +99,7 @@ type Network struct {
 	cProbes  *telemetry.Counter
 	cReplies *telemetry.Counter
 	gClock   *telemetry.Gauge
-	cFault   [8]*telemetry.Counter // indexed by FaultKind
+	cFault   [12]*telemetry.Counter // indexed by FaultKind
 
 	// mu serializes the slow path; rng (and the mutable fault state reached
 	// through faults) is only touched with it held.
@@ -166,8 +166,12 @@ func (n *Network) SetTelemetry(tel *telemetry.Telemetry) {
 	n.cProbes = tel.Counter("tracenet_netsim_probes_total")
 	n.cReplies = tel.Counter("tracenet_netsim_replies_total")
 	n.gClock = tel.Gauge("tracenet_netsim_clock_ticks")
-	for _, k := range []FaultKind{FaultLinkFlap, FaultBlackhole, FaultCorrupt,
-		FaultTruncate, FaultDelay, FaultDuplicate, FaultRateStorm} {
+	for _, k := range FaultKinds {
+		if k == FaultChurn {
+			// Churn perturbs routing choices rather than inflicting countable
+			// per-reply events; it has no fault counter.
+			continue
+		}
 		n.cFault[k] = tel.Counter("tracenet_netsim_fault_events_total", "kind", k.String())
 	}
 }
@@ -498,6 +502,17 @@ func (n *Network) directReply(r *Router, iface, in *Iface, pkt *wire.Packet, raw
 // reply and the responding router. Serialized path: caller holds n.mu; fast
 // path: the rate-limit, storm, and reply-loss branches are unreachable.
 func (n *Network) ttlExceeded(r *Router, in *Iface, pkt *wire.Packet, raw []byte) (*wire.Packet, *Router) {
+	// Byzantine faults come first: a transparent hidden hop never answers
+	// whatever its honest policy says, and an echo responder fabricates its
+	// lie even where the honest router would stay silent.
+	if n.hiddenHop(r) {
+		return nil, nil
+	}
+	if n.echoMirrors(r) {
+		if fake := fabricateAlive(pkt, raw); fake != nil {
+			return fake, r
+		}
+	}
 	if r.IndirectPolicy == PolicyNil || !r.IndirectProtos.Has(pkt.IP.Protocol) {
 		return nil, nil
 	}
@@ -514,7 +529,7 @@ func (n *Network) ttlExceeded(r *Router, in *Iface, pkt *wire.Packet, raw []byte
 	if src == nil {
 		return nil, nil
 	}
-	return wire.NewICMPError(src.Addr, wire.ICMPTimeExceeded, wire.CodeTTLExceeded, quoteBytes(pkt, raw)), r
+	return wire.NewICMPError(n.spoofSource(r, src.Addr), wire.ICMPTimeExceeded, wire.CodeTTLExceeded, quoteBytes(pkt, raw)), r
 }
 
 // unreachable answers a probe that cannot be delivered past router r,
@@ -522,6 +537,18 @@ func (n *Network) ttlExceeded(r *Router, in *Iface, pkt *wire.Packet, raw []byte
 // holds n.mu; fast path: the rate-limit, storm, and reply-loss branches are
 // unreachable.
 func (n *Network) unreachable(r *Router, in *Iface, pkt *wire.Packet, raw []byte, code uint8) (*wire.Packet, *Router) {
+	// Byzantine faults come first — an echo responder lies about unassigned
+	// destinations even when the honest router would drop them silently
+	// (EmitUnreachable unset). That lie is exactly how phantom subnet members
+	// get minted.
+	if n.hiddenHop(r) {
+		return nil, nil
+	}
+	if n.echoMirrors(r) {
+		if fake := fabricateAlive(pkt, raw); fake != nil {
+			return fake, r
+		}
+	}
 	if !r.EmitUnreachable {
 		return nil, nil
 	}
@@ -541,7 +568,26 @@ func (n *Network) unreachable(r *Router, in *Iface, pkt *wire.Packet, raw []byte
 	if src == nil {
 		return nil, nil
 	}
-	return wire.NewICMPError(src.Addr, wire.ICMPDestUnreach, code, quoteBytes(pkt, raw)), r
+	return wire.NewICMPError(n.spoofSource(r, src.Addr), wire.ICMPDestUnreach, code, quoteBytes(pkt, raw)), r
+}
+
+// fabricateAlive builds the lie an echo fault tells: a reply of the
+// protocol-appropriate "destination alive" shape — echo reply, port
+// unreachable, or TCP reset — whose source mirrors the probe's destination,
+// indistinguishable on the wire from a genuine endpoint answer. Returns nil
+// for probe shapes that have no alive form, letting the caller fall through
+// to the honest reply.
+func fabricateAlive(pkt *wire.Packet, raw []byte) *wire.Packet {
+	dst := pkt.IP.Dst
+	switch {
+	case pkt.ICMP != nil && pkt.ICMP.Type == wire.ICMPEchoRequest:
+		return wire.NewEchoReply(dst, pkt)
+	case pkt.UDP != nil:
+		return wire.NewICMPError(dst, wire.ICMPDestUnreach, wire.CodePortUnreach, quoteBytes(pkt, raw))
+	case pkt.TCP != nil:
+		return wire.NewTCPReset(dst, pkt)
+	}
+	return nil
 }
 
 // DistanceTo returns the observed hop distance from the named host to addr:

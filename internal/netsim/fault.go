@@ -2,9 +2,12 @@ package netsim
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+
+	"tracenet/internal/ipv4"
 )
 
 // FaultKind enumerates the injectable network pathologies. Each kind models
@@ -46,17 +49,68 @@ const (
 	// ticks while active, modelling mid-walk topology/routing churn even
 	// for per-flow (Paris-stable) probing.
 	FaultChurn
+
+	// The kinds below are byzantine: instead of losing or mangling traffic,
+	// the network actively lies. They model the "Misleading Stars" class of
+	// adversarial responders that make tomography infer structure that does
+	// not exist.
+
+	// FaultLiar makes scoped routers answer indirect probes (time-exceeded,
+	// unreachables) with a rotating spoofed source address drawn from the
+	// topology's real interfaces: every reply claims to come from a different
+	// router. Scope: Router ("" = all routers); Prob per reply.
+	FaultLiar
+	// FaultAliasConfuse makes every scoped router answer indirect probes with
+	// one shared source address (anycast-style): distinct interfaces at
+	// different hop distances collapse onto a single identity. Scope: Router
+	// ("" = all routers); Addr optionally pins the shared address (default:
+	// the topology's lowest non-host interface address).
+	FaultAliasConfuse
+	// FaultHiddenHop turns scoped routers into MPLS-style transparent
+	// forwarders while active: they decrement TTL and forward exactly as
+	// before, but never generate ICMP (no time-exceeded, no unreachables).
+	// The hop exists, consumes a TTL, and is unobservable. Scope: Router
+	// ("" = all routers).
+	FaultHiddenHop
+	// FaultEcho makes scoped routers answer probes they would otherwise
+	// reject with an ICMP error (TTL expiry, unassigned destination) with a
+	// fabricated alive reply whose source mirrors the probe's destination:
+	// every address the collector asks about appears to exist. Scope: Router
+	// ("" = all routers); Prob per reply.
+	FaultEcho
 )
 
+// Adversarial reports whether the kind is byzantine (the network lies) rather
+// than benign (the network loses, mangles, or delays).
+func (k FaultKind) Adversarial() bool {
+	switch k {
+	case FaultLiar, FaultAliasConfuse, FaultHiddenHop, FaultEcho:
+		return true
+	}
+	return false
+}
+
 var faultKindNames = map[FaultKind]string{
-	FaultLinkFlap:  "link-flap",
-	FaultBlackhole: "blackhole",
-	FaultCorrupt:   "corrupt",
-	FaultTruncate:  "truncate",
-	FaultDelay:     "delay",
-	FaultDuplicate: "duplicate",
-	FaultRateStorm: "rate-storm",
-	FaultChurn:     "churn",
+	FaultLinkFlap:     "link-flap",
+	FaultBlackhole:    "blackhole",
+	FaultCorrupt:      "corrupt",
+	FaultTruncate:     "truncate",
+	FaultDelay:        "delay",
+	FaultDuplicate:    "duplicate",
+	FaultRateStorm:    "rate-storm",
+	FaultChurn:        "churn",
+	FaultLiar:         "liar",
+	FaultAliasConfuse: "alias-confuse",
+	FaultHiddenHop:    "hidden-hop",
+	FaultEcho:         "echo",
+}
+
+// FaultKinds lists every known kind in enum order, for consumers that need a
+// deterministic iteration (telemetry registration, documentation tables).
+var FaultKinds = []FaultKind{
+	FaultLinkFlap, FaultBlackhole, FaultCorrupt, FaultTruncate, FaultDelay,
+	FaultDuplicate, FaultRateStorm, FaultChurn,
+	FaultLiar, FaultAliasConfuse, FaultHiddenHop, FaultEcho,
 }
 
 func (k FaultKind) String() string {
@@ -75,7 +129,14 @@ func (k FaultKind) MarshalJSON() ([]byte, error) {
 	return json.Marshal(s)
 }
 
-// UnmarshalJSON parses a fault kind from its string name.
+// ErrUnknownFaultKind is returned when a fault plan names a kind this build
+// does not know — a plan written for a newer collector, or a typo. Callers
+// match it with errors.Is to distinguish schema drift from malformed JSON.
+var ErrUnknownFaultKind = errors.New("netsim: unknown fault kind")
+
+// UnmarshalJSON parses a fault kind from its string name. Unknown or future
+// kind names fail with ErrUnknownFaultKind instead of silently decoding to an
+// arbitrary value.
 func (k *FaultKind) UnmarshalJSON(b []byte) error {
 	var s string
 	if err := json.Unmarshal(b, &s); err != nil {
@@ -87,7 +148,7 @@ func (k *FaultKind) UnmarshalJSON(b []byte) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("netsim: unknown fault kind %q", s)
+	return fmt.Errorf("%w %q", ErrUnknownFaultKind, s)
 }
 
 // churnPeriod is how many clock ticks one churn epoch lasts: equal-cost
@@ -108,11 +169,15 @@ type Fault struct {
 	// Subnet scopes a link flap to one subnet by CIDR prefix (required for
 	// FaultLinkFlap, ignored otherwise).
 	Subnet string `json:"subnet,omitempty"`
-	// Prob is the per-reply probability for corrupt/truncate/delay/duplicate.
+	// Prob is the per-reply probability for corrupt/truncate/delay/duplicate
+	// and the byzantine liar/echo kinds.
 	Prob float64 `json:"prob,omitempty"`
 	// Rate and Burst configure the override token bucket of a rate storm.
 	Rate  float64 `json:"rate,omitempty"`
 	Burst float64 `json:"burst,omitempty"`
+	// Addr pins the shared source address of an alias-confuse fault (dotted
+	// quad); empty selects the topology's lowest non-host interface address.
+	Addr string `json:"addr,omitempty"`
 }
 
 func (f Fault) active(clock uint64) bool {
@@ -122,13 +187,13 @@ func (f Fault) active(clock uint64) bool {
 // validate checks the fields that can be checked without a topology.
 func (f Fault) validate(i int) error {
 	if _, ok := faultKindNames[f.Kind]; !ok {
-		return fmt.Errorf("netsim: fault %d: unknown kind %d", i, uint8(f.Kind))
+		return fmt.Errorf("netsim: fault %d: %w %d", i, ErrUnknownFaultKind, uint8(f.Kind))
 	}
 	if f.Until != 0 && f.Until <= f.From {
 		return fmt.Errorf("netsim: fault %d (%v): empty window [%d,%d)", i, f.Kind, f.From, f.Until)
 	}
 	switch f.Kind {
-	case FaultCorrupt, FaultTruncate, FaultDelay, FaultDuplicate:
+	case FaultCorrupt, FaultTruncate, FaultDelay, FaultDuplicate, FaultLiar, FaultEcho:
 		if f.Prob <= 0 || f.Prob > 1 {
 			return fmt.Errorf("netsim: fault %d (%v): prob %v outside (0,1]", i, f.Kind, f.Prob)
 		}
@@ -140,6 +205,12 @@ func (f Fault) validate(i int) error {
 		if f.Rate < 0 || f.Burst < 1 {
 			return fmt.Errorf("netsim: fault %d (rate-storm): need rate >= 0 and burst >= 1, got rate=%v burst=%v",
 				i, f.Rate, f.Burst)
+		}
+	case FaultAliasConfuse:
+		if f.Addr != "" {
+			if _, err := ipv4.ParseAddr(f.Addr); err != nil {
+				return fmt.Errorf("netsim: fault %d (alias-confuse): bad addr %q: %v", i, f.Addr, err)
+			}
 		}
 	}
 	return nil
@@ -197,12 +268,25 @@ type FaultStats struct {
 	Delayed        uint64 // replies arriving after the timeout (seen as silence)
 	Duplicated     uint64 // replies given a duplicate delivery chance
 	StormDrops     uint64 // replies suppressed by a rate-limit storm
+
+	// Byzantine accounting: replies that lied rather than failed.
+	LiarSpoofs  uint64 // replies sent with a rotating spoofed source
+	AliasShares uint64 // replies collapsed onto the shared anycast source
+	HiddenDrops uint64 // ICMP errors suppressed by a transparent hidden hop
+	EchoMirrors uint64 // fabricated alive replies mirroring the probed address
 }
 
 // Total returns the number of individual fault events inflicted.
 func (s FaultStats) Total() uint64 {
 	return s.FlapDrops + s.BlackholeDrops + s.Corrupted + s.Truncated +
-		s.Delayed + s.Duplicated + s.StormDrops
+		s.Delayed + s.Duplicated + s.StormDrops +
+		s.LiarSpoofs + s.AliasShares + s.HiddenDrops + s.EchoMirrors
+}
+
+// Byzantine returns the number of lying-responder events inflicted (spoofed,
+// shared, suppressed, or fabricated replies).
+func (s FaultStats) Byzantine() uint64 {
+	return s.LiarSpoofs + s.AliasShares + s.HiddenDrops + s.EchoMirrors
 }
 
 // faultState is a fault plan compiled against one network: scope names
@@ -217,6 +301,15 @@ type faultState struct {
 	churns []Fault
 	// mangles are the per-reply probabilistic faults, applied in plan order.
 	mangles []Fault
+
+	// Byzantine state: lying responders, resolved against the topology.
+	liars   []scopedFault[*Router] // nil target = every router
+	aliases []aliasFault
+	hidden  []scopedFault[*Router]
+	echoes  []scopedFault[*Router]
+	// ifacePool is the rotation space liar faults spoof from: every non-host
+	// interface address in topology order. Built only when a liar is armed.
+	ifacePool []ipv4.Addr
 }
 
 type scopedFault[T any] struct {
@@ -228,6 +321,12 @@ type stormFault struct {
 	Fault
 	target  *Router // nil = every router
 	buckets map[*Router]*TokenBucket
+}
+
+type aliasFault struct {
+	Fault
+	target *Router   // nil = every router
+	shared ipv4.Addr // the anycast source every scoped reply collapses onto
 }
 
 // InstallFaults validates plan, resolves its scopes against the network's
@@ -270,8 +369,47 @@ func (n *Network) InstallFaults(plan FaultPlan) error {
 			fs.storms = append(fs.storms, stormFault{f, r, make(map[*Router]*TokenBucket)})
 		case FaultChurn:
 			fs.churns = append(fs.churns, f)
+		case FaultLiar:
+			r, err := n.resolveRouter(i, f)
+			if err != nil {
+				return err
+			}
+			fs.liars = append(fs.liars, scopedFault[*Router]{f, r})
+		case FaultAliasConfuse:
+			r, err := n.resolveRouter(i, f)
+			if err != nil {
+				return err
+			}
+			shared, err := n.resolveSharedAddr(i, f)
+			if err != nil {
+				return err
+			}
+			fs.aliases = append(fs.aliases, aliasFault{f, r, shared})
+		case FaultHiddenHop:
+			r, err := n.resolveRouter(i, f)
+			if err != nil {
+				return err
+			}
+			fs.hidden = append(fs.hidden, scopedFault[*Router]{f, r})
+		case FaultEcho:
+			r, err := n.resolveRouter(i, f)
+			if err != nil {
+				return err
+			}
+			fs.echoes = append(fs.echoes, scopedFault[*Router]{f, r})
 		default:
 			fs.mangles = append(fs.mangles, f)
+		}
+	}
+	if len(fs.liars) > 0 {
+		// The spoof rotation space, in deterministic topology order.
+		for _, r := range n.Topo.Routers {
+			if r.IsHost {
+				continue
+			}
+			for _, ifc := range r.Ifaces {
+				fs.ifacePool = append(fs.ifacePool, ifc.Addr)
+			}
 		}
 	}
 	// A fault plan consumes shared mutable state on every injection, so the
@@ -295,6 +433,34 @@ func (n *Network) resolveRouter(i int, f Fault) (*Router, error) {
 		}
 	}
 	return nil, fmt.Errorf("netsim: fault %d (%v): no router %q in topology", i, f.Kind, f.Router)
+}
+
+// resolveSharedAddr resolves the anycast source of an alias-confuse fault:
+// the pinned Addr when set, otherwise the topology's lowest non-host
+// interface address (deterministic whatever the topology's internal order).
+func (n *Network) resolveSharedAddr(i int, f Fault) (ipv4.Addr, error) {
+	if f.Addr != "" {
+		a, err := ipv4.ParseAddr(f.Addr)
+		if err != nil {
+			return ipv4.Zero, fmt.Errorf("netsim: fault %d (alias-confuse): bad addr %q: %v", i, f.Addr, err)
+		}
+		return a, nil
+	}
+	var shared ipv4.Addr
+	for _, r := range n.Topo.Routers {
+		if r.IsHost {
+			continue
+		}
+		for _, ifc := range r.Ifaces {
+			if shared.IsZero() || ifc.Addr < shared {
+				shared = ifc.Addr
+			}
+		}
+	}
+	if shared.IsZero() {
+		return ipv4.Zero, fmt.Errorf("netsim: fault %d (alias-confuse): topology has no non-host interface", i)
+	}
+	return shared, nil
 }
 
 // FaultStats returns a snapshot of the fault accounting; zero when no plan is
@@ -454,6 +620,72 @@ func (n *Network) mangleReply(raw []byte) []byte {
 	return raw
 }
 
+// hiddenHop reports whether r currently forwards transparently: it keeps
+// decrementing TTL and forwarding, but generates no ICMP of any kind while
+// the fault is active. Called with n.mu held, and only at a point where r was
+// about to generate a reply — so every true return is one suppressed answer.
+func (n *Network) hiddenHop(r *Router) bool {
+	if n.faults == nil {
+		return false
+	}
+	for _, f := range n.faults.hidden {
+		if (f.target == nil || f.target == r) && f.active(n.clock.Load()) {
+			n.faults.stats.HiddenDrops++
+			n.observeFault(FaultHiddenHop, "hidden-hop suppressed reply router="+r.Name)
+			return true
+		}
+	}
+	return false
+}
+
+// spoofSource applies the lying-responder faults (alias-confuse, then liar)
+// to the source address r is about to answer an indirect probe with,
+// returning the possibly rewritten address. Alias-confuse wins when both are
+// armed: the anycast collapse is deterministic, the liar draw is not.
+// Called with n.mu held.
+func (n *Network) spoofSource(r *Router, src ipv4.Addr) ipv4.Addr {
+	if n.faults == nil {
+		return src
+	}
+	clock := n.clock.Load()
+	for i := range n.faults.aliases {
+		f := &n.faults.aliases[i]
+		if (f.target == nil || f.target == r) && f.active(clock) {
+			n.faults.stats.AliasShares++
+			n.observeFault(FaultAliasConfuse, "alias-confuse shared source router="+r.Name)
+			return f.shared
+		}
+	}
+	for _, f := range n.faults.liars {
+		if (f.target == nil || f.target == r) && f.active(clock) &&
+			len(n.faults.ifacePool) > 0 && n.faults.rng.Float64() < f.Prob {
+			spoofed := n.faults.ifacePool[n.faults.rng.Intn(len(n.faults.ifacePool))]
+			n.faults.stats.LiarSpoofs++
+			n.observeFault(FaultLiar, "liar spoofed source router="+r.Name)
+			return spoofed
+		}
+	}
+	return src
+}
+
+// echoMirrors reports whether r, about to answer a probe with an ICMP error,
+// instead fabricates an alive reply mirroring the probe's destination back as
+// its source. Called with n.mu held.
+func (n *Network) echoMirrors(r *Router) bool {
+	if n.faults == nil {
+		return false
+	}
+	for _, f := range n.faults.echoes {
+		if (f.target == nil || f.target == r) && f.active(n.clock.Load()) &&
+			n.faults.rng.Float64() < f.Prob {
+			n.faults.stats.EchoMirrors++
+			n.observeFault(FaultEcho, "echo fabricated alive reply router="+r.Name)
+			return true
+		}
+	}
+	return false
+}
+
 // RandomFaultPlan generates a deterministic, seed-dependent fault plan over
 // t: a handful of scheduled faults whose scopes are drawn from the
 // topology's routers and core subnets. The chaos harness feeds tracenet
@@ -523,6 +755,56 @@ func RandomFaultPlan(t *Topology, seed int64) FaultPlan {
 	// Every generated plan must validate by construction.
 	if err := plan.Validate(); err != nil {
 		panic(fmt.Sprintf("netsim: RandomFaultPlan produced an invalid plan: %v", err))
+	}
+	return plan
+}
+
+// RandomAdversarialPlan generates a deterministic, seed-dependent plan of
+// byzantine faults over t. It is a separate generator from RandomFaultPlan —
+// extending that one's kind switch would silently reshuffle every committed
+// benign plan — and uses its own seed perturbation so the two streams never
+// correlate. Adversarial faults are mostly always-on: the interesting regime
+// is sustained lying, not a transient.
+func RandomAdversarialPlan(t *Topology, seed int64) FaultPlan {
+	rng := rand.New(rand.NewSource(seed ^ 0x61647673))
+	var routers []*Router
+	for _, r := range t.Routers {
+		if !r.IsHost {
+			routers = append(routers, r)
+		}
+	}
+
+	plan := FaultPlan{Seed: seed}
+	scope := func() string {
+		// Half the faults hit every router; the rest pick one victim.
+		if len(routers) == 0 || rng.Intn(2) == 0 {
+			return ""
+		}
+		return routers[rng.Intn(len(routers))].Name
+	}
+	nFaults := 1 + rng.Intn(3)
+	for i := 0; i < nFaults; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			plan.Faults = append(plan.Faults, Fault{
+				Kind: FaultLiar, Router: scope(), Prob: 0.2 + 0.5*rng.Float64(),
+			})
+		case 1:
+			plan.Faults = append(plan.Faults, Fault{
+				Kind: FaultAliasConfuse, Router: scope(),
+			})
+		case 2:
+			plan.Faults = append(plan.Faults, Fault{
+				Kind: FaultHiddenHop, Router: scope(),
+			})
+		case 3:
+			plan.Faults = append(plan.Faults, Fault{
+				Kind: FaultEcho, Router: scope(), Prob: 0.2 + 0.4*rng.Float64(),
+			})
+		}
+	}
+	if err := plan.Validate(); err != nil {
+		panic(fmt.Sprintf("netsim: RandomAdversarialPlan produced an invalid plan: %v", err))
 	}
 	return plan
 }

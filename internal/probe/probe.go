@@ -462,11 +462,24 @@ func (p *Prober) Direct(dst ipv4.Addr) (Result, error) {
 // Probe sends one logical probe to dst with the given TTL, retrying on
 // silence, and classifies the response.
 func (p *Prober) Probe(dst ipv4.Addr, ttl int) (Result, error) {
+	return p.probe(dst, ttl, true)
+}
+
+// ProbeUncached is Probe bypassing the response cache in both directions: the
+// cached outcome is ignored and the fresh outcome does not replace it. It is
+// the cross-validation primitive of the adversarial defenses — a lying
+// responder's first answer must not be able to vouch for itself, and the
+// re-probe must not overwrite the evidence of what was originally observed.
+func (p *Prober) ProbeUncached(dst ipv4.Addr, ttl int) (Result, error) {
+	return p.probe(dst, ttl, false)
+}
+
+func (p *Prober) probe(dst ipv4.Addr, ttl int, useCache bool) (Result, error) {
 	if ttl < 1 || ttl > 255 {
 		return Result{}, fmt.Errorf("probe: ttl %d out of range", ttl)
 	}
 	key := cacheKey{dst, uint8(ttl)}
-	if p.cache != nil {
+	if useCache && p.cache != nil {
 		if r, ok := p.cache[key]; ok {
 			p.stats.Cached++
 			p.cCached.Inc()
@@ -520,7 +533,7 @@ func (p *Prober) Probe(dst ipv4.Addr, ttl int) (Result, error) {
 		p.tel.Incident(fmt.Sprintf("breaker-open zone=%v/%d",
 			p.br.key(dst), p.br.cfg.KeyBits))
 	}
-	if p.cache != nil {
+	if useCache && p.cache != nil {
 		p.cache[key] = res
 	}
 	return res, nil

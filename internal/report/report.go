@@ -251,3 +251,36 @@ func AccuracyTable(w io.Writer, results []*experiments.AccuracyResult) {
 			regime, f.SubnetPrecision, f.SubnetRecall, f.AddrPrecision, f.AddrRecall)
 	}
 }
+
+// AdversarialTable writes the adversarial robustness ensemble: per regime,
+// the undefended collector's accuracy under attack next to the defended
+// run's, the defense cost (extra probes, quarantined responders), and the
+// blame attribution of the undefended error rows.
+func AdversarialTable(w io.Writer, results []*experiments.AdversarialResult) {
+	fmt.Fprintf(w, "Adversarial Robustness Ensemble (%d seeds per regime, undefended vs -defend)\n",
+		len(experiments.AdversarialSeeds))
+	fmt.Fprintf(w, "%-14s %7s %7s | %7s %7s  %6s %6s  %s\n",
+		"regime", "sub-P", "sub-R", "sub-P", "sub-R", "quar", "probes", "blamed error rows")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-14s %7.3f %7.3f | %7.3f %7.3f  %6d %6d  ",
+			r.Regime, r.UndefendedSubnetPrecision, r.UndefendedSubnetRecall,
+			r.DefendedSubnetPrecision, r.DefendedSubnetRecall,
+			r.Quarantined, r.DefenseProbes)
+		if len(r.Blames) == 0 {
+			fmt.Fprint(w, "-")
+		}
+		for i, b := range r.Blames {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%s x%d", b.Blame, b.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "committed floors (undefended max-P / defended min-P / defended min-R):")
+	for _, regime := range experiments.AdversarialRegimes {
+		f := experiments.AdversarialFloors[regime]
+		fmt.Fprintf(w, "%-14s %7.2f %16.2f %16.2f\n",
+			regime, f.UndefendedSubnetPrecisionMax, f.DefendedSubnetPrecision, f.DefendedSubnetRecall)
+	}
+}

@@ -50,13 +50,33 @@ type Entry struct {
 	// sorted and deduplicated. A conflicted entry keeps the largest observed
 	// prefix; the notes preserve what the losing observations claimed.
 	Conflicts []string
+	// Confidence is the minimum confidence over the merged observations
+	// (core.Subnet.Confidence), capped at conflictedConfidence once any
+	// prefix-length conflict is recorded. Observations that do not track
+	// confidence (zero value) count as 1. Minimum, OR, and cap are all
+	// order-independent, so merged maps stay schedule-deterministic.
+	Confidence float64
+	// Degraded reports whether any merged observation was degraded, or the
+	// observations disagreed about the subnet's size — the conflict-aware
+	// demotion of DESIGN.md §11: an adversarially-tainted entry is reported
+	// degraded rather than asserted.
+	Degraded bool
 }
+
+// conflictedConfidence caps the confidence of an entry whose observations
+// disagree about the subnet's prefix length: at most one of them can be
+// right, so the entry cannot be asserted at more than coin-flip confidence.
+const conflictedConfidence = 0.5
 
 // addConflict records a prefix-length disagreement between two observations
 // of the same address space, keeping the note list sorted and deduplicated.
 func (e *Entry) addConflict(a, b ipv4.Prefix) {
 	if a == b {
 		return
+	}
+	e.Degraded = true
+	if e.Confidence > conflictedConfidence {
+		e.Confidence = conflictedConfidence
 	}
 	// Canonical operand order keeps the note stable regardless of which
 	// observation arrived first.
@@ -153,7 +173,7 @@ func (m *Map) addSubnet(s *core.Subnet) {
 	})
 
 	if len(overlapping) == 0 {
-		e := &Entry{Prefix: s.Prefix}
+		e := &Entry{Prefix: s.Prefix, Confidence: 1}
 		m.subnets[e.Prefix] = e
 		m.mergeObservation(e, s)
 		return
@@ -172,6 +192,10 @@ func (m *Map) addSubnet(s *core.Subnet) {
 		e.Addrs = append(e.Addrs, o.Addrs...)
 		e.Observations += o.Observations
 		e.OnPath = e.OnPath || o.OnPath
+		e.Degraded = e.Degraded || o.Degraded
+		if o.Confidence < e.Confidence {
+			e.Confidence = o.Confidence
+		}
 	}
 	if s.Prefix != e.Prefix {
 		e.addConflict(e.Prefix, s.Prefix)
@@ -209,6 +233,12 @@ func (m *Map) mergeObservation(e *Entry, s *core.Subnet) {
 	}
 	e.Observations++
 	e.OnPath = e.OnPath || s.OnPath
+	e.Degraded = e.Degraded || s.Degraded
+	// Subnets built without confidence tracking (handcrafted literals, older
+	// checkpoints) carry the zero value; they count as fully confident.
+	if conf := s.Confidence; conf > 0 && conf < e.Confidence {
+		e.Confidence = conf
+	}
 }
 
 // Subnets returns the map's entries ordered by prefix base address.
@@ -332,7 +362,11 @@ func (m *Map) String() string {
 		if e.Prefix.Bits() >= 30 {
 			kind = "p2p"
 		}
-		fmt.Fprintf(&b, "  %-18v %s x%d %v\n", e.Prefix, kind, e.Observations, e.Addrs)
+		fmt.Fprintf(&b, "  %-18v %s x%d %v", e.Prefix, kind, e.Observations, e.Addrs)
+		if e.Degraded {
+			fmt.Fprintf(&b, " [degraded conf=%.2f]", e.Confidence)
+		}
+		b.WriteByte('\n')
 		for _, c := range e.Conflicts {
 			fmt.Fprintf(&b, "    conflict: %s\n", c)
 		}

@@ -41,6 +41,13 @@ go test -race -count=1 ./internal/collect/
 echo "== ground-truth accuracy floors"
 go test -count=1 -run '^TestAccuracyFloors$' ./internal/experiments/
 
+# The adversarial floors (internal/experiments/adversarial.go) gate the
+# byzantine regimes: undefended precision must actually collapse where the
+# threat model says it does, and -defend must recover it to the committed
+# per-regime floors.
+echo "== adversarial accuracy floors"
+go test -count=1 -run '^TestAdversarialFloors$' ./internal/experiments/
+
 # End-to-end eval smoke: a clean deterministic topology must score perfectly.
 echo "== tracenet -eval smoke (chain topology, must be exact)"
 go run ./cmd/tracenet -topo chain -eval | grep "subnet precision 1.000"
@@ -49,11 +56,12 @@ echo "== bench smoke (1 iteration per benchmark)"
 go test -run '^$' -bench '^(BenchmarkProbeExchange|BenchmarkSingleTrace)(Telemetry)?$|^BenchmarkCampaign$|^BenchmarkAccuracy$' -benchtime 1x .
 go test -run '^$' -bench . -benchtime 1x ./internal/telemetry/
 
-echo "== fuzz smoke (internal/wire + groundtruth scoring, 5s per target)"
+echo "== fuzz smoke (wire decoders + groundtruth scoring + fault plans, 5s per target)"
 for target in FuzzUnmarshalIPv4 FuzzUnmarshalICMP FuzzUnmarshalUDP FuzzUnmarshalTCP; do
     go test ./internal/wire/ -run '^$' -fuzz "^${target}\$" -fuzztime 5s
 done
 go test ./internal/groundtruth/ -run '^$' -fuzz '^FuzzScoreInvariants$' -fuzztime 5s
+go test ./internal/netsim/ -run '^$' -fuzz '^FuzzReadFaultPlan$' -fuzztime 5s
 
 # govulncheck is not vendored; run it when the toolchain has it and the
 # vulnerability database is reachable, but never fail the gate offline.
