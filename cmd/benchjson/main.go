@@ -5,9 +5,16 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchjson -date 20260805 > BENCH_20260805.json
+//	go test -bench . -benchmem ./... | benchjson -compare BENCH_20260805.json
 //
 // The date is injected by the caller rather than read from the wall clock,
 // keeping the conversion itself a pure function of its input.
+//
+// -compare diffs the piped run against a committed baseline and prints one
+// line per benchmark metric that moved. It is warn-only by design — exit
+// status is 0 regardless, because single-run benchmarks on shared CI hardware
+// are too noisy to gate on. The hard perf gate is the allocation-budget check
+// (tracenetlint -allocbudget); this diff exists so a reviewer sees the trend.
 package main
 
 import (
@@ -16,8 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,7 +51,22 @@ type Baseline struct {
 
 func main() {
 	date := flag.String("date", "", "baseline date stamp (e.g. 20260805), supplied by the caller")
+	baseline := flag.String("compare", "",
+		"diff the piped bench output against this baseline JSON (warn-only, always exits 0)")
 	flag.Parse()
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := compare(os.Stdin, f, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := convert(os.Stdin, os.Stdout, *date); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -53,6 +77,17 @@ func main() {
 // w. Non-benchmark lines (pkg headers, PASS/ok trailers, test logs) are
 // skipped; header lines fill the document's environment fields.
 func convert(r io.Reader, w io.Writer, date string) error {
+	base, err := parse(r, date)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(base)
+}
+
+// parse reads go test -bench output into a Baseline document.
+func parse(r io.Reader, date string) (Baseline, error) {
 	base := Baseline{Date: date, Go: runtime.Version(), Benchmarks: []Benchmark{}}
 	var pkg string
 	sc := bufio.NewScanner(r)
@@ -78,14 +113,107 @@ func convert(r io.Reader, w io.Writer, date string) error {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return Baseline{}, err
 	}
 	if len(base.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmark result lines in input")
+		return Baseline{}, fmt.Errorf("no benchmark result lines in input")
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(base)
+	return base, nil
+}
+
+// regressThreshold is the relative increase past which a timing metric is
+// labelled a regression in the compare report. Count metrics (allocs/op) are
+// exact, so any increase at all is flagged.
+const regressThreshold = 0.10
+
+// compare diffs the bench output on cur against the baseline JSON on base,
+// writing a per-metric report to w. It never fails the caller over a perf
+// delta: the report is advisory and the only returned errors are parse
+// failures.
+func compare(cur io.Reader, base io.Reader, w io.Writer) error {
+	var baseline Baseline
+	if err := json.NewDecoder(base).Decode(&baseline); err != nil {
+		return fmt.Errorf("baseline: %v", err)
+	}
+	current, err := parse(cur, "")
+	if err != nil {
+		return err
+	}
+	old := make(map[string]Benchmark, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		old[benchKey(b.Name)] = b
+	}
+	regressions := 0
+	for _, b := range current.Benchmarks {
+		prev, ok := old[benchKey(b.Name)]
+		if !ok {
+			fmt.Fprintf(w, "%-32s new benchmark (not in baseline %s)\n", benchKey(b.Name), baseline.Date)
+			continue
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for u := range b.Metrics {
+			if _, ok := prev.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			was, now := prev.Metrics[u], b.Metrics[u]
+			verdict := metricVerdict(u, was, now)
+			if verdict == "" {
+				continue
+			}
+			if verdict == "REGRESSION" {
+				regressions++
+			}
+			fmt.Fprintf(w, "%-32s %-12s %g -> %g (%+.1f%%) %s\n",
+				benchKey(b.Name), u, was, now, relDelta(was, now)*100, verdict)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchjson: %d metric(s) regressed vs baseline %s (warn-only; not gating)\n",
+			regressions, baseline.Date)
+	} else {
+		fmt.Fprintf(w, "benchjson: no regressions vs baseline %s\n", baseline.Date)
+	}
+	return nil
+}
+
+// benchKey strips the trailing -N GOMAXPROCS suffix so runs on machines with
+// different core counts still match.
+func benchKey(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// metricVerdict classifies one metric's movement: "REGRESSION", "improved",
+// or "" for noise-level movement not worth a report line. Exact count metrics
+// (allocs/op, B/op) regress on any increase; timing and rate metrics get the
+// relative threshold.
+func metricVerdict(unit string, was, now float64) string {
+	exact := unit == "allocs/op" || unit == "B/op"
+	d := relDelta(was, now)
+	switch {
+	case now > was && (exact || d > regressThreshold):
+		return "REGRESSION"
+	case now < was && (exact || d < -regressThreshold):
+		return "improved"
+	}
+	return ""
+}
+
+func relDelta(was, now float64) float64 {
+	if was == 0 {
+		if now == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (now - was) / was
 }
 
 // parseBenchLine parses one result line:

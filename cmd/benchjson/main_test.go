@@ -54,6 +54,70 @@ func TestConvertRejectsEmptyInput(t *testing.T) {
 	}
 }
 
+func TestCompareReportsMovement(t *testing.T) {
+	baseline := `{
+  "date": "20260805",
+  "go": "go-test",
+  "benchmarks": [
+    {"name": "BenchmarkProbeExchange-8", "iterations": 1, "metrics": {"ns/op": 1000, "B/op": 600, "allocs/op": 15}},
+    {"name": "BenchmarkSingleTrace-8", "iterations": 1, "metrics": {"ns/op": 126318, "allocs/op": 589}}
+  ]
+}`
+	// allocs/op down (exact metric: any change reported), ns/op up 50%
+	// (past the relative threshold), SingleTrace within noise, CounterAdd new.
+	current := `BenchmarkProbeExchange-4   1000000   1500 ns/op   600 B/op   13 allocs/op
+BenchmarkSingleTrace-4     9498      126400 ns/op   589 allocs/op
+BenchmarkCounterAdd-4      164363322   7.3 ns/op
+`
+	var out strings.Builder
+	if err := compare(strings.NewReader(current), strings.NewReader(baseline), &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"allocs/op",
+		"15 -> 13",
+		"improved",
+		"1000 -> 1500",
+		"REGRESSION",
+		"new benchmark",
+		"1 metric(s) regressed vs baseline 20260805 (warn-only",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("compare report missing %q:\n%s", want, report)
+		}
+	}
+	if strings.Contains(report, "BenchmarkSingleTrace-4   ns/op") {
+		t.Errorf("noise-level ns/op movement reported:\n%s", report)
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	baseline := `{"date": "20260805", "benchmarks": [
+	  {"name": "BenchmarkProbeExchange-8", "iterations": 1, "metrics": {"allocs/op": 15}}]}`
+	current := "BenchmarkProbeExchange-8   1000000   700 ns/op   15 allocs/op\n"
+	var out strings.Builder
+	if err := compare(strings.NewReader(current), strings.NewReader(baseline), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no regressions vs baseline 20260805") {
+		t.Errorf("clean compare: %s", out.String())
+	}
+}
+
+func TestBenchKey(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkProbeExchange-8":  "BenchmarkProbeExchange",
+		"BenchmarkProbeExchange-16": "BenchmarkProbeExchange",
+		"BenchmarkProbeExchange":    "BenchmarkProbeExchange",
+		"BenchmarkFoo-bar":          "BenchmarkFoo-bar",
+	} {
+		if got := benchKey(in); got != want {
+			t.Errorf("benchKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 func TestParseBenchLineMalformed(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkX-8",                     // no fields

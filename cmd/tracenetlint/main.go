@@ -6,24 +6,42 @@
 // clean, 2 when any invariant is violated, 1 on loader errors — mirroring go
 // vet so scripts/check.sh and CI can treat it as one more vet pass.
 //
+// The allocation-budget gate is a separate mode: -allocbudget recompiles the
+// hot probe-path packages with escape-analysis diagnostics and fails (exit 2)
+// on any heap escape above the committed per-function budgets in
+// internal/lint/allocbudget/budgets.txt; -allocbudget-write regenerates that
+// file from the current tree.
+//
 // Usage:
 //
 //	go run ./cmd/tracenetlint ./...
 //	go run ./cmd/tracenetlint -list
+//	go run ./cmd/tracenetlint -allocbudget
+//	go run ./cmd/tracenetlint -allocbudget-write
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
 
 	"tracenet/internal/lint"
+	"tracenet/internal/lint/allocbudget"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	budgetCheck := flag.Bool("allocbudget", false,
+		"run the hot-path allocation-budget gate instead of the analyzers")
+	budgetWrite := flag.Bool("allocbudget-write", false,
+		"regenerate "+allocbudget.BudgetsFile+" from the current tree")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracenetlint [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: tracenetlint [-list] [-allocbudget | -allocbudget-write] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -33,6 +51,10 @@ func main() {
 		for _, a := range analyzers {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
+		return
+	}
+	if *budgetCheck || *budgetWrite {
+		runAllocBudget(*budgetWrite)
 		return
 	}
 
@@ -57,4 +79,74 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracenetlint: %d finding(s)\n", len(diags))
 		os.Exit(2)
 	}
+}
+
+// runAllocBudget measures the hot-path escapes and either rewrites the budget
+// file (write=true) or diffs against it, exiting 2 on violations.
+func runAllocBudget(write bool) {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracenetlint:", err)
+		os.Exit(1)
+	}
+	escapes, err := allocbudget.Measure(root, allocbudget.Packages)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracenetlint:", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(root, allocbudget.BudgetsFile)
+	if write {
+		text := allocbudget.FormatBudgets(allocbudget.Count(escapes), goVersion())
+		if err := os.WriteFile(path, text, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tracenetlint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tracenetlint: wrote %d budget entries to %s\n",
+			len(allocbudget.Count(escapes)), allocbudget.BudgetsFile)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracenetlint:", err)
+		os.Exit(1)
+	}
+	budgets, err := allocbudget.ParseBudgets(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracenetlint:", err)
+		os.Exit(1)
+	}
+	violations, ratchets := allocbudget.Diff(escapes, budgets)
+	for _, r := range ratchets {
+		fmt.Fprintf(os.Stderr, "tracenetlint: ratchet: %s\n", r)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Printf("allocbudget: %s\n", v.Describe())
+		}
+		fmt.Fprintf(os.Stderr, "tracenetlint: %d function(s) over allocation budget\n", len(violations))
+		os.Exit(2)
+	}
+	fmt.Printf("tracenetlint: allocation budgets hold (%d escapes across %d hot-path packages)\n",
+		len(escapes), len(allocbudget.Packages))
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return "unknown toolchain"
+	}
+	return string(bytes.TrimSpace(out))
 }

@@ -1,0 +1,374 @@
+// Package allocbudget is the compiler-backed half of tracenetlint v2: it runs
+// the escape analysis the gc toolchain already performs (`go build
+// -gcflags=<pkg>=-m=2`) over the hot probe-path packages, attributes every
+// heap escape to the function containing it, and diffs the counts against a
+// committed per-function budget file. A new escape on the probe path —
+// exactly the regression that silently turns a 15-alloc exchange into a
+// 16-alloc one — fails scripts/check.sh and CI with the file, line, function,
+// and the compiler's own reason. Shrinking a count only produces a ratchet
+// warning: regenerate budgets.txt (cmd/tracenetlint -allocbudget-write) to
+// lock in the improvement.
+package allocbudget
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Packages are the hot probe-path packages the gate watches: everything a
+// single Prober.probe call executes per packet.
+var Packages = []string{
+	"tracenet/internal/wire",
+	"tracenet/internal/probe",
+	"tracenet/internal/ipv4",
+	"tracenet/internal/telemetry",
+}
+
+// BudgetsFile is the committed budget file, relative to the module root.
+const BudgetsFile = "internal/lint/allocbudget/budgets.txt"
+
+// Escape is one heap escape the compiler reported.
+type Escape struct {
+	File string // absolute path
+	Line int
+	Col  int
+	Msg  string // compiler message, e.g. "moved to heap: x"
+	Pkg  string // import path
+	Func string // enclosing function, rendered (*T).M / T.M / F
+}
+
+// Key identifies one budget entry: a function within a package.
+type Key struct {
+	Pkg  string
+	Func string
+}
+
+// Measure compiles pkgs with escape-analysis diagnostics enabled and returns
+// every heap escape attributed to its enclosing function. The build runs with
+// -a: cached compilations emit no diagnostics, so everything in the watched
+// packages must actually recompile.
+func Measure(modRoot string, pkgs []string) ([]Escape, error) {
+	args := []string{"build", "-a"}
+	for _, p := range pkgs {
+		args = append(args, "-gcflags="+p+"=-m=2")
+	}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = modRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("allocbudget: go build: %v\n%s", err, stderr.String())
+	}
+	escapes := ParseEscapes(stderr.String())
+	// The compiler reports paths relative to the build directory.
+	for i := range escapes {
+		if !filepath.IsAbs(escapes[i].File) {
+			escapes[i].File = filepath.Join(modRoot, escapes[i].File)
+		}
+	}
+	if err := attribute(modRoot, pkgs, escapes); err != nil {
+		return nil, err
+	}
+	return escapes, nil
+}
+
+// ParseEscapes extracts the heap-escape lines from compiler -m output. One
+// allocation site surfaces several times at -m=2 — the colon-suffixed form
+// introducing flow detail, the bare repeat, and for variables both "x escapes
+// to heap" and "moved to heap: x" — so escapes collapse to one per source
+// position, preferring the "moved to heap" message when present.
+func ParseEscapes(out string) []Escape {
+	type posKey struct {
+		file      string
+		line, col int
+	}
+	best := make(map[posKey]string)
+	var order []posKey
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		file, lineNo, col, msg, ok := splitDiag(line)
+		if !ok || !strings.HasSuffix(file, ".go") {
+			continue
+		}
+		msg = strings.TrimSuffix(msg, ":")
+		if !strings.HasSuffix(msg, " escapes to heap") && !strings.HasPrefix(msg, "moved to heap: ") {
+			continue
+		}
+		k := posKey{file, lineNo, col}
+		cur, seen := best[k]
+		if !seen {
+			order = append(order, k)
+			best[k] = msg
+		} else if strings.HasPrefix(msg, "moved to heap: ") && !strings.HasPrefix(cur, "moved to heap: ") {
+			best[k] = msg
+		}
+	}
+	escapes := make([]Escape, 0, len(order))
+	for _, k := range order {
+		escapes = append(escapes, Escape{File: k.file, Line: k.line, Col: k.col, Msg: best[k]})
+	}
+	sort.Slice(escapes, func(i, j int) bool {
+		a, b := escapes[i], escapes[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Msg < b.Msg
+	})
+	return escapes
+}
+
+// splitDiag parses "file.go:line:col: msg". Flow-detail continuation lines
+// share the prefix but carry indented messages; they are filtered by the
+// caller's message matching, not here.
+func splitDiag(line string) (file string, lineNo, col int, msg string, ok bool) {
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return "", 0, 0, "", false
+	}
+	file = line[:i+3]
+	parts := strings.SplitN(line[i+4:], ": ", 2)
+	if len(parts) != 2 {
+		return "", 0, 0, "", false
+	}
+	if _, err := fmt.Sscanf(parts[0], "%d:%d", &lineNo, &col); err != nil {
+		return "", 0, 0, "", false
+	}
+	msg = parts[1]
+	if strings.HasPrefix(msg, " ") {
+		// Indented flow detail ("  flow: ...", "    from ...").
+		return "", 0, 0, "", false
+	}
+	return file, lineNo, col, msg, true
+}
+
+// listedPackage is the slice of `go list -json` the attributor needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// attribute fills in Pkg and Func for every escape by mapping source lines to
+// the enclosing top-level function declaration.
+func attribute(modRoot string, pkgs []string, escapes []Escape) error {
+	type span struct {
+		name       string
+		start, end int
+	}
+	spans := make(map[string][]span) // file path -> decl spans
+	pkgOf := make(map[string]string) // file path -> import path
+	fset := token.NewFileSet()
+	for _, pkg := range pkgs {
+		cmd := exec.Command("go", "list", "-json", pkg)
+		cmd.Dir = modRoot
+		out, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("allocbudget: go list %s: %v", pkg, err)
+		}
+		var lp listedPackage
+		if err := json.Unmarshal(out, &lp); err != nil {
+			return fmt.Errorf("allocbudget: decoding go list %s: %v", pkg, err)
+		}
+		for _, name := range lp.GoFiles {
+			path := filepath.Join(lp.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return fmt.Errorf("allocbudget: %v", err)
+			}
+			pkgOf[path] = lp.ImportPath
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				spans[path] = append(spans[path], span{
+					name:  declDisplay(fd),
+					start: fset.Position(fd.Pos()).Line,
+					end:   fset.Position(fd.End()).Line,
+				})
+			}
+		}
+	}
+	for i := range escapes {
+		e := &escapes[i]
+		e.Pkg = pkgOf[e.File]
+		e.Func = "(package scope)"
+		for _, s := range spans[e.File] {
+			if e.Line >= s.start && e.Line <= s.end {
+				e.Func = s.name
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// declDisplay renders a FuncDecl the way budgets.txt names functions:
+// (*T).M, T.M, or F.
+func declDisplay(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	switch rt := fd.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		return "(*" + recvBase(rt.X) + ")." + fd.Name.Name
+	default:
+		return recvBase(rt) + "." + fd.Name.Name
+	}
+}
+
+func recvBase(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr:
+		return recvBase(x.X)
+	case *ast.IndexListExpr:
+		return recvBase(x.X)
+	}
+	return "?"
+}
+
+// Count folds escapes into per-function totals.
+func Count(escapes []Escape) map[Key]int {
+	counts := make(map[Key]int)
+	for _, e := range escapes {
+		counts[Key{Pkg: e.Pkg, Func: e.Func}]++
+	}
+	return counts
+}
+
+// ParseBudgets reads a budgets file: one `<pkg> <func> <count>` triple per
+// line, '#' comments and blank lines ignored.
+func ParseBudgets(r io.Reader) (map[Key]int, error) {
+	budgets := make(map[Key]int)
+	sc := bufio.NewScanner(r)
+	for n := 1; sc.Scan(); n++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("allocbudget: budgets line %d: want `<pkg> <func> <count>`, got %q", n, line)
+		}
+		var count int
+		if _, err := fmt.Sscanf(fields[2], "%d", &count); err != nil {
+			return nil, fmt.Errorf("allocbudget: budgets line %d: bad count %q", n, fields[2])
+		}
+		budgets[Key{Pkg: fields[0], Func: fields[1]}] = count
+	}
+	return budgets, sc.Err()
+}
+
+// FormatBudgets renders counts as a budgets file, sorted, with a header
+// explaining the regeneration workflow.
+func FormatBudgets(counts map[Key]int, goVersion string) []byte {
+	keys := make([]Key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Pkg != keys[j].Pkg {
+			return keys[i].Pkg < keys[j].Pkg
+		}
+		return keys[i].Func < keys[j].Func
+	})
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# tracenet per-function heap-escape budgets (%s).\n", goVersion)
+	fmt.Fprintf(&b, "# Generated by `go run ./cmd/tracenetlint -allocbudget-write`; checked by\n")
+	fmt.Fprintf(&b, "# `-allocbudget` in scripts/check.sh. A count above budget fails the gate;\n")
+	fmt.Fprintf(&b, "# below budget is a ratchet warning — regenerate to lock the win in.\n")
+	fmt.Fprintf(&b, "# <package> <function> <max heap escapes>\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %s %d\n", k.Pkg, k.Func, counts[k])
+	}
+	return b.Bytes()
+}
+
+// Violation is one budget breach: more escapes than budgeted.
+type Violation struct {
+	Key     Key
+	Actual  int
+	Budget  int
+	Escapes []Escape // the offending sites, for the error message
+}
+
+// Diff compares measured escapes against budgets. Violations (actual over
+// budget, including functions with no entry at all) fail the gate; ratchets
+// (actual under budget, or stale entries for escape-free functions) are
+// informational.
+func Diff(escapes []Escape, budgets map[Key]int) (violations []Violation, ratchets []string) {
+	counts := Count(escapes)
+	byKey := make(map[Key][]Escape)
+	for _, e := range escapes {
+		byKey[Key{Pkg: e.Pkg, Func: e.Func}] = append(byKey[Key{Pkg: e.Pkg, Func: e.Func}], e)
+	}
+	keys := make([]Key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Pkg != keys[j].Pkg {
+			return keys[i].Pkg < keys[j].Pkg
+		}
+		return keys[i].Func < keys[j].Func
+	})
+	for _, k := range keys {
+		actual, budget := counts[k], budgets[k]
+		switch {
+		case actual > budget:
+			violations = append(violations, Violation{Key: k, Actual: actual, Budget: budget, Escapes: byKey[k]})
+		case actual < budget:
+			ratchets = append(ratchets, fmt.Sprintf("%s %s: %d escapes, budget %d — regenerate budgets.txt to ratchet down", k.Pkg, k.Func, actual, budget))
+		}
+	}
+	stale := make([]Key, 0)
+	for k := range budgets {
+		if _, ok := counts[k]; !ok {
+			stale = append(stale, k)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].Pkg != stale[j].Pkg {
+			return stale[i].Pkg < stale[j].Pkg
+		}
+		return stale[i].Func < stale[j].Func
+	})
+	for _, k := range stale {
+		ratchets = append(ratchets, fmt.Sprintf("%s %s: no escapes measured, budget %d is stale — regenerate budgets.txt", k.Pkg, k.Func, budgets[k]))
+	}
+	return violations, ratchets
+}
+
+// Describe renders a violation for the gate's error output.
+func (v Violation) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s: %d heap escape(s), budget %d", v.Key.Pkg, v.Key.Func, v.Actual, v.Budget)
+	for _, e := range v.Escapes {
+		fmt.Fprintf(&b, "\n\t%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+	}
+	return b.String()
+}

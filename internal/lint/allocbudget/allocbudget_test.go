@@ -1,0 +1,193 @@
+package allocbudget
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `# tracenet/internal/wire
+/repo/internal/wire/packet.go:41:12: make([]byte, 0, totalLen) escapes to heap:
+/repo/internal/wire/packet.go:41:12:   flow: ~r0 = &{storage for make([]byte, 0, totalLen)}:
+/repo/internal/wire/packet.go:41:12:     from make([]byte, 0, totalLen) (spilled) at /repo/internal/wire/packet.go:41:12
+/repo/internal/wire/packet.go:41:12: make([]byte, 0, totalLen) escapes to heap
+/repo/internal/wire/ip.go:17:6: hdr escapes to heap:
+/repo/internal/wire/ip.go:17:6:   flow: {heap} = &hdr:
+/repo/internal/wire/ip.go:17:6: moved to heap: hdr
+/repo/internal/wire/packet.go:12:6: can inline Checksum
+/repo/internal/wire/packet.go:80:15: leaking param: b to result ~r0 level=0
+/repo/internal/wire/packet.go:93:20: p does not escape
+`
+
+func TestParseEscapesDedupes(t *testing.T) {
+	escapes := ParseEscapes(sampleOutput)
+	if len(escapes) != 2 {
+		t.Fatalf("ParseEscapes = %d escapes, want 2 (deduped): %v", len(escapes), escapes)
+	}
+	if escapes[0].Msg != "moved to heap: hdr" || escapes[0].Line != 17 {
+		t.Errorf("escape[0] = %+v", escapes[0])
+	}
+	if !strings.HasSuffix(escapes[1].Msg, "escapes to heap") || escapes[1].Col != 12 {
+		t.Errorf("escape[1] = %+v", escapes[1])
+	}
+}
+
+func TestBudgetsRoundTrip(t *testing.T) {
+	counts := map[Key]int{
+		{Pkg: "tracenet/internal/wire", Func: "(*Packet).Encode"}: 1,
+		{Pkg: "tracenet/internal/wire", Func: "Decode"}:           3,
+		{Pkg: "tracenet/internal/probe", Func: "NewProber"}:       2,
+	}
+	text := FormatBudgets(counts, "go-test")
+	parsed, err := ParseBudgets(bytes.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(counts) {
+		t.Fatalf("round trip lost entries: %v", parsed)
+	}
+	for k, v := range counts {
+		if parsed[k] != v {
+			t.Errorf("round trip %v = %d, want %d", k, parsed[k], v)
+		}
+	}
+}
+
+func TestParseBudgetsRejectsMalformed(t *testing.T) {
+	if _, err := ParseBudgets(strings.NewReader("only two fields\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := ParseBudgets(strings.NewReader("pkg fn notanumber\n")); err == nil {
+		t.Error("bad count accepted")
+	}
+}
+
+func TestDiffVerdicts(t *testing.T) {
+	escapes := []Escape{
+		{Pkg: "p", Func: "Over", File: "a.go", Line: 1, Msg: "moved to heap: x"},
+		{Pkg: "p", Func: "Over", File: "a.go", Line: 2, Msg: "moved to heap: y"},
+		{Pkg: "p", Func: "Exact", File: "a.go", Line: 3, Msg: "moved to heap: z"},
+		{Pkg: "p", Func: "Under", File: "a.go", Line: 4, Msg: "moved to heap: w"},
+		{Pkg: "p", Func: "New", File: "a.go", Line: 5, Msg: "moved to heap: v"},
+	}
+	budgets := map[Key]int{
+		{Pkg: "p", Func: "Over"}:  1,
+		{Pkg: "p", Func: "Exact"}: 1,
+		{Pkg: "p", Func: "Under"}: 3,
+		{Pkg: "p", Func: "Gone"}:  2,
+	}
+	violations, ratchets := Diff(escapes, budgets)
+	if len(violations) != 2 {
+		t.Fatalf("violations = %v, want Over and New", violations)
+	}
+	if violations[0].Key.Func != "New" || violations[0].Budget != 0 {
+		t.Errorf("violations[0] = %+v, want unbudgeted New", violations[0])
+	}
+	if violations[1].Key.Func != "Over" || violations[1].Actual != 2 {
+		t.Errorf("violations[1] = %+v, want Over 2>1", violations[1])
+	}
+	if len(ratchets) != 2 {
+		t.Errorf("ratchets = %v, want Under and stale Gone", ratchets)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}
+
+func measureFixture(t *testing.T, fixture string) []Escape {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("compiler-backed measurement is not short")
+	}
+	escapes, err := Measure(moduleRoot(t), []string{"tracenet/internal/lint/allocbudget/testdata/" + fixture})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return escapes
+}
+
+func loadFixtureBudget(t *testing.T, name string) map[Key]int {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	budgets, err := ParseBudgets(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return budgets
+}
+
+// TestGateCleanFixture: escapes matching the budget pass the gate.
+func TestGateCleanFixture(t *testing.T) {
+	escapes := measureFixture(t, "clean")
+	violations, ratchets := Diff(escapes, loadFixtureBudget(t, "clean.budget"))
+	if len(violations) != 0 {
+		t.Errorf("clean fixture violated its budget: %v", violations)
+	}
+	if len(ratchets) != 0 {
+		t.Errorf("clean fixture produced ratchet warnings: %v", ratchets)
+	}
+}
+
+// TestGateSeededEscapeFails is the gate's regression proof: a heap escape the
+// budget does not record (seeded.Leak) must fail with the exact function.
+func TestGateSeededEscapeFails(t *testing.T) {
+	escapes := measureFixture(t, "seeded")
+	violations, _ := Diff(escapes, loadFixtureBudget(t, "seeded.budget"))
+	if len(violations) != 1 {
+		t.Fatalf("seeded fixture violations = %v, want exactly the Leak escape", violations)
+	}
+	v := violations[0]
+	if v.Key.Func != "Leak" || v.Budget != 0 || v.Actual < 1 {
+		t.Errorf("violation = %+v, want unbudgeted Leak", v)
+	}
+	if !strings.Contains(v.Describe(), "escapes to heap") {
+		t.Errorf("Describe() = %q, want the compiler's reason", v.Describe())
+	}
+}
+
+// TestRepositoryWithinBudgets mirrors the check.sh gate over the real
+// hot-path packages against the committed budgets.txt.
+func TestRepositoryWithinBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiler-backed measurement is not short")
+	}
+	root := moduleRoot(t)
+	escapes, err := Measure(root, Packages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(root, BudgetsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	budgets, err := ParseBudgets(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations, _ := Diff(escapes, budgets)
+	for _, v := range violations {
+		t.Errorf("over budget: %s", v.Describe())
+	}
+}

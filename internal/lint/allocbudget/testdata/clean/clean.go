@@ -1,0 +1,12 @@
+// Package clean is the gate's passing fixture: its escapes exactly match the
+// committed budget in testdata/clean.budget.
+package clean
+
+// Boxed escapes its local: one budgeted heap escape.
+func Boxed() *int {
+	x := 42
+	return &x
+}
+
+// Sum allocates nothing.
+func Sum(a, b int) int { return a + b }

@@ -1,0 +1,15 @@
+// Package seeded is the gate's failing fixture: Leak's escape is deliberately
+// missing from testdata/seeded.budget, modelling a new allocation creeping
+// onto a budgeted hot path.
+package seeded
+
+// Boxed matches its budget entry.
+func Boxed() *int {
+	x := 42
+	return &x
+}
+
+// Leak is the seeded regression: an unbudgeted heap escape.
+func Leak() []byte {
+	return make([]byte, 64)
+}

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"strings"
 	"testing"
 
 	"tracenet/internal/lint"
@@ -21,4 +22,44 @@ func TestWireErrAnalyzer(t *testing.T) {
 
 func TestIPAliasAnalyzer(t *testing.T) {
 	linttest.Run(t, "testdata", lint.IPAliasAnalyzer, "ipalias")
+}
+
+// matchOnly scopes an analyzer to exactly one testdata package, modelling the
+// in-scope/out-of-scope split the interprocedural analyzers reason about.
+func matchOnly(pkg string) func(string) bool {
+	return func(p string) bool { return p == pkg }
+}
+
+func TestClockSourceAnalyzer(t *testing.T) {
+	linttest.RunScoped(t, "testdata", lint.ClockSourceAnalyzer,
+		matchOnly("clocksource"), "clockhelper", "clocksource")
+}
+
+// TestClockSourceBeyondDeterminism proves the interprocedural cases are ones
+// the PR-2 intraprocedural determinism analyzer misses: scoped to the same
+// measurement package, determinism reports nothing there — every ambient
+// source sits ≥2 call-graph edges away in clockhelper.
+func TestClockSourceBeyondDeterminism(t *testing.T) {
+	diags := linttest.Diagnostics(t, "testdata", lint.DeterminismAnalyzer,
+		matchOnly("clocksource"), "clockhelper", "clocksource")
+	// The only thing determinism can see is func direct's literal time.Now —
+	// the one case clocksource deliberately leaves to it.
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "time.Now reads the wall clock") {
+		t.Errorf("determinism on clocksource testdata = %v, want exactly the direct time.Now finding", diags)
+	}
+}
+
+func TestAtomicMixAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata", lint.AtomicMixAnalyzer, "atomicmix")
+}
+
+func TestHotHandleAnalyzer(t *testing.T) {
+	linttest.Run(t, "testdata", lint.HotHandleAnalyzer, "hothandle")
+}
+
+// TestIgnoreDirectives proves a well-formed //lint:ignore suppresses exactly
+// the named analyzer on its own or the following line, while unsuppressed
+// siblings still fire.
+func TestIgnoreDirectives(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DeterminismAnalyzer, "ignore")
 }

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixAnalyzer flags struct fields that are accessed through sync/atomic
+// in one place and plainly in another. A field updated with atomic.AddUint32
+// on one path and written with `=` on a concurrently reachable path is a data
+// race the -race detector only catches when both paths fire in one test run;
+// the mix is visible statically. The call graph supplies the exemption: plain
+// accesses in code reachable only from unexported entry points (constructors
+// initializing a value before it is published) are pre-publication and legal,
+// so only functions reachable from the package's exported API are reported.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc: "forbid mixing sync/atomic and plain accesses to the same struct " +
+		"field in code reachable from exported API",
+	Run: runAtomicMix,
+}
+
+// atomicSite records where a field was first accessed atomically.
+type atomicSite struct {
+	pos token.Position
+}
+
+// atomicFacts is the program-wide result shared across per-package passes.
+type atomicFacts struct {
+	fields   map[*types.Var]atomicSite
+	args     map[*ast.SelectorExpr]bool
+	exported map[*types.Func]bool
+}
+
+func runAtomicMix(pass *Pass) error {
+	g := pass.Graph()
+	facts := pass.Prog.Memo("atomicmix", func() any {
+		fields, args := collectAtomicAccesses(pass.Prog)
+		return &atomicFacts{fields: fields, args: args, exported: exportedReach(g)}
+	}).(*atomicFacts)
+	atomicFields, atomicArgs, exported := facts.fields, facts.args, facts.exported
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	for _, node := range g.Nodes() {
+		if node.Pkg != pass.Pkg || !exported[node.Fn] {
+			continue
+		}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			s, ok := node.Pkg.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			site, isAtomic := atomicFields[field]
+			if !isAtomic {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed via sync/atomic at %s:%d but plainly here; use sync/atomic consistently",
+				field.Name(), baseName(site.pos.Filename), site.pos.Line)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectAtomicAccesses walks every function body of the program and returns
+// (a) the struct fields whose address is passed to a sync/atomic package-level
+// function, keyed to the first such site, and (b) the selector expressions
+// that form those `&x.f` arguments, so the reporting pass does not flag the
+// atomic accesses themselves.
+func collectAtomicAccesses(prog *Program) (map[*types.Var]atomicSite, map[*ast.SelectorExpr]bool) {
+	fields := make(map[*types.Var]atomicSite)
+	args := make(map[*ast.SelectorExpr]bool)
+	for _, node := range prog.Graph().Nodes() {
+		info := node.Pkg.Info
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(call, info) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				s, ok := info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					continue
+				}
+				field, ok := s.Obj().(*types.Var)
+				if !ok {
+					continue
+				}
+				args[sel] = true
+				if _, seen := fields[field]; !seen {
+					fields[field] = atomicSite{pos: node.Pkg.Fset.Position(sel.Pos())}
+				}
+			}
+			return true
+		})
+	}
+	return fields, args
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// function (the legacy pointer-based API; the typed atomic.Uint64-style API
+// uses methods and cannot be mixed with plain accesses in the first place).
+func isAtomicCall(call *ast.CallExpr, info *types.Info) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// exportedReach computes the set of program functions forward-reachable from
+// any exported function or method — the code that can run after a value has
+// been published to callers outside the package. Ref edges count: a function
+// passed as a value to exported code may be called from it.
+func exportedReach(g *CallGraph) map[*types.Func]bool {
+	reach := make(map[*types.Func]bool)
+	var queue []*FuncNode
+	for _, n := range g.Nodes() {
+		if n.Fn.Exported() {
+			reach[n.Fn] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Edges {
+			if reach[e.Callee] {
+				continue
+			}
+			reach[e.Callee] = true
+			if cn := g.Node(e.Callee); cn != nil {
+				queue = append(queue, cn)
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,388 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural half of the lint engine: a call graph over
+// every package of one load, plus a fact-propagation fixpoint (Reach) that
+// analyzers use to chase properties — "reads the wall clock", "performs a
+// by-name registry lookup" — through module-local call chains. The builder is
+// deliberately conservative where static resolution ends: calls through
+// function values and interface methods are recorded as dynamic edges
+// ("unknown callee"), and bare references to functions (method values,
+// functions passed as arguments) become may-call edges, so a fact can never
+// be laundered by passing the offending function around as a value.
+
+// Edge is one potential call from a function body: a direct call, a call
+// through an interface method, or a bare function reference (a method value
+// or a function passed as an argument — treated as a may-call).
+type Edge struct {
+	// Pos is the call or reference site.
+	Pos token.Pos
+	// Callee is the invoked function. For interface-method calls it is the
+	// interface method itself (no body in the program); Dynamic is then set.
+	Callee *types.Func
+	// Dynamic marks interface dispatch: the concrete callee is unknown, and
+	// analyzers must treat the target conservatively.
+	Dynamic bool
+	// Ref marks a bare function reference rather than a call expression.
+	Ref bool
+}
+
+// FuncNode is one function or method with a body in the loaded program.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Edges are the node's outgoing call/reference edges in source order.
+	Edges []Edge
+	// Unresolved holds call sites whose callee could not be resolved to any
+	// *types.Func at all (calls of function-typed variables, map/slice
+	// elements, returned closures): the "unknown callee" fact.
+	Unresolved []token.Pos
+}
+
+// CallGraph is the module-local call graph of one analysis load.
+type CallGraph struct {
+	fset  *token.FileSet
+	nodes map[*types.Func]*FuncNode
+	order []*FuncNode // deterministic: by package path, then position
+}
+
+// BuildCallGraph walks every function body of pkgs and records its outgoing
+// edges. All packages must share one *token.FileSet (which lint.Load and the
+// linttest harness guarantee).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*FuncNode)}
+	if len(pkgs) > 0 {
+		g.fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+				collectEdges(node, fd.Body, pkg.Info)
+				g.nodes[fn] = node
+				g.order = append(g.order, node)
+			}
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool {
+		a, b := g.order[i], g.order[j]
+		if a.Pkg.Path != b.Pkg.Path {
+			return a.Pkg.Path < b.Pkg.Path
+		}
+		return posLess(g.fset, a.Decl.Pos(), b.Decl.Pos())
+	})
+	return g
+}
+
+// Node returns the graph node for fn, or nil when fn has no body in the load.
+func (g *CallGraph) Node(fn *types.Func) *FuncNode { return g.nodes[fn] }
+
+// Nodes returns every node in deterministic order.
+func (g *CallGraph) Nodes() []*FuncNode { return g.order }
+
+// collectEdges records every call and function reference in body. Function
+// literals are attributed to the enclosing declaration: a closure's calls are
+// reachable whenever the closure may run, which is the conservative reading.
+func collectEdges(node *FuncNode, body *ast.BlockStmt, info *types.Info) {
+	// First pass: remember which expressions appear in call position (so the
+	// second pass can tell a call from a bare reference) and which idents are
+	// the .Sel of a selector (so they aren't double-counted as plain idents).
+	callFun := make(map[ast.Expr]bool)
+	selIdent := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			callFun[unparen(x.Fun)] = true
+		case *ast.SelectorExpr:
+			selIdent[x.Sel] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fun := unparen(x.Fun)
+			switch f := fun.(type) {
+			case *ast.Ident:
+				switch obj := info.Uses[f].(type) {
+				case *types.Func:
+					node.Edges = append(node.Edges, Edge{Pos: x.Pos(), Callee: obj})
+				case *types.Var:
+					// Calling a function-typed variable: unknown callee.
+					node.Unresolved = append(node.Unresolved, x.Pos())
+				}
+				// Builtins and type conversions carry no edge.
+			case *ast.SelectorExpr:
+				switch obj := info.Uses[f.Sel].(type) {
+				case *types.Func:
+					node.Edges = append(node.Edges, Edge{
+						Pos:     x.Pos(),
+						Callee:  obj,
+						Dynamic: isInterfaceMethod(obj),
+					})
+				case *types.Var:
+					node.Unresolved = append(node.Unresolved, x.Pos())
+				}
+			case *ast.FuncLit:
+				// Immediately-invoked literal: its body is walked anyway.
+			default:
+				// Anything else (map/slice index yielding a func, a call
+				// returning a func) is an unknown callee.
+				node.Unresolved = append(node.Unresolved, x.Pos())
+			}
+		case *ast.Ident:
+			if callFun[ast.Expr(x)] || selIdent[x] {
+				return true
+			}
+			if fn, ok := info.Uses[x].(*types.Func); ok {
+				node.Edges = append(node.Edges, Edge{Pos: x.Pos(), Callee: fn, Ref: true})
+			}
+		case *ast.SelectorExpr:
+			if callFun[ast.Expr(x)] {
+				return true
+			}
+			if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+				node.Edges = append(node.Edges, Edge{
+					Pos:     x.Pos(),
+					Callee:  fn,
+					Dynamic: isInterfaceMethod(fn),
+					Ref:     true,
+				})
+			}
+		}
+		return true
+	})
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface type, i.e.
+// a call through it is dynamic dispatch.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+func posLess(fset *token.FileSet, a, b token.Pos) bool {
+	pa, pb := fset.Position(a), fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	return pa.Column < pb.Column
+}
+
+// FuncDisplay renders fn the way diagnostics name functions: methods as
+// (*T).M or T.M, functions as pkgname.F — qualified with the package name
+// when fn lives outside rel.
+func FuncDisplay(fn *types.Func, rel *types.Package) string {
+	qual := func(p *types.Package) string {
+		if p == rel {
+			return ""
+		}
+		return p.Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := types.TypeString(sig.Recv().Type(), qual)
+		if strings.HasPrefix(rt, "*") {
+			return "(" + rt + ")." + fn.Name()
+		}
+		return rt + "." + fn.Name()
+	}
+	if fn.Pkg() != nil && fn.Pkg() != rel {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// Dump writes the graph as stable text — one line per edge, nodes and edges
+// in deterministic order — for golden-file tests:
+//
+//	a -> b (callgraph.go:12:9)
+//	a -> io.Writer.Write (callgraph.go:14:2) [dynamic]
+//	c -> d (callgraph.go:20:2) [ref]
+//	e ~> unknown (callgraph.go:30:2)
+func (g *CallGraph) Dump(w io.Writer) {
+	for _, node := range g.order {
+		name := FuncDisplay(node.Fn, node.Pkg.Types)
+		for _, e := range node.Edges {
+			pos := g.fset.Position(e.Pos)
+			marks := ""
+			if e.Dynamic {
+				marks += " [dynamic]"
+			}
+			if e.Ref {
+				marks += " [ref]"
+			}
+			fmt.Fprintf(w, "%s -> %s (%s:%d:%d)%s\n",
+				name, FuncDisplay(e.Callee, node.Pkg.Types),
+				baseName(pos.Filename), pos.Line, pos.Column, marks)
+		}
+		for _, p := range node.Unresolved {
+			pos := g.fset.Position(p)
+			fmt.Fprintf(w, "%s ~> unknown (%s:%d:%d)\n",
+				name, baseName(pos.Filename), pos.Line, pos.Column)
+		}
+	}
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// SinkFunc classifies a call target: a non-empty return marks fn as a fact
+// source (a "sink" the analyzers chase), and the string says why — e.g.
+// "reads the wall clock". It is consulted for every callee, including ones
+// with no body in the program (stdlib functions, resolver-loaded imports).
+type SinkFunc func(fn *types.Func) string
+
+// ReachSet answers, for every function in the program, whether it can reach
+// a sink through the call graph, with a shortest witness path for
+// diagnostics. Built by CallGraph.Reach via breadth-first fixpoint from the
+// sinks backward, so witness chains are minimal and deterministic.
+type ReachSet struct {
+	g       *CallGraph
+	sink    SinkFunc
+	reasons map[*types.Func]string
+	via     map[*types.Func]Edge
+	depth   map[*types.Func]int
+}
+
+// Reach runs the fact-propagation fixpoint for one sink classifier.
+func (g *CallGraph) Reach(sink SinkFunc) *ReachSet {
+	r := &ReachSet{
+		g:       g,
+		sink:    sink,
+		reasons: make(map[*types.Func]string),
+		via:     make(map[*types.Func]Edge),
+		depth:   make(map[*types.Func]int),
+	}
+	for changed, round := true, 1; changed; round++ {
+		changed = false
+		for _, node := range g.order {
+			if _, done := r.via[node.Fn]; done {
+				continue
+			}
+			for _, e := range node.Edges {
+				if r.calleeDepth(e.Callee) < round {
+					r.via[node.Fn] = e
+					r.depth[node.Fn] = round
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return r
+}
+
+// calleeDepth is 0 for sinks, the taint depth for tainted program functions,
+// and a large value otherwise.
+func (r *ReachSet) calleeDepth(fn *types.Func) int {
+	if r.Reason(fn) != "" {
+		return 0
+	}
+	if d, ok := r.depth[fn]; ok {
+		return d
+	}
+	return int(^uint(0) >> 1)
+}
+
+// Reason returns the sink classification of fn ("" when fn is not a sink),
+// memoized.
+func (r *ReachSet) Reason(fn *types.Func) string {
+	if reason, ok := r.reasons[fn]; ok {
+		return reason
+	}
+	reason := r.sink(fn)
+	r.reasons[fn] = reason
+	return reason
+}
+
+// Tainted reports whether fn transitively reaches a sink (sinks themselves
+// are tainted too).
+func (r *ReachSet) Tainted(fn *types.Func) bool {
+	if r.Reason(fn) != "" {
+		return true
+	}
+	_, ok := r.via[fn]
+	return ok
+}
+
+// Path returns the witness chain from fn to the sink: successive call edges,
+// ending with the edge into the sink. Nil when fn is untainted or itself a
+// sink.
+func (r *ReachSet) Path(fn *types.Func) []Edge {
+	var out []Edge
+	for {
+		e, ok := r.via[fn]
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+		if r.Reason(e.Callee) != "" {
+			return out
+		}
+		fn = e.Callee
+	}
+}
+
+// Describe renders fn's witness chain for a diagnostic: the called functions
+// in order, ending with the sink and its reason, e.g.
+//
+//	(*Telemetry).Incident → (*Telemetry).Counter (by-name registry lookup)
+func (r *ReachSet) Describe(fn *types.Func, rel *types.Package) string {
+	path := r.Path(fn)
+	if len(path) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, e := range path {
+		if i > 0 {
+			b.WriteString(" → ")
+		}
+		b.WriteString(FuncDisplay(e.Callee, rel))
+	}
+	last := path[len(path)-1].Callee
+	fmt.Fprintf(&b, " (%s)", r.Reason(last))
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// ClockSourceAnalyzer is the interprocedural companion to determinism: it
+// chases wall-clock reads and global math/rand draws through the call graph,
+// so a helper two packages away cannot launder non-determinism into
+// measurement code. The determinism analyzer reports direct uses inside the
+// measurement packages; clocksource reports the escaping call edge — a call
+// from a measurement function to an out-of-scope callee whose transitive
+// closure reaches time.Now, rand.Intn, and friends — with the full witness
+// chain in the message. Between them every path from a determinism-contract
+// root to an ambient source is caught exactly once.
+var ClockSourceAnalyzer = &Analyzer{
+	Name: "clocksource",
+	Doc: "forbid transitive wall-clock and global math/rand reads from " +
+		"measurement code: calls into helpers outside the determinism scope " +
+		"whose call chains reach the ambient sources",
+	Run: runClockSource,
+}
+
+// clockSink classifies the ambient non-determinism sources, sharing the
+// determinism analyzer's definitions of forbidden time and rand functions.
+func clockSink(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		// Methods ((*rand.Rand).Intn, (time.Time).Sub) operate on injected
+		// state — same carve-out as the determinism analyzer.
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if forbiddenTimeFuncs[fn.Name()] {
+			return "reads the wall clock"
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRandFuncs[fn.Name()] {
+			return "draws from the global rand stream"
+		}
+	}
+	return ""
+}
+
+func runClockSource(pass *Pass) error {
+	reach := pass.Reach("clocksource", clockSink)
+	for _, node := range pass.Graph().Nodes() {
+		if node.Pkg != pass.Pkg {
+			continue
+		}
+		for _, e := range node.Edges {
+			if reach.Reason(e.Callee) != "" {
+				// Direct sink call: the determinism analyzer reports it.
+				continue
+			}
+			if !reach.Tainted(e.Callee) {
+				continue
+			}
+			if e.Callee.Pkg() != nil && pass.Matches(e.Callee.Pkg().Path()) {
+				// The callee is itself in scope: the taint is reported at its
+				// own escaping edge, not at every caller.
+				continue
+			}
+			pass.Reportf(e.Pos,
+				"call to %s reaches a non-deterministic source: %s",
+				FuncDisplay(e.Callee, pass.Pkg.Types),
+				reach.Describe(e.Callee, pass.Pkg.Types))
+		}
+	}
+	return nil
+}

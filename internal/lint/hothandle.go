@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// HotHandleAnalyzer keeps by-name telemetry lookups off the per-probe path.
+// Registry.Counter and friends take a mutex and hash the metric name on every
+// call; the telemetry layer's contract (DESIGN §8) is that hot code
+// pre-resolves handles once and bumps atomics thereafter. Hot functions are
+// declared, not inferred: a `//tracenet:hotpath` directive in a function's doc
+// comment makes it a root, and the analyzer walks the call graph from each
+// root, reporting the first call edge of any chain that reaches a by-name
+// lookup — however many module-local calls deep it hides.
+var HotHandleAnalyzer = &Analyzer{
+	Name: "hothandle",
+	Doc: "forbid by-name telemetry registry lookups (Counter/Gauge/Histogram) " +
+		"reachable from //tracenet:hotpath functions; pre-resolve handles",
+	Run: runHotHandle,
+}
+
+// hotpathDirective marks a function as a per-probe hot path root.
+const hotpathDirective = "//tracenet:hotpath"
+
+// telemetryPkg is the package whose registry lookups are the sinks.
+const telemetryPkg = "tracenet/internal/telemetry"
+
+// hotLookupSink classifies the by-name lookup entry points: Counter, Gauge,
+// and Histogram methods on the telemetry Registry (and the Telemetry
+// convenience wrappers around them). Works from signatures alone, so sinks
+// resolve even when telemetry is loaded as a dependency without bodies.
+func hotLookupSink(fn *types.Func) string {
+	if fn.Pkg() == nil || fn.Pkg().Path() != telemetryPkg {
+		return ""
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return "by-name registry lookup"
+}
+
+func runHotHandle(pass *Pass) error {
+	reach := pass.Reach("hothandle", hotLookupSink)
+	hot := pass.Prog.Memo("hothandle.roots", func() any {
+		return hotpathRoots(pass.Graph())
+	}).(map[*types.Func]bool)
+	for _, node := range pass.Graph().Nodes() {
+		if node.Pkg != pass.Pkg || !hot[node.Fn] {
+			continue
+		}
+		if reach.Reason(node.Fn) != "" || !reach.Tainted(node.Fn) {
+			continue
+		}
+		path := reach.Path(node.Fn)
+		e := path[0]
+		if hot[e.Callee] {
+			// The callee is itself a hot root: it reports its own chain.
+			continue
+		}
+		pass.Reportf(e.Pos,
+			"hot path %s performs a by-name telemetry lookup: %s; pre-resolve the handle outside the probe loop",
+			FuncDisplay(node.Fn, pass.Pkg.Types),
+			reach.Describe(node.Fn, pass.Pkg.Types))
+	}
+	return nil
+}
+
+// hotpathRoots collects every function whose doc comment carries the
+// //tracenet:hotpath directive.
+func hotpathRoots(g *CallGraph) map[*types.Func]bool {
+	roots := make(map[*types.Func]bool)
+	for _, node := range g.Nodes() {
+		if node.Decl.Doc == nil {
+			continue
+		}
+		for _, c := range node.Decl.Doc.List {
+			if strings.HasPrefix(c.Text, hotpathDirective) {
+				roots[node.Fn] = true
+				break
+			}
+		}
+	}
+	return roots
+}

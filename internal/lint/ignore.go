@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression directives. A finding can be silenced in place with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// written either as a trailing comment on the offending line or on the line
+// directly above it. The reason is mandatory: an ignore without one is
+// rejected with its own diagnostic and suppresses nothing, so every
+// exception in the tree carries its justification. A directive silences only
+// the named analyzer — sibling findings on the same line keep firing.
+
+// ignoreAnalyzer is the pseudo-analyzer name malformed directives are
+// reported under.
+const ignoreAnalyzer = "lintignore"
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+}
+
+// parseIgnores extracts every //lint:ignore directive from pkg's comments.
+func parseIgnores(pkg *Package) []ignoreDirective {
+	var out []ignoreDirective
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				d := ignoreDirective{pos: pkg.Fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores filters diags through every package's //lint:ignore
+// directives and appends a diagnostic for each malformed one.
+func applyIgnores(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	suppress := make(map[key]bool)
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, d := range parseIgnores(pkg) {
+			if d.analyzer == "" || d.reason == "" {
+				out = append(out, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: ignoreAnalyzer,
+					Message:  "//lint:ignore needs an analyzer name and a reason: //lint:ignore <analyzer> <reason>",
+				})
+				continue
+			}
+			// The directive covers its own line (trailing comment) and the
+			// line below (comment above the offending statement).
+			suppress[key{d.pos.Filename, d.pos.Line, d.analyzer}] = true
+			suppress[key{d.pos.Filename, d.pos.Line + 1, d.analyzer}] = true
+		}
+	}
+	for _, d := range diags {
+		if suppress[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

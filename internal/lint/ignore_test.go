@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestBareIgnoreRejected: a //lint:ignore with no reason (or no analyzer)
+// suppresses nothing and is itself reported, so every suppression in the tree
+// carries its justification.
+func TestBareIgnoreRejected(t *testing.T) {
+	const src = `package bare
+
+import "time"
+
+func noReason() int64 {
+	//lint:ignore determinism
+	return time.Now().UnixNano()
+}
+
+func noAnalyzer() int64 {
+	//lint:ignore
+	return time.Now().UnixNano()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "bare.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := CheckFiles(fset, "bare", "", []*ast.File{f}, importer.ForCompiler(fset, "source", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := *DeterminismAnalyzer
+	det.Match = nil
+	diags, err := Run([]*Package{pkg}, []*Analyzer{&det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bare, clock int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == ignoreAnalyzer && strings.Contains(d.Message, "needs an analyzer name and a reason"):
+			bare++
+		case d.Analyzer == "determinism" && strings.Contains(d.Message, "reads the wall clock"):
+			clock++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if bare != 2 {
+		t.Errorf("bare-directive rejections = %d, want 2", bare)
+	}
+	if clock != 2 {
+		t.Errorf("determinism findings = %d, want 2 (bare ignores must not suppress)", clock)
+	}
+}

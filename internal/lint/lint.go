@@ -20,6 +20,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer is one named invariant check.
@@ -49,12 +50,82 @@ type Package struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Prog is the whole load: every package of the Run, with the shared call
+	// graph and fact-propagation results the interprocedural analyzers use.
+	Prog *Program
 
 	report func(Diagnostic)
 }
 
 // Fset returns the file set positions resolve against.
 func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Graph returns the program-wide call graph (built lazily, shared by every
+// pass of the Run).
+func (p *Pass) Graph() *CallGraph { return p.Prog.Graph() }
+
+// Reach returns the memoized fact-propagation result for the named sink
+// classifier; key must identify the classifier uniquely within the Run
+// (analyzers use their own name).
+func (p *Pass) Reach(key string, sink SinkFunc) *ReachSet { return p.Prog.Reach(key, sink) }
+
+// Matches reports whether this pass's analyzer would also analyze the package
+// with the given import path — how the interprocedural analyzers decide
+// whether a callee is inside their reporting scope (and will be reported
+// there) or outside it (and must be reported at the escaping edge).
+func (p *Pass) Matches(pkgPath string) bool {
+	return p.Analyzer.Match == nil || p.Analyzer.Match(pkgPath)
+}
+
+// Program is one Run's load: the packages under analysis plus the lazily
+// built interprocedural state shared across analyzers.
+type Program struct {
+	Pkgs []*Package
+
+	graph   *CallGraph
+	reaches map[string]*ReachSet
+	memo    map[string]any
+}
+
+// NewProgram wraps a set of loaded packages for analysis.
+func NewProgram(pkgs []*Package) *Program {
+	return &Program{
+		Pkgs:    pkgs,
+		reaches: make(map[string]*ReachSet),
+		memo:    make(map[string]any),
+	}
+}
+
+// Memo caches a program-wide fact computed by an analyzer (e.g. "every field
+// accessed atomically anywhere") so per-package passes share one computation.
+// Run is sequential, so no locking is needed.
+func (p *Program) Memo(key string, compute func() any) any {
+	if v, ok := p.memo[key]; ok {
+		return v
+	}
+	v := compute()
+	p.memo[key] = v
+	return v
+}
+
+// Graph builds (once) and returns the program call graph.
+func (p *Program) Graph() *CallGraph {
+	if p.graph == nil {
+		p.graph = BuildCallGraph(p.Pkgs)
+	}
+	return p.graph
+}
+
+// Reach memoizes CallGraph.Reach per classifier key. Run is sequential, so no
+// locking is needed.
+func (p *Program) Reach(key string, sink SinkFunc) *ReachSet {
+	if r, ok := p.reaches[key]; ok {
+		return r
+	}
+	r := p.Graph().Reach(sink)
+	p.reaches[key] = r
+	return r
+}
 
 // Reportf records one finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -77,15 +148,19 @@ func (d Diagnostic) String() string {
 }
 
 // Run applies every analyzer to every package it matches and returns the
-// findings ordered by file, line, and column.
+// findings ordered by file, line, and column. Findings carrying a
+// well-formed `//lint:ignore <analyzer> <reason>` directive on their own or
+// the preceding line are suppressed; malformed directives (no reason) are
+// themselves findings and suppress nothing.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := NewProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, report: func(d Diagnostic) {
 				diags = append(diags, d)
 			}}
 			if err := a.Run(pass); err != nil {
@@ -93,6 +168,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
+	diags = applyIgnores(pkgs, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -126,13 +202,21 @@ func All() []*Analyzer {
 		"tracenet/internal/telemetry",
 		"tracenet/internal/collect",
 	)
+	examples := matchPrefix("tracenet/examples/")
+	commands := matchPrefix("tracenet/cmd/")
 	det := *DeterminismAnalyzer
-	det.Match = measurement
+	det.Match = orMatch(measurement, examples)
+	cs := *ClockSourceAnalyzer
+	cs.Match = orMatch(measurement, examples)
 	mr := *MapRangeAnalyzer
-	mr.Match = measurement
+	mr.Match = orMatch(measurement, commands, examples)
 	lc := *LockCheckAnalyzer
 	lc.Match = matchPaths("tracenet/internal/netsim")
-	return []*Analyzer{&det, &mr, &lc, WireErrAnalyzer, IPAliasAnalyzer}
+	return []*Analyzer{
+		&det, &cs, &mr, &lc,
+		WireErrAnalyzer, IPAliasAnalyzer,
+		AtomicMixAnalyzer, HotHandleAnalyzer,
+	}
 }
 
 func matchPaths(paths ...string) func(string) bool {
@@ -141,4 +225,19 @@ func matchPaths(paths ...string) func(string) bool {
 		set[p] = true
 	}
 	return func(p string) bool { return set[p] }
+}
+
+func matchPrefix(prefix string) func(string) bool {
+	return func(p string) bool { return strings.HasPrefix(p, prefix) }
+}
+
+func orMatch(ms ...func(string) bool) func(string) bool {
+	return func(p string) bool {
+		for _, m := range ms {
+			if m(p) {
+				return true
+			}
+		}
+		return false
+	}
 }

@@ -11,8 +11,8 @@ import (
 // TestAnalyzerSuite sanity-checks the configured multichecker surface.
 func TestAnalyzerSuite(t *testing.T) {
 	all := lint.All()
-	if len(all) != 5 {
-		t.Fatalf("lint.All() = %d analyzers, want 5", len(all))
+	if len(all) != 8 {
+		t.Fatalf("lint.All() = %d analyzers, want 8", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {
@@ -24,7 +24,10 @@ func TestAnalyzerSuite(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"determinism", "maprange", "lockcheck", "wireerr", "ipalias"} {
+	for _, want := range []string{
+		"determinism", "clocksource", "maprange", "lockcheck",
+		"wireerr", "ipalias", "atomicmix", "hothandle",
+	} {
 		if !seen[want] {
 			t.Errorf("missing analyzer %q", want)
 		}

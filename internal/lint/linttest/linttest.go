@@ -36,39 +36,97 @@ var quotedRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 // compares the diagnostics against the file's want annotations.
 func Run(t *testing.T, dir string, a *lint.Analyzer, pkg string) {
 	t.Helper()
-	srcDir := filepath.Join(dir, "src", pkg)
-	fset := token.NewFileSet()
-	entries, err := os.ReadDir(srcDir)
+	RunScoped(t, dir, a, nil, pkg)
+}
+
+// RunScoped is Run for interprocedural analyzers: it loads several testdata
+// packages (dependencies first — a package may import an earlier sibling by
+// its bare name, e.g. `import "clockhelper"`) into one shared program, applies
+// the analyzer with an explicit Match function in place of its own (nil
+// matches every package), and compares diagnostics against the want
+// annotations across all loaded files. The match split is how testdata models
+// in-scope measurement code calling out-of-scope helpers.
+func RunScoped(t *testing.T, dir string, a *lint.Analyzer, match func(string) bool, pkgs ...string) {
+	t.Helper()
+	fset, files, loaded := loadPkgs(t, dir, pkgs)
+	compare(t, fset, files, runOn(t, a, match, loaded))
+}
+
+// Diagnostics loads the same way as RunScoped but returns the raw findings
+// instead of comparing want annotations — for tests asserting what a
+// different analyzer does (not) report on shared testdata.
+func Diagnostics(t *testing.T, dir string, a *lint.Analyzer, match func(string) bool, pkgs ...string) []lint.Diagnostic {
+	t.Helper()
+	_, _, loaded := loadPkgs(t, dir, pkgs)
+	return runOn(t, a, match, loaded)
+}
+
+func runOn(t *testing.T, a *lint.Analyzer, match func(string) bool, loaded []*lint.Package) []lint.Diagnostic {
+	t.Helper()
+	scoped := *a
+	scoped.Match = match
+	diags, err := lint.Run(loaded, []*lint.Analyzer{&scoped})
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
 	}
-	var files []*ast.File
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(srcDir, e.Name()), nil, parser.ParseComments)
+	return diags
+}
+
+// loadPkgs parses and type-checks the named testdata packages in order into
+// one file set, letting later packages import earlier ones by bare name.
+func loadPkgs(t *testing.T, dir string, pkgs []string) (*token.FileSet, []*ast.File, []*lint.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	si := &siblingImporter{base: newImporter(t, fset), local: make(map[string]*types.Package)}
+	var allFiles []*ast.File
+	var loaded []*lint.Package
+	for _, pkg := range pkgs {
+		srcDir := filepath.Join(dir, "src", pkg)
+		entries, err := os.ReadDir(srcDir)
 		if err != nil {
 			t.Fatalf("linttest: %v", err)
 		}
-		files = append(files, f)
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(srcDir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("linttest: %v", err)
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			t.Fatalf("linttest: no Go files under %s", srcDir)
+		}
+		lp, err := lint.CheckFiles(fset, pkg, srcDir, files, si)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		si.local[pkg] = lp.Types
+		allFiles = append(allFiles, files...)
+		loaded = append(loaded, lp)
 	}
-	if len(files) == 0 {
-		t.Fatalf("linttest: no Go files under %s", srcDir)
-	}
+	return fset, allFiles, loaded
+}
 
-	loaded, err := lint.CheckFiles(fset, pkg, srcDir, files, newImporter(t, fset))
-	if err != nil {
-		t.Fatalf("linttest: %v", err)
+// siblingImporter resolves already-loaded testdata siblings by bare import
+// path before falling back to the module/stdlib importer.
+type siblingImporter struct {
+	base  *testImporter
+	local map[string]*types.Package
+}
+
+func (si *siblingImporter) Import(path string) (*types.Package, error) {
+	return si.ImportFrom(path, "", 0)
+}
+
+func (si *siblingImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := si.local[path]; ok {
+		return p, nil
 	}
-	// Strip the analyzer's package scoping: the harness decides applicability.
-	unscoped := *a
-	unscoped.Match = nil
-	diags, err := lint.Run([]*lint.Package{loaded}, []*lint.Analyzer{&unscoped})
-	if err != nil {
-		t.Fatalf("linttest: %v", err)
-	}
-	compare(t, fset, files, diags)
+	return si.base.ImportFrom(path, dir, mode)
 }
 
 // compare matches reported diagnostics against want annotations line by line.

@@ -1,0 +1,56 @@
+// Package atomicmix exercises the atomic/plain access mix detector. The mix
+// is inherently cross-function — the atomic site and the plain site live in
+// different functions — and the exemption for pre-publication code depends on
+// call-graph reachability from the exported API, so a single-function analyzer
+// cannot reproduce any of these verdicts.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  uint32
+	total uint32
+	cold  uint32
+}
+
+// Bump is the atomic access site for every field.
+func Bump(c *counter) {
+	atomic.AddUint32(&c.hits, 1)
+	atomic.AddUint32(&c.total, 1)
+	atomic.AddUint32(&c.cold, 1)
+}
+
+// Run reaches the plain access two call-graph edges down.
+func Run(c *counter) uint32 {
+	return step(c)
+}
+
+func step(c *counter) uint32 {
+	return read(c)
+}
+
+func read(c *counter) uint32 {
+	return c.hits // want `field hits is accessed via sync/atomic`
+}
+
+// Peek mixes directly in an exported function.
+func Peek(c *counter) uint32 {
+	return c.total // want `field total is accessed via sync/atomic`
+}
+
+// newCounter is unexported and uncalled by any exported function, so reset's
+// plain write is pre-publication and legal.
+func newCounter() *counter {
+	c := &counter{}
+	reset(c)
+	return c
+}
+
+func reset(c *counter) {
+	c.total = 0
+}
+
+// Load is atomic everywhere: clean.
+func Load(c *counter) uint32 {
+	return atomic.LoadUint32(&c.cold)
+}

@@ -1,0 +1,50 @@
+// Package callgraph is the builder's own fixture: a cycle, a method value, an
+// interface dispatch, unresolved function-value calls, and a ref edge, dumped
+// against a golden file.
+package callgraph
+
+type greeter interface {
+	greet() string
+}
+
+type impl struct{}
+
+func (impl) greet() string { return "hi" }
+
+// a and b form a cycle.
+func a(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return b(n - 1)
+}
+
+func b(n int) int {
+	return a(n)
+}
+
+// methodValue passes a concrete method around as a value.
+func methodValue(i impl) func() string {
+	return i.greet
+}
+
+// dynamic dispatches through the interface: callee unknown, edge conservative.
+func dynamic(g greeter) string {
+	return g.greet()
+}
+
+// unknown calls a function-typed parameter: unresolved callee.
+func unknown(f func() int) int {
+	return f()
+}
+
+// use passes leaf into run, which invokes it indirectly.
+func use() {
+	run(leaf)
+}
+
+func run(f func()) {
+	f()
+}
+
+func leaf() {}

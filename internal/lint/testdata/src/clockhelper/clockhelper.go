@@ -1,0 +1,22 @@
+// Package clockhelper stands in for an out-of-scope utility package: the
+// clocksource testdata imports it, so the ambient sources sit two and three
+// call-graph edges away from the measurement code under analysis.
+package clockhelper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp is two edges from the wall clock (Stamp → now → time.Now).
+func Stamp() int64 { return now() }
+
+func now() int64 { return time.Now().UnixNano() }
+
+// Jitter is two edges from the global rand stream.
+func Jitter() int { return draw() }
+
+func draw() int { return rand.Intn(10) }
+
+// Pure has no path to an ambient source.
+func Pure(x int) int { return x * 2 }

@@ -1,0 +1,45 @@
+// Package clocksource is the in-scope measurement package: every finding here
+// is a call whose non-determinism hides at least two call-graph edges away in
+// clockhelper, which the intraprocedural determinism analyzer provably cannot
+// see (TestClockSourceBeyondDeterminism asserts it reports nothing on this
+// package).
+package clocksource
+
+import (
+	"time"
+
+	"clockhelper"
+)
+
+func measure() int64 {
+	return clockhelper.Stamp() // want `call to clockhelper.Stamp reaches a non-deterministic source: .*time.Now \(reads the wall clock\)`
+}
+
+func jitter() int {
+	return clockhelper.Jitter() // want `draws from the global rand stream`
+}
+
+func clean(x int) int {
+	return clockhelper.Pure(x)
+}
+
+// deferred passes the tainted function around as a value: a may-call edge.
+func deferred() func() int64 {
+	return clockhelper.Stamp // want `reaches a non-deterministic source`
+}
+
+// outer is clean at its own call site: inner is inside the analyzer's scope,
+// so the taint is reported once, at inner's escaping edge.
+func outer() int64 {
+	return inner()
+}
+
+func inner() int64 {
+	return clockhelper.Stamp() // want `reaches a non-deterministic source`
+}
+
+// direct sink calls are the determinism analyzer's findings, not clocksource's
+// (no diagnostic expected here under clocksource).
+func direct() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,39 @@
+// Package hothandle exercises the hot-path telemetry handle check against the
+// real telemetry package. The by-name lookup hides two module-local edges
+// below the annotated root (exchange → record → note → Counter), which an
+// intraprocedural scan of the root's body cannot see.
+package hothandle
+
+import "tracenet/internal/telemetry"
+
+type probe struct {
+	tel     *telemetry.Telemetry
+	packets *telemetry.Counter
+}
+
+//tracenet:hotpath
+func (p *probe) exchange() {
+	p.packets.Add(1) // pre-resolved handle: clean
+	p.record()       // want `performs a by-name telemetry lookup`
+}
+
+func (p *probe) record() {
+	p.note()
+}
+
+func (p *probe) note() {
+	p.tel.Counter("tracenet_probes_total").Add(1)
+}
+
+// once calls another hot root; the chain is reported at exchange, not here.
+//
+//tracenet:hotpath
+func (p *probe) once() {
+	p.exchange()
+}
+
+// setup is not a hot root: by-name lookups are exactly what setup code
+// should do.
+func (p *probe) setup() {
+	p.packets = p.tel.Counter("tracenet_packets_total")
+}

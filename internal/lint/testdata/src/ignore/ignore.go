@@ -1,0 +1,28 @@
+// Package ignore exercises //lint:ignore suppression: well-formed directives
+// silence exactly the named analyzer on their own or the following line, and
+// nothing else.
+package ignore
+
+import "time"
+
+// suppressed carries a well-formed directive on the line above the finding.
+func suppressed() int64 {
+	//lint:ignore determinism replay shim deliberately reads the wall clock
+	return time.Now().UnixNano()
+}
+
+// trailing carries the directive on the finding's own line.
+func trailing() int64 {
+	return time.Now().UnixNano() //lint:ignore determinism trailing form
+}
+
+// sibling has no directive: the same finding still fires.
+func sibling() int64 {
+	return time.Now().UnixNano() // want `reads the wall clock`
+}
+
+// wrongName names a different analyzer, which suppresses nothing here.
+func wrongName() int64 {
+	//lint:ignore maprange not the analyzer that fires on this line
+	return time.Now().UnixNano() // want `reads the wall clock`
+}

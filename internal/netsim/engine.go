@@ -132,7 +132,7 @@ func NewChecked(topo *Topology, cfg Config) (*Network, error) {
 	// Spread the per-router IP-ID counters so distinct routers' sequences
 	// don't coincide by construction.
 	for i, r := range topo.Routers {
-		r.ipid = uint32(uint16(i * 1021))
+		atomic.StoreUint32(&r.ipid, uint32(uint16(i*1021)))
 	}
 	return n, nil
 }
@@ -216,6 +216,8 @@ func (p *Port) LocalAddr() ipv4.Addr { return p.host.Addr() }
 // fault plan is installed the reply bytes may come back corrupted or
 // truncated, exactly as a mangled datagram would off a raw socket.
 // Safe for concurrent use.
+//
+//tracenet:hotpath
 func (p *Port) Exchange(raw []byte) ([]byte, error) {
 	pkt, err := wire.Decode(raw)
 	if err != nil {

@@ -80,37 +80,49 @@ func (e ProbeEvent) String() string {
 
 // exchangeEvent builds the event for one raw exchange, classifying the error
 // kind and, for decodable replies, the reply type. It works from wire bytes
-// alone (no prober state), so LoggingTransport and the prober share it.
+// alone (no prober state), so LoggingTransport can observe any transport; the
+// prober itself uses probeEvent with the packets it already decoded.
 func exchangeEvent(ticks uint64, raw, reply []byte, err error) ProbeEvent {
+	//lint:ignore wireerr an undecodable request degrades the event to proto "?" by design
+	sent, _ := wire.Decode(raw)
+	var rp *wire.Packet
+	var derr error
+	if err == nil && reply != nil {
+		rp, derr = wire.Decode(reply)
+	}
+	return probeEvent(ticks, sent, rp, reply, err, derr)
+}
+
+// probeEvent builds the event from already-decoded packets — the prober's
+// zero-re-decode path. sent may be nil (undecodable request bytes); reply is
+// consulted only when err == nil, rawReply != nil, and derr == nil.
+func probeEvent(ticks uint64, sent, reply *wire.Packet, rawReply []byte, err, derr error) ProbeEvent {
 	ev := ProbeEvent{Ticks: ticks, Proto: "?"}
-	if pkt, derr := wire.Decode(raw); derr == nil {
-		ev.Dst = pkt.IP.Dst
-		ev.TTL = pkt.IP.TTL
+	if sent != nil {
+		ev.Dst = sent.IP.Dst
+		ev.TTL = sent.IP.TTL
 		switch {
-		case pkt.ICMP != nil:
+		case sent.ICMP != nil:
 			ev.Proto = "icmp"
-		case pkt.UDP != nil:
+		case sent.UDP != nil:
 			ev.Proto = "udp"
-		case pkt.TCP != nil:
+		case sent.TCP != nil:
 			ev.Proto = "tcp"
 		}
 	}
 	switch {
 	case err != nil:
 		ev.Err = ErrTransportFault
-	case reply == nil:
+	case rawReply == nil:
 		ev.Err = ErrTimeout
+	case derr != nil:
+		ev.Err = ErrDecode
+		ev.RawLen = len(rawReply)
 	default:
-		p, derr := wire.Decode(reply)
-		if derr != nil {
-			ev.Err = ErrDecode
-			ev.RawLen = len(reply)
-			return ev
-		}
-		ev.From = p.IP.Src
-		ev.ReplyTTL = p.IP.TTL
-		ev.IPID = p.IP.ID
-		ev.Outcome = replyName(p)
+		ev.From = reply.IP.Src
+		ev.ReplyTTL = reply.IP.TTL
+		ev.IPID = reply.IP.ID
+		ev.Outcome = replyName(reply)
 	}
 	return ev
 }

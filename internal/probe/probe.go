@@ -349,6 +349,16 @@ type Prober struct {
 	stats Stats
 	cache map[cacheKey]Result
 
+	// Per-probe scratch: the request packet, its transport layer, and the
+	// encode buffer are rebuilt in place every exchange instead of being
+	// reallocated. Nothing downstream retains them — netsim copies what it
+	// keeps (the ipalias invariant) and classify only reads.
+	req     wire.Packet
+	reqICMP wire.ICMP
+	reqUDP  wire.UDP
+	reqTCP  wire.TCP
+	encBuf  []byte
+
 	// Telemetry mirror of stats: handles are resolved once (SetTelemetry)
 	// and nil-safe, so the disabled path costs one nil check per increment.
 	tel           *telemetry.Telemetry
@@ -474,6 +484,9 @@ func (p *Prober) ProbeUncached(dst ipv4.Addr, ttl int) (Result, error) {
 	return p.probe(dst, ttl, false)
 }
 
+// probe is the per-probe engine behind Probe and ProbeUncached.
+//
+//tracenet:hotpath
 func (p *Prober) probe(dst ipv4.Addr, ttl int, useCache bool) (Result, error) {
 	if ttl < 1 || ttl > 255 {
 		return Result{}, fmt.Errorf("probe: ttl %d out of range", ttl)
@@ -540,16 +553,26 @@ func (p *Prober) probe(dst ipv4.Addr, ttl int, useCache bool) (Result, error) {
 }
 
 // once sends exactly one packet and classifies its reply.
+//
+//tracenet:hotpath
 func (p *Prober) once(dst ipv4.Addr, ttl uint8) (Result, error) {
 	p.seq++
 	flow := p.opts.FlowID
 	if p.opts.VaryFlow {
 		flow = p.opts.FlowID + p.seq
 	}
-	var pkt *wire.Packet
+	// The request packet and its transport layer live in prober scratch:
+	// mirrors of wire.NewEchoRequest/NewUDPProbe/NewTCPProbe built in place,
+	// so the steady-state exchange allocates neither packet structs nor an
+	// encode buffer.
+	pkt := &p.req
 	switch p.opts.Protocol {
 	case ICMP:
-		pkt = wire.NewEchoRequest(p.src, dst, ttl, flow, p.seq)
+		p.reqICMP = wire.ICMP{Type: wire.ICMPEchoRequest, ID: flow, Seq: p.seq}
+		p.req = wire.Packet{
+			IP:   wire.IPHeader{TTL: ttl, Src: p.src, Dst: dst, ID: p.seq},
+			ICMP: &p.reqICMP,
+		}
 	case UDP:
 		// Classic traceroute aims at the unused high-port range; the
 		// destination port doubles as the flow discriminator.
@@ -557,19 +580,28 @@ func (p *Prober) once(dst ipv4.Addr, ttl uint8) (Result, error) {
 		if p.opts.VaryFlow {
 			dstPort += p.seq % 256
 		}
-		pkt = wire.NewUDPProbe(p.src, dst, ttl, flow, dstPort)
+		p.reqUDP = wire.UDP{SrcPort: flow, DstPort: dstPort}
+		p.req = wire.Packet{
+			IP:  wire.IPHeader{TTL: ttl, Src: p.src, Dst: dst, ID: flow},
+			UDP: &p.reqUDP,
+		}
 	case TCP:
-		pkt = wire.NewTCPProbe(p.src, dst, ttl, flow, 80, uint32(p.seq))
+		p.reqTCP = wire.TCP{SrcPort: flow, DstPort: 80, Seq: uint32(p.seq), Flags: wire.TCPFlagACK, Window: 1024}
+		p.req = wire.Packet{
+			IP:  wire.IPHeader{TTL: ttl, Src: p.src, Dst: dst, ID: flow},
+			TCP: &p.reqTCP,
+		}
 	default:
 		return Result{}, fmt.Errorf("probe: unknown protocol %v", p.opts.Protocol)
 	}
 	if p.opts.RecordRoute {
 		pkt.IP.Options = wire.MakeRecordRoute(wire.MaxRecordRouteSlots)
 	}
-	raw, err := pkt.Encode()
+	raw, err := pkt.AppendEncode(p.encBuf[:0])
 	if err != nil {
 		return Result{}, err
 	}
+	p.encBuf = raw[:0]
 	p.stats.Sent++
 	p.cSent.Inc()
 	var start uint64
@@ -577,8 +609,15 @@ func (p *Prober) once(dst ipv4.Addr, ttl uint8) (Result, error) {
 		start = p.tel.Ticks()
 	}
 	rawReply, err := p.tr.Exchange(raw)
+	// Decode the reply exactly once; telemetry observation reuses it instead
+	// of re-decoding both datagrams per exchange.
+	var reply *wire.Packet
+	var derr error
+	if err == nil && rawReply != nil {
+		reply, derr = wire.Decode(rawReply)
+	}
 	if p.tel != nil {
-		p.observeExchange(start, raw, rawReply, err)
+		p.observeExchange(start, pkt, reply, rawReply, err, derr)
 	}
 	if err != nil {
 		return Result{}, fmt.Errorf("%w: %w", ErrTransport, err)
@@ -586,8 +625,7 @@ func (p *Prober) once(dst ipv4.Addr, ttl uint8) (Result, error) {
 	if rawReply == nil {
 		return Result{}, nil
 	}
-	reply, err := wire.Decode(rawReply)
-	if err != nil {
+	if derr != nil {
 		// A mangled reply is treated as silence, like a failed checksum on a
 		// real socket — but counted, because corruption is definite fault
 		// evidence that silence alone is not.
@@ -606,9 +644,12 @@ func (p *Prober) once(dst ipv4.Addr, ttl uint8) (Result, error) {
 // observeExchange mirrors one raw exchange onto the telemetry pipeline: a
 // flight-recorder entry, a "probe" trace slice, and the reply-TTL histogram.
 // Only called when p.tel != nil, keeping the disabled path to one nil check.
-func (p *Prober) observeExchange(start uint64, raw, reply []byte, err error) {
+// It works from the packets the exchange already decoded — re-decoding the
+// request and reply here used to cost four heap allocations per telemetered
+// probe.
+func (p *Prober) observeExchange(start uint64, sent, reply *wire.Packet, rawReply []byte, err, derr error) {
 	end := p.tel.Ticks()
-	ev := exchangeEvent(end, raw, reply, err)
+	ev := probeEvent(end, sent, reply, rawReply, err, derr)
 	outcome := ev.Outcome
 	if ev.Err != ErrNone {
 		outcome = ev.Err.String()

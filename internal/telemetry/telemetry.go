@@ -55,6 +55,11 @@ type Telemetry struct {
 	Tracer   *Tracer
 	Recorder *FlightRecorder
 
+	// cIncidents is the pre-resolved tracenet_incidents_total handle:
+	// Incident is reachable from the per-probe path (breaker-open events),
+	// so it must not pay a by-name registry lookup per call.
+	cIncidents *Counter
+
 	mu        sync.Mutex
 	incidentW io.Writer
 	incidents uint64
@@ -64,7 +69,12 @@ type Telemetry struct {
 // may be nil: timestamps then read 0). Attach a Tracer or FlightRecorder by
 // assigning the fields before instrumented work starts.
 func New(clock Clock) *Telemetry {
-	return &Telemetry{Clock: clock, Registry: NewRegistry()}
+	reg := NewRegistry()
+	return &Telemetry{
+		Clock:      clock,
+		Registry:   reg,
+		cIncidents: reg.Counter("tracenet_incidents_total"),
+	}
 }
 
 // Ticks reads the clock; 0 when the telemetry or its clock is absent.
@@ -169,7 +179,7 @@ func (t *Telemetry) Incident(reason string) {
 	if t == nil {
 		return
 	}
-	t.Counter("tracenet_incidents_total").Add(1)
+	t.cIncidents.Add(1)
 	ticks := t.Ticks()
 	t.RecordAt(ticks, "incident", reason)
 	t.Instant("incident", "reason", reason)

@@ -19,27 +19,44 @@ type Packet struct {
 // Encode serializes the packet (IP header plus its single transport layer)
 // and fixes up TotalLen.
 func (p *Packet) Encode() ([]byte, error) {
-	var body []byte
-	switch {
-	case p.ICMP != nil:
-		p.IP.Protocol = ProtoICMP
-		body = p.ICMP.Marshal(nil)
-	case p.UDP != nil:
-		p.IP.Protocol = ProtoUDP
-		body = p.UDP.Marshal(nil, p.IP.Src, p.IP.Dst)
-	case p.TCP != nil:
-		p.IP.Protocol = ProtoTCP
-		body = p.TCP.Marshal(nil, p.IP.Src, p.IP.Dst)
-	default:
-		return nil, fmt.Errorf("wire: packet has no transport layer")
-	}
+	return p.AppendEncode(nil)
+}
+
+// zeroHeader reserves space for the largest possible IPv4 header without a
+// per-call variable-size make (which would escape to the heap).
+var zeroHeader [60]byte
+
+// AppendEncode serializes the packet into dst's spare capacity and returns
+// the extended slice — the allocation-free encode path: a caller reusing one
+// buffer across probes (dst[:0]) pays zero heap allocations per packet. The
+// header region is reserved first, the transport body marshaled after it, and
+// the header written last, once TotalLen is known.
+func (p *Packet) AppendEncode(dst []byte) ([]byte, error) {
+	start := len(dst)
 	hl := p.IP.headerLen()
 	if hl > 60 {
 		hl = 60
 	}
-	p.IP.TotalLen = uint16(hl + len(body))
-	out := p.IP.Marshal(make([]byte, 0, int(p.IP.TotalLen)))
-	return append(out, body...), nil
+	dst = append(dst, zeroHeader[:hl]...)
+	switch {
+	case p.ICMP != nil:
+		p.IP.Protocol = ProtoICMP
+		dst = p.ICMP.Marshal(dst)
+	case p.UDP != nil:
+		p.IP.Protocol = ProtoUDP
+		dst = p.UDP.Marshal(dst, p.IP.Src, p.IP.Dst)
+	case p.TCP != nil:
+		p.IP.Protocol = ProtoTCP
+		dst = p.TCP.Marshal(dst, p.IP.Src, p.IP.Dst)
+	default:
+		return dst[:start], fmt.Errorf("wire: packet has no transport layer")
+	}
+	p.IP.TotalLen = uint16(len(dst) - start)
+	// Marshal the header into the reserved region: the append inside
+	// IPHeader.Marshal lands exactly on dst[start:start+hl], whose capacity
+	// the body bytes above already secured.
+	p.IP.Marshal(dst[start:start:len(dst)])
+	return dst, nil
 }
 
 // Decode parses raw bytes into a Packet, dispatching on the IP protocol.
