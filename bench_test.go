@@ -417,6 +417,50 @@ func BenchmarkCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignProgress measures what live progress tracking costs the
+// campaign engine: the same 24-leaf collection run with and without a
+// collect.Progress attached (the state behind the observability plane's
+// /campaigns endpoint and health checks). The per-probe accounting is pure
+// atomics (probe.Activity), so the delta must stay in the noise; the
+// per-probe zero-allocation claim is separately pinned by the allocbudget
+// gate and TestActivityMarkZeroAlloc.
+func BenchmarkCampaignProgress(b *testing.B) {
+	spec := topo.RandomSpec{Seed: 42, Backbone: 8, Leaves: 24, LANFraction: 0.25, ExtraLinks: 2}
+	for _, tracked := range []bool{false, true} {
+		name := "off"
+		if tracked {
+			name = "on"
+		}
+		b.Run("progress="+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tp, targets := topo.Random(spec)
+				n := netsim.New(tp, netsim.Config{Seed: 7})
+				cfg := collect.Config{
+					Targets:  targets,
+					Parallel: 4,
+					Probe:    probe.Options{Cache: true},
+					Dial: func(opts probe.Options) (*probe.Prober, error) {
+						port, err := n.PortFor("vantage")
+						if err != nil {
+							return nil, err
+						}
+						return probe.New(port, port.LocalAddr(), opts), nil
+					},
+				}
+				if tracked {
+					cfg.Progress = collect.NewProgress()
+				}
+				if _, err := collect.Run(context.Background(), cfg); err != nil {
+					b.Fatal(err)
+				}
+				if tracked && !cfg.Progress.Finished() {
+					b.Fatal("progress never reported finished")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAccuracy runs the ground-truth accuracy ensemble (DESIGN.md §10)
 // and reports the per-regime subnet/address precision and recall, so
 // BENCH_*.json baselines record what the collector gets RIGHT alongside what

@@ -13,7 +13,8 @@
 //	-maxttl n         maximum trace length (default 30)
 //	-seed n           simulation seed
 //	-subnets          print the collected subnet inventory after the trace
-//	-debug            log every probe exchange to stderr
+//	-debug            log every probe exchange to stderr as structured
+//	                  JSON-lines records (see DESIGN.md §13)
 //
 // Fault injection and resilience:
 //
@@ -81,6 +82,21 @@
 // Timestamps in metrics and traces are netsim's virtual ticks, so two runs
 // with the same seed and flags produce byte-identical telemetry artifacts.
 //
+// Live observability (see DESIGN.md §13):
+//
+//	-serve addr       serve the observability plane over HTTP (":0" picks a
+//	                  free port): /metrics, /metrics.json, /healthz, /readyz,
+//	                  /logz, /campaigns, /flightz, /debug/pprof/. The process
+//	                  keeps serving after the run completes; SIGINT/SIGTERM
+//	                  drains the server and writes the telemetry artifacts —
+//	                  the same ones a clean exit writes.
+//	-progress         print a deterministic "progress: i/n targets" line as
+//	                  each campaign target completes (implies campaign mode)
+//	-stall-window n   campaign stall watchdog window in virtual ticks for
+//	                  the /readyz staleness check (default 4096)
+//	-log-level l      minimum structured log level: debug, info, warn, error
+//	                  (default info; -debug lowers it to debug)
+//
 // Without destinations, the topology's suggested targets are traced.
 package main
 
@@ -90,9 +106,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"syscall"
 
 	"tracenet/internal/cli"
 	"tracenet/internal/collect"
@@ -100,6 +119,7 @@ import (
 	"tracenet/internal/groundtruth"
 	"tracenet/internal/ipv4"
 	"tracenet/internal/netsim"
+	"tracenet/internal/obs"
 	"tracenet/internal/probe"
 	"tracenet/internal/telemetry"
 )
@@ -141,13 +161,23 @@ type options struct {
 	cpuProfile string // pprof CPU profile file
 	memProfile string // pprof heap profile file
 
+	serve       string // observability HTTP address; arms the live plane
+	progress    bool   // print deterministic campaign progress lines
+	stallWindow uint64 // stall watchdog window in ticks, 0 = default
+	logLevel    string // minimum structured log level name
+
 	dests []string
+
+	// Test hooks: closing shutdown substitutes for a SIGINT/SIGTERM
+	// delivery, and onServe observes the bound observability address.
+	shutdown <-chan struct{}
+	onServe  func(addr string)
 }
 
 // telemetryEnabled reports whether any observability flag asks for the
 // telemetry layer to be attached.
 func (o options) telemetryEnabled() bool {
-	return o.metricsOut != "" || o.traceOut != "" || o.flightOut != ""
+	return o.metricsOut != "" || o.traceOut != "" || o.flightOut != "" || o.serve != ""
 }
 
 // evalMode reports whether a ground-truth evaluation was requested.
@@ -159,7 +189,8 @@ func (o options) evalMode() bool {
 // multi-destination collection engine over the single-session path.
 func (o options) campaignMode() bool {
 	return o.campaign || o.targets != "" || o.parallel > 1 || o.campaignBudget > 0 ||
-		o.campaignOut != "" || o.campaignResume != "" || o.campaignGreedy || o.campaignNoCache
+		o.campaignOut != "" || o.campaignResume != "" || o.campaignGreedy || o.campaignNoCache ||
+		o.progress
 }
 
 func main() {
@@ -195,6 +226,10 @@ func main() {
 	flag.IntVar(&o.flightSize, "flight-size", telemetry.DefaultFlightRecorderSize, "flight recorder capacity in events")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile to this file")
+	flag.StringVar(&o.serve, "serve", "", "serve the observability plane over HTTP on this address (\":0\" picks a port)")
+	flag.BoolVar(&o.progress, "progress", false, "print a deterministic progress line per completed campaign target")
+	flag.Uint64Var(&o.stallWindow, "stall-window", 0, "campaign stall watchdog window in virtual ticks (0 = default)")
+	flag.StringVar(&o.logLevel, "log-level", "", "minimum structured log level: debug, info, warn, error")
 	flag.Parse()
 	o.dests = flag.Args()
 	if err := run(os.Stdout, o); err != nil {
@@ -317,13 +352,79 @@ func run(w io.Writer, o options) error {
 		net.SetTelemetry(tel)
 	}
 
+	// A serving run turns SIGINT/SIGTERM into a graceful snapshot-and-drain:
+	// the context cancels, the HTTP server drains, and the run still writes
+	// every telemetry artifact a clean exit would. The signal handler is
+	// installed before the server starts so a signal racing the first request
+	// is never lost. Tests substitute the shutdown channel for a real signal.
+	ctx := context.Background()
+	if o.serve != "" {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+	if o.shutdown != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		go func() {
+			select {
+			case <-o.shutdown:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+	}
+
+	// The structured logger backs both -debug (JSON lines on stderr) and the
+	// plane's /logz ring; it ticks on the simulator's virtual clock.
+	var lg *obs.Logger
+	if o.serve != "" || o.debug {
+		lvl := obs.LevelInfo
+		if o.debug {
+			lvl = obs.LevelDebug
+		}
+		if o.logLevel != "" {
+			if lvl, err = obs.ParseLevel(o.logLevel); err != nil {
+				return err
+			}
+		}
+		var logW io.Writer
+		if o.debug {
+			logW = os.Stderr
+		}
+		lg = obs.NewLogger(net, logW, lvl, obs.DefaultLogRingSize)
+	}
+
+	var srv *obs.Server
+	var prog *collect.Progress
+	if o.serve != "" {
+		srv = obs.NewServer(tel, lg)
+		if o.campaignMode() {
+			prog = collect.NewProgress()
+			wd := collect.NewWatchdog(prog, tel, o.stallWindow)
+			srv.AddCampaign("campaign", prog)
+			srv.AddCheck(obs.BudgetCheck(prog))
+			srv.AddCheck(obs.BreakerStormCheck(prog, 0))
+			srv.AddCheck(obs.StallCheck(wd, net))
+		}
+		addr, err := srv.Start(o.serve)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "observability plane on http://%s/\n", addr)
+		if o.onServe != nil {
+			o.onServe(addr.String())
+		}
+	}
+
 	port, err := net.PortFor(o.vantage)
 	if err != nil {
 		return err
 	}
 	var tr probe.Transport = port
 	if o.debug {
-		tr = probe.LoggingTransport{Inner: port, W: os.Stderr, Clock: net}
+		tr = probe.LoggingTransport{Inner: port, Clock: net, Sink: obs.ProbeSink(lg)}
 	}
 	popts := probe.Options{Protocol: proto, Cache: true, Telemetry: tel}
 	if o.backoff {
@@ -338,7 +439,10 @@ func run(w io.Writer, o options) error {
 		}
 		fmt.Fprintf(w, "tracenet campaign over %s, vantage %s (%v), %s probes\n",
 			sc.Description, o.vantage, port.LocalAddr(), proto)
-		if err := runCampaign(w, o, sc.Topo, net, popts, tel, dests); err != nil {
+		if err := runCampaign(ctx, w, o, sc.Topo, net, popts, tel, lg, prog, dests); err != nil {
+			return err
+		}
+		if err := awaitDrain(ctx, w, srv); err != nil {
 			return err
 		}
 		return writeArtifacts(w, o, tel, traceFile, flightFile)
@@ -443,13 +547,30 @@ func run(w io.Writer, o options) error {
 		fmt.Fprintf(w, "checkpoint written to %s\n", o.ckptOut)
 	}
 
+	if err := awaitDrain(ctx, w, srv); err != nil {
+		return err
+	}
 	return writeArtifacts(w, o, tel, traceFile, flightFile)
+}
+
+// awaitDrain keeps the observability plane serving after the run's work is
+// done, until SIGINT/SIGTERM (or the test hook) cancels the context; the
+// server then shuts down gracefully so artifact writing happens after the
+// last request drains. A signal that already fired returns immediately.
+func awaitDrain(ctx context.Context, w io.Writer, srv *obs.Server) error {
+	if srv == nil {
+		return nil
+	}
+	fmt.Fprintln(w, "observability plane serving; SIGINT/SIGTERM drains and writes artifacts")
+	<-ctx.Done()
+	return srv.Shutdown(context.Background())
 }
 
 // runCampaign drives the collect engine: every destination gets its own
 // session/prober pair, the shared subnet cache spans them, and the merged
-// report lands on w.
-func runCampaign(w io.Writer, o options, top *netsim.Topology, net *netsim.Network, popts probe.Options, tel *telemetry.Telemetry, dests []ipv4.Addr) error {
+// report lands on w. prog (may be nil) feeds the observability plane's
+// /campaigns endpoint; -progress prints a deterministic per-target line.
+func runCampaign(ctx context.Context, w io.Writer, o options, top *netsim.Topology, net *netsim.Network, popts probe.Options, tel *telemetry.Telemetry, lg *obs.Logger, prog *collect.Progress, dests []ipv4.Addr) error {
 	ccfg := collect.Config{
 		Targets:      dests,
 		Parallel:     o.parallel,
@@ -459,6 +580,7 @@ func runCampaign(w io.Writer, o options, top *netsim.Topology, net *netsim.Netwo
 		Session:      core.Config{MaxTTL: o.maxTTL, Defend: o.defend},
 		Probe:        popts,
 		Telemetry:    tel,
+		Progress:     prog,
 		Dial: func(opts probe.Options) (*probe.Prober, error) {
 			port, err := net.PortFor(o.vantage)
 			if err != nil {
@@ -466,10 +588,28 @@ func runCampaign(w io.Writer, o options, top *netsim.Topology, net *netsim.Netwo
 			}
 			var tr probe.Transport = port
 			if o.debug {
-				tr = probe.LoggingTransport{Inner: port, W: os.Stderr, Clock: net}
+				tr = probe.LoggingTransport{Inner: port, Clock: net, Sink: obs.ProbeSink(lg)}
 			}
 			return probe.New(tr, port.LocalAddr(), opts), nil
 		},
+	}
+	if o.progress || lg != nil {
+		// The completion count is tracked locally under the mutex so the
+		// printed sequence 1/n..n/n is identical at any -parallel; which
+		// target finished at each step is schedule-dependent, so the line
+		// names only the count. Per-target detail goes to the log ring.
+		var mu sync.Mutex
+		done := 0
+		total := len(dests)
+		ccfg.OnTargetDone = func(r collect.TargetResult) {
+			mu.Lock()
+			done++
+			if o.progress {
+				fmt.Fprintf(w, "progress: %d/%d targets\n", done, total)
+			}
+			mu.Unlock()
+			lg.Info("target done", "dst", r.Dst.String(), "status", string(r.Status))
+		}
 	}
 	if o.campaignResume != "" {
 		f, err := os.Open(o.campaignResume)
@@ -486,7 +626,7 @@ func runCampaign(w io.Writer, o options, top *netsim.Topology, net *netsim.Netwo
 			o.campaignResume, len(cp.Done), len(cp.Targets), len(cp.Subnets))
 	}
 
-	rep, err := collect.Run(context.Background(), ccfg)
+	rep, err := collect.Run(ctx, ccfg)
 	if err != nil {
 		return err
 	}
@@ -603,6 +743,12 @@ func writeArtifacts(w io.Writer, o options, tel *telemetry.Telemetry, traceFile,
 			fmt.Fprintf(w, "metrics written to %s\n", o.metricsOut)
 		}
 		if flightFile != nil {
+			// A final snapshot after the incident dumps, so the artifact
+			// carries the recorder's end-of-run tail whether the run ended
+			// cleanly or was drained by a signal.
+			if err := tel.DumpRecorder(flightFile, "end of run"); err != nil {
+				return err
+			}
 			if err := flightFile.Close(); err != nil {
 				return err
 			}

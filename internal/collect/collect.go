@@ -79,6 +79,20 @@ type Config struct {
 	// events use duration-complete records, which are interleaving-safe).
 	Telemetry *telemetry.Telemetry
 
+	// Progress, when set, receives a live lock-free view of the campaign:
+	// per-status target counts, in-flight and per-worker state, probes spent
+	// vs the shared budget, cache effectiveness. The campaign also wires
+	// Progress.Activity into every worker's prober (unless the caller set
+	// Probe.Activity itself) so completed exchanges feed stall detection.
+	Progress *Progress
+
+	// OnTargetDone, when set, is invoked once per target row as it completes
+	// (including resumed rows, from the coordinator). Calls may arrive
+	// concurrently from several workers; the callback must synchronize
+	// itself. Completion ORDER is schedule-dependent — deterministic
+	// consumers must render only their own call count, not the row content.
+	OnTargetDone func(TargetResult)
+
 	// Resume seeds the campaign from a checkpoint: targets listed done are
 	// skipped, and the checkpoint's subnets pre-populate the cache's frozen
 	// member tier so their address space is never re-explored.
@@ -150,6 +164,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		cfg:    cfg,
 		tel:    cfg.Telemetry,
 		budget: probe.NewSharedBudget(cfg.Budget),
+		prog:   cfg.Progress,
 	}
 	if !cfg.DisableCache {
 		c.cache = NewCache(cfg.Greedy)
@@ -170,6 +185,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		c.resumeDone = done
 	}
 	c.bindTelemetry()
+	c.prog.start(len(cfg.Targets), parallel, c.budget, c.cache)
 
 	start := c.tel.Ticks()
 	results := make([]TargetResult, len(cfg.Targets))
@@ -177,12 +193,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < parallel; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for idx := range jobs {
-				c.collectOne(ctx, cfg.Targets[idx], &results[idx])
+				c.collectOne(ctx, w, cfg.Targets[idx], &results[idx])
+				if cfg.OnTargetDone != nil {
+					cfg.OnTargetDone(results[idx])
+				}
 			}
-		}()
+		}(w)
 	}
 	for idx := range cfg.Targets {
 		if resumedDone[cfg.Targets[idx]] {
@@ -190,6 +209,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				Dst:    cfg.Targets[idx],
 				Status: StatusResumed,
 				Note:   "completed in checkpoint",
+			}
+			c.prog.targetDone(results[idx])
+			if cfg.OnTargetDone != nil {
+				cfg.OnTargetDone(results[idx])
 			}
 			continue
 		}
@@ -207,6 +230,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		"collect: campaign overspent budget: %d of %d wire probes",
 		rep.Stats.WireProbes, cfg.Budget)
 	c.exportStats(rep.Stats)
+	c.prog.finish(rep)
 	return rep, nil
 }
 
@@ -215,7 +239,8 @@ type campaign struct {
 	cfg    Config
 	tel    *telemetry.Telemetry
 	budget *probe.SharedBudget
-	cache  *Cache // nil when the shared cache is disabled
+	cache  *Cache    // nil when the shared cache is disabled
+	prog   *Progress // nil when no one is watching; all methods nil-safe
 
 	// frozen and resumeDone carry the restored checkpoint state forward into
 	// the next checkpoint.
@@ -225,11 +250,12 @@ type campaign struct {
 	wireProbes   atomic.Uint64
 	breakerTrips atomic.Uint64
 
-	cTargets map[TargetStatus]*telemetry.Counter
-	cHits    *telemetry.Counter
-	cMisses  *telemetry.Counter
-	cSaved   *telemetry.Counter
-	cProbes  *telemetry.Counter
+	cTargets  map[TargetStatus]*telemetry.Counter
+	cHits     *telemetry.Counter
+	cMisses   *telemetry.Counter
+	cSaved    *telemetry.Counter
+	cProbes   *telemetry.Counter
+	gInflight *telemetry.Gauge
 }
 
 // bindTelemetry registers the campaign metric families up front so a
@@ -243,6 +269,12 @@ func (c *campaign) bindTelemetry() {
 	c.cMisses = c.tel.Counter("tracenet_campaign_cache_misses_total")
 	c.cSaved = c.tel.Counter("tracenet_campaign_probes_saved_total")
 	c.cProbes = c.tel.Counter("tracenet_campaign_probes_total")
+	// Live-observability families: the in-flight gauge breathes during the
+	// run and settles back to 0 before exposition is rendered, and the stall
+	// counter is bumped by the collect.Watchdog — both registered here so a
+	// campaign's series list is the same whether or not they ever move.
+	c.gInflight = c.tel.Gauge("tracenet_campaign_workers_inflight")
+	c.tel.Counter("tracenet_campaign_stalls_total")
 }
 
 // backpressure reports why no new target may start, or "" to proceed.
@@ -261,17 +293,28 @@ func (c *campaign) backpressure(ctx context.Context) string {
 
 // collectOne traces a single target with a fresh prober and session, filling
 // in its report row. Every error is captured in the row — a failed target
-// never takes the campaign down.
-func (c *campaign) collectOne(ctx context.Context, dst ipv4.Addr, out *TargetResult) {
+// never takes the campaign down. The worker index w only feeds the progress
+// view's per-worker state.
+func (c *campaign) collectOne(ctx context.Context, w int, dst ipv4.Addr, out *TargetResult) {
 	out.Dst = dst
+	defer func() { c.prog.targetDone(*out) }()
 	if reason := c.backpressure(ctx); reason != "" {
 		out.Status = StatusSkipped
 		out.Note = reason
 		return
 	}
+	c.gInflight.Add(1)
+	c.prog.workerStart(w, dst)
+	defer func() {
+		c.prog.workerIdle(w)
+		c.gInflight.Add(-1)
+	}()
 
 	opts := c.cfg.Probe
 	opts.SharedBudget = c.budget
+	if opts.Activity == nil {
+		opts.Activity = c.prog.Activity()
+	}
 	if opts.Telemetry == nil {
 		opts.Telemetry = c.tel
 	}
@@ -296,6 +339,7 @@ func (c *campaign) collectOne(ctx context.Context, dst ipv4.Addr, out *TargetRes
 	st := pr.Stats()
 	c.wireProbes.Add(st.Sent)
 	c.breakerTrips.Add(st.BreakerOpens)
+	c.prog.addBreakerTrips(st.BreakerOpens)
 
 	out.Result = res
 	if res != nil {

@@ -1,0 +1,144 @@
+package collect_test
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tracenet/internal/collect"
+)
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *collect.Progress
+	if p.Started() || p.Finished() || p.BudgetExhausted() {
+		t.Fatal("nil progress reports activity")
+	}
+	if p.Activity() != nil {
+		t.Fatal("nil progress returned a non-nil activity")
+	}
+	if s := p.Snapshot(); s.Started || s.Targets != 0 {
+		t.Fatalf("nil progress snapshot not zero: %+v", s)
+	}
+}
+
+func TestProgressTracksCampaign(t *testing.T) {
+	prog := collect.NewProgress()
+	if prog.Started() {
+		t.Fatal("fresh progress claims started")
+	}
+	rep, _, _ := runCampaign(t, 4, func(cfg *collect.Config) {
+		cfg.Progress = prog
+	})
+
+	if !prog.Started() || !prog.Finished() {
+		t.Fatalf("progress lifecycle incomplete: started=%v finished=%v",
+			prog.Started(), prog.Finished())
+	}
+	s := prog.Snapshot()
+	if s.Targets != int64(rep.Stats.Targets) || s.Done != int64(rep.Stats.Done) {
+		t.Errorf("snapshot counts %d/%d targets done, report says %d/%d",
+			s.Done, s.Targets, rep.Stats.Done, rep.Stats.Targets)
+	}
+	if s.WireProbes != rep.Stats.WireProbes {
+		t.Errorf("snapshot wire probes %d, report %d", s.WireProbes, rep.Stats.WireProbes)
+	}
+	if s.CacheHits != rep.Stats.CacheHits || s.CacheMisses != rep.Stats.CacheMisses {
+		t.Errorf("snapshot cache %d/%d, report %d/%d",
+			s.CacheHits, s.CacheMisses, rep.Stats.CacheHits, rep.Stats.CacheMisses)
+	}
+	if s.DistinctSubnets != int64(len(rep.Subnets())) {
+		t.Errorf("snapshot distinct subnets %d, report %d", s.DistinctSubnets, len(rep.Subnets()))
+	}
+	if s.InFlight != 0 || len(s.Workers) != 0 {
+		t.Errorf("finished snapshot still carries live state: inflight %d, %d workers",
+			s.InFlight, len(s.Workers))
+	}
+	if s.CacheHitRate <= 0 || s.CacheHitRate > 1 {
+		t.Errorf("cache hit rate %v out of range", s.CacheHitRate)
+	}
+}
+
+// The final snapshot is part of the determinism contract: rendered as JSON it
+// must be byte-identical at parallel 1 and parallel 8 — this is what makes
+// the /campaigns endpoint golden-testable.
+func TestProgressFinalSnapshotDeterministic(t *testing.T) {
+	render := func(parallel int) string {
+		prog := collect.NewProgress()
+		runCampaign(t, parallel, func(cfg *collect.Config) { cfg.Progress = prog })
+		out, err := json.MarshalIndent(prog.Snapshot(), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	p1, p8 := render(1), render(8)
+	if p1 != p8 {
+		t.Errorf("final progress snapshot differs between parallel=1 and parallel=8:\n--- p1\n%s\n--- p8\n%s", p1, p8)
+	}
+}
+
+// TestProgressReadsDuringCampaign hammers every read path of a shared
+// Progress while an 8-worker campaign is writing it — the race-detector gate
+// for the lock-free publishing scheme.
+func TestProgressReadsDuringCampaign(t *testing.T) {
+	cfg := newCampaignNet(t)
+	cfg.Parallel = 8
+	prog := collect.NewProgress()
+	cfg.Progress = prog
+
+	done := make(chan struct{})
+	var snaps atomic.Uint64
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := prog.Snapshot()
+				if s.Done+s.Breaker+s.Resumed+s.Budget+s.Skipped+s.Failed > s.Targets && s.Started {
+					t.Error("snapshot counted more finished targets than targets")
+					return
+				}
+				_ = prog.WireProbes()
+				_ = prog.LastActivityTick()
+				_ = prog.BudgetExhausted()
+				_ = prog.BreakerTrips()
+				snaps.Add(1)
+			}
+		}()
+	}
+
+	if _, err := collect.Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	readers.Wait()
+	if snaps.Load() == 0 {
+		t.Fatal("reader goroutines never snapshotted")
+	}
+	if !prog.Finished() {
+		t.Fatal("progress not finished after Run returned")
+	}
+}
+
+func TestOnTargetDoneFiresPerTarget(t *testing.T) {
+	var mu sync.Mutex
+	var calls int
+	rep, _, _ := runCampaign(t, 4, func(cfg *collect.Config) {
+		cfg.OnTargetDone = func(collect.TargetResult) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+		}
+	})
+	if calls != rep.Stats.Targets {
+		t.Fatalf("OnTargetDone fired %d times for %d targets", calls, rep.Stats.Targets)
+	}
+}

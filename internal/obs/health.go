@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+
+	"tracenet/internal/collect"
+	"tracenet/internal/telemetry"
+)
+
+// Health checks judge a running campaign's condition for /readyz. Each is a
+// pure read over the lock-free Progress/Watchdog state, so polling them
+// costs the campaign nothing. All three report healthy once the campaign
+// has finished: a completed run is a success, whatever it survived on the
+// way — readiness failures exist to tell an operator the live run needs
+// attention.
+
+// BudgetCheck fails while the campaign's shared probe budget is exhausted:
+// remaining targets will be skipped, so the collection is no longer making
+// real progress.
+func BudgetCheck(p *collect.Progress) Check {
+	return Check{Name: "probe-budget", Probe: func() error {
+		if p.Finished() {
+			return nil
+		}
+		if p.BudgetExhausted() {
+			return fmt.Errorf("shared probe budget exhausted after %d wire probes", p.WireProbes())
+		}
+		return nil
+	}}
+}
+
+// BreakerStormCheck fails when circuit-breaker opens reach maxTrips — the
+// campaign is shedding load into silent zones faster than it is collecting
+// (maxTrips 0 selects DefaultBreakerStormTrips).
+func BreakerStormCheck(p *collect.Progress, maxTrips uint64) Check {
+	if maxTrips == 0 {
+		maxTrips = DefaultBreakerStormTrips
+	}
+	return Check{Name: "breaker-storm", Probe: func() error {
+		if p.Finished() {
+			return nil
+		}
+		if trips := p.BreakerTrips(); trips >= maxTrips {
+			return fmt.Errorf("%d breaker trips (storm threshold %d)", trips, maxTrips)
+		}
+		return nil
+	}}
+}
+
+// DefaultBreakerStormTrips is the BreakerStormCheck threshold when none is
+// configured: well beyond the isolated trips a faulted-but-working campaign
+// accumulates.
+const DefaultBreakerStormTrips = 8
+
+// StallCheck fails while the campaign is stalled: no wire exchange completed
+// within the watchdog's window of the clock's current tick. Each poll drives
+// the watchdog, which files a flight-recorder incident once per stall
+// episode (see collect.Watchdog).
+func StallCheck(wd *collect.Watchdog, clock telemetry.Clock) Check {
+	return Check{Name: "campaign-stall", Probe: func() error {
+		var now uint64
+		if clock != nil {
+			now = clock.Ticks()
+		}
+		if wd.Check(now) {
+			return fmt.Errorf("no exchange completed within %d ticks of tick %d", wd.Window(), now)
+		}
+		return nil
+	}}
+}

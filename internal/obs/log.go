@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"tracenet/internal/probe"
+	"tracenet/internal/telemetry"
+)
+
+// Level orders log severities. The zero value is LevelDebug, so a
+// zero-configured logger keeps everything.
+type Level uint8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name used in the JSON records.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "level" + strconv.Itoa(int(l))
+	}
+}
+
+// ParseLevel maps a level name (as printed by String) back to its Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// DefaultLogRingSize is the /logz ring capacity when none is configured.
+const DefaultLogRingSize = 1024
+
+// Logger is a structured, leveled JSON-lines logger clocked by the injected
+// telemetry.Clock: every record is stamped with the virtual tick instead of
+// the wall clock, so two same-seed runs emit byte-identical log streams (up
+// to goroutine interleaving of independent lines when workers log
+// concurrently). One record is one line:
+//
+//	{"tick":412,"level":"info","msg":"target done","dst":"10.0.3.7","status":"done"}
+//
+// Fields render in call-site order — like telemetry label pairs, the kv
+// variadic alternates key, value — so a given call site always produces the
+// same bytes. Records below the minimum level are dropped before rendering.
+//
+// Every record is retained in a bounded ring (backing the /logz endpoint)
+// and, when a writer is attached, appended to it under the logger's lock.
+// A nil *Logger is inert, matching the telemetry layer's nil-safety rule.
+type Logger struct {
+	clock telemetry.Clock
+	min   Level
+
+	mu    sync.Mutex
+	w     io.Writer
+	ring  []logRecord
+	total uint64 // records ever kept; ring holds the last min(total, cap)
+}
+
+type logRecord struct {
+	level Level
+	line  string
+}
+
+// NewLogger builds a logger over the given clock (nil stamps tick 0). Records
+// at or above min are rendered; w may be nil to keep records only in the ring
+// (ringSize <= 0 selects DefaultLogRingSize).
+func NewLogger(clock telemetry.Clock, w io.Writer, min Level, ringSize int) *Logger {
+	if ringSize <= 0 {
+		ringSize = DefaultLogRingSize
+	}
+	return &Logger{clock: clock, min: min, w: w, ring: make([]logRecord, 0, ringSize)}
+}
+
+// Debug logs at LevelDebug; kv alternates field keys and values.
+func (l *Logger) Debug(msg string, kv ...string) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...string) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...string) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...string) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lvl Level, msg string, kv []string) {
+	if l == nil || lvl < l.min {
+		return
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd field count %d logging %q", len(kv), msg))
+	}
+	var tick uint64
+	if l.clock != nil {
+		tick = l.clock.Ticks()
+	}
+	var b strings.Builder
+	b.WriteString(`{"tick":`)
+	b.WriteString(strconv.FormatUint(tick, 10))
+	b.WriteString(`,"level":"`)
+	b.WriteString(lvl.String())
+	b.WriteString(`","msg":`)
+	appendQuoted(&b, msg)
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(',')
+		appendQuoted(&b, kv[i])
+		b.WriteByte(':')
+		appendQuoted(&b, kv[i+1])
+	}
+	b.WriteByte('}')
+	rec := logRecord{level: lvl, line: b.String()}
+
+	l.mu.Lock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, rec)
+	} else {
+		l.ring[l.total%uint64(cap(l.ring))] = rec
+	}
+	l.total++
+	if l.w != nil {
+		io.WriteString(l.w, rec.line)
+		io.WriteString(l.w, "\n")
+	}
+	l.mu.Unlock()
+}
+
+// appendQuoted writes s as a JSON string: quotes, backslashes, and control
+// characters are escaped; other bytes (including multi-byte UTF-8) pass
+// through, which is valid JSON and keeps rendering allocation-light.
+func appendQuoted(b *strings.Builder, s string) {
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c == '\n':
+			b.WriteString(`\n`)
+		case c == '\t':
+			b.WriteString(`\t`)
+		case c < 0x20:
+			fmt.Fprintf(b, `\u%04x`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+}
+
+// Total returns how many records were ever kept (including ones the ring has
+// since evicted).
+func (l *Logger) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Tail returns up to n of the most recent records at or above min, oldest
+// first — the /logz read path. The returned lines are copies; recording may
+// continue concurrently.
+func (l *Logger) Tail(n int, min Level) []string {
+	if l == nil || n <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	snap := make([]logRecord, 0, len(l.ring))
+	if len(l.ring) < cap(l.ring) {
+		snap = append(snap, l.ring...)
+	} else {
+		start := l.total % uint64(cap(l.ring))
+		snap = append(snap, l.ring[start:]...)
+		snap = append(snap, l.ring[:start]...)
+	}
+	l.mu.Unlock()
+
+	out := make([]string, 0, n)
+	// Walk backwards collecting matches, then reverse to oldest-first.
+	for i := len(snap) - 1; i >= 0 && len(out) < n; i-- {
+		if snap[i].level >= min {
+			out = append(out, snap[i].line)
+		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// ProbeSink adapts the logger into probe.LoggingTransport's structured sink:
+// instead of the transport's ad-hoc text lines, every exchange becomes a
+// leveled JSON record — clean exchanges and timeouts at debug, transport and
+// decode faults at warn.
+func ProbeSink(l *Logger) func(probe.ProbeEvent) {
+	return func(ev probe.ProbeEvent) {
+		kv := []string{
+			"proto", ev.Proto,
+			"dst", ev.Dst.String(),
+			"ttl", strconv.Itoa(int(ev.TTL)),
+		}
+		switch ev.Err {
+		case probe.ErrNone:
+			l.Debug("probe exchange", append(kv,
+				"outcome", ev.Outcome,
+				"from", ev.From.String(),
+				"rttl", strconv.Itoa(int(ev.ReplyTTL)))...)
+		case probe.ErrTimeout:
+			// Timeouts are ordinary measurement outcomes, not faults.
+			l.Debug("probe exchange", append(kv, "outcome", "timeout")...)
+		default:
+			l.Warn("probe exchange failed", append(kv, "err", ev.Err.String())...)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package probe
+
+import "sync/atomic"
+
+// Activity is a lock-free liveness meter for the wire-probe path: a count of
+// completed exchanges and the latest tick at which one completed. A campaign
+// shares one Activity across all of its probers so the observability plane
+// can answer "is anything still happening?" without touching the campaign's
+// locks — the stall watchdog compares LastTick against the current clock, and
+// the progress snapshot reads Probes for the live wire-probe total.
+//
+// Both fields are plain atomics: MarkAt is two atomic operations and zero
+// allocations, cheap enough to sit on the per-probe hot path. A nil *Activity
+// is inert, so probers pay only a nil check when no one is watching.
+type Activity struct {
+	probes atomic.Uint64
+	last   atomic.Uint64
+}
+
+// MarkAt records one completed exchange at the given tick. The last-activity
+// tick only moves forward (CAS-max), so concurrent workers racing with
+// slightly different clock readings can never rewind it.
+func (a *Activity) MarkAt(ticks uint64) {
+	if a == nil {
+		return
+	}
+	a.probes.Add(1)
+	for {
+		cur := a.last.Load()
+		if ticks <= cur || a.last.CompareAndSwap(cur, ticks) {
+			return
+		}
+	}
+}
+
+// Probes returns how many exchanges completed so far.
+func (a *Activity) Probes() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.probes.Load()
+}
+
+// LastTick returns the tick of the most recent completed exchange (0 when
+// none completed yet). The value is schedule-dependent under concurrency, so
+// it must never feed a deterministic artifact — it exists for liveness
+// judgements (stall detection), not for reports.
+func (a *Activity) LastTick() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.last.Load()
+}

@@ -20,6 +20,11 @@ type LoggingTransport struct {
 	// the exchange completed, aligning the transcript with trace and
 	// flight-recorder timestamps.
 	Clock telemetry.Clock
+	// Sink, when set, receives the classified event instead of a rendered
+	// line on W — the hook the structured logging layer (internal/obs) uses
+	// to turn exchanges into leveled JSON records without this package
+	// depending on it.
+	Sink func(ProbeEvent)
 }
 
 // Exchange forwards to the inner transport, logging the classified exchange.
@@ -30,6 +35,10 @@ func (l LoggingTransport) Exchange(raw []byte) ([]byte, error) {
 		ticks = l.Clock.Ticks()
 	}
 	ev := exchangeEvent(ticks, raw, reply, err)
+	if l.Sink != nil {
+		l.Sink(ev)
+		return reply, err
+	}
 	if l.Clock != nil {
 		fmt.Fprintf(l.W, "[%6d] %s\n", ev.Ticks, ev)
 	} else {

@@ -291,6 +291,11 @@ type Options struct {
 	// ErrBudgetExceeded. The budget is reserved atomically, so concurrent
 	// probers can never collectively overspend it.
 	SharedBudget *SharedBudget
+	// Activity, when set, is marked after every completed wire exchange — a
+	// campaign shares one across its probers so the observability plane can
+	// read live probe counts and detect stalls without locks (two atomic ops,
+	// zero allocations on the hot path; nil disables it).
+	Activity *Activity
 	// Cache memoizes (destination, TTL) outcomes so repeated logical probes
 	// cost no packets. tracenet's rule merging (§3.5: "both H3 and H6
 	// require the same single probe") relies on this.
@@ -618,6 +623,9 @@ func (p *Prober) once(dst ipv4.Addr, ttl uint8) (Result, error) {
 	}
 	if p.tel != nil {
 		p.observeExchange(start, pkt, reply, rawReply, err, derr)
+	}
+	if p.opts.Activity != nil {
+		p.opts.Activity.MarkAt(p.tel.Ticks())
 	}
 	if err != nil {
 		return Result{}, fmt.Errorf("%w: %w", ErrTransport, err)

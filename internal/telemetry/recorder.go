@@ -85,6 +85,24 @@ func (f *FlightRecorder) Snapshot() []Event {
 	return append(out, f.buf[:start]...)
 }
 
+// DumpTo writes an on-demand snapshot of the retained window: a header
+// naming the tick and reason, then the same rendering as WriteTo. Unlike the
+// incident path (Telemetry.Incident) it mutates nothing — no dump counter
+// advances and recording continues undisturbed — so any number of mid-run
+// snapshots (SIGTERM drain, HTTP /flightz polls) leave the eventual incident
+// dumps byte-identical to a run that was never snapshotted.
+func (f *FlightRecorder) DumpTo(w io.Writer, ticks uint64, reason string) error {
+	if f == nil {
+		_, err := fmt.Fprintln(w, "flight recorder: not armed")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "== flight recorder snapshot at tick %d: %s\n", ticks, reason); err != nil {
+		return err
+	}
+	_, err := f.WriteTo(w)
+	return err
+}
+
 // WriteTo dumps the retained window as text, oldest first: one
 // "  [tick] kind: msg" line per event, preceded by a coverage header. The
 // snapshot is taken atomically; writing happens outside the recorder lock.

@@ -86,6 +86,81 @@ func TestIncidentDumpsRecorder(t *testing.T) {
 	}
 }
 
+func TestDumpToSnapshot(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(Event{Ticks: 3, Kind: "probe", Msg: "icmp 10.0.0.1 ttl=1 -> ttl-exceeded"})
+	var b strings.Builder
+	if err := f.DumpTo(&b, 17, "sigterm-drain"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"== flight recorder snapshot at tick 17: sigterm-drain",
+		"1 of 1 events retained",
+		"ttl-exceeded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot lacks %q:\n%s", want, out)
+		}
+	}
+
+	var nilDump strings.Builder
+	var none *FlightRecorder
+	if err := none.DumpTo(&nilDump, 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := nilDump.String(); got != "flight recorder: not armed\n" {
+		t.Errorf("nil recorder snapshot = %q", got)
+	}
+}
+
+// A mid-run snapshot is read-only: the incident dumps of a snapshotted run
+// must stay byte-identical to those of a run that was never snapshotted.
+// This is the contract that lets SIGTERM drains and /flightz polls coexist
+// with deterministic artifacts.
+func TestDumpToDoesNotPerturbIncidentDump(t *testing.T) {
+	runOnce := func(snapshotMidRun bool) string {
+		clock := &ManualClock{}
+		tel := New(clock)
+		tel.Recorder = NewFlightRecorder(4)
+		var dump strings.Builder
+		tel.SetIncidentWriter(&dump)
+
+		for i := 0; i < 6; i++ { // overflow the ring so eviction state matters
+			clock.Advance(1)
+			tel.Record("probe", "probe event")
+			if snapshotMidRun && i == 3 {
+				var scratch strings.Builder
+				if err := tel.DumpRecorder(&scratch, "mid-run poll"); err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(scratch.String(), "snapshot at tick 4: mid-run poll") {
+					t.Fatalf("mid-run snapshot malformed:\n%s", scratch.String())
+				}
+			}
+		}
+		tel.Incident("breaker-open zone=10.0.0.0/24")
+		return dump.String()
+	}
+
+	clean, snapshotted := runOnce(false), runOnce(true)
+	if clean != snapshotted {
+		t.Errorf("mid-run snapshot perturbed the incident dump:\nclean:\n%s\nsnapshotted:\n%s",
+			clean, snapshotted)
+	}
+}
+
+func TestDumpRecorderNilTelemetry(t *testing.T) {
+	var tel *Telemetry
+	var b strings.Builder
+	if err := tel.DumpRecorder(&b, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "flight recorder: not armed\n" {
+		t.Errorf("nil telemetry snapshot = %q", got)
+	}
+}
+
 func TestFlightRecorderBadCapacityPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

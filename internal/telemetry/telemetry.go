@@ -195,6 +195,18 @@ func (t *Telemetry) Incident(reason string) {
 	t.Recorder.WriteTo(t.incidentW)
 }
 
+// DumpRecorder writes an on-demand flight-recorder snapshot stamped with the
+// current tick — the read-only path behind SIGTERM drains and the HTTP
+// /flightz endpoint. Safe without a recorder (a "not armed" line is written)
+// and on a nil Telemetry.
+func (t *Telemetry) DumpRecorder(w io.Writer, reason string) error {
+	if t == nil {
+		_, err := fmt.Fprintln(w, "flight recorder: not armed")
+		return err
+	}
+	return t.Recorder.DumpTo(w, t.Ticks(), reason)
+}
+
 // Incidents returns how many incidents were raised so far.
 func (t *Telemetry) Incidents() uint64 {
 	if t == nil {
