@@ -17,6 +17,7 @@ import (
 
 	"tracenet/internal/collect"
 	"tracenet/internal/core"
+	"tracenet/internal/daemon"
 	"tracenet/internal/experiments"
 	"tracenet/internal/ipv4"
 	"tracenet/internal/netsim"
@@ -482,4 +483,43 @@ func BenchmarkAccuracy(b *testing.B) {
 		b.ReportMetric(res.AddrPrecision, r+"-addr-prec")
 		b.ReportMetric(res.AddrRecall, r+"-addr-rec")
 	}
+}
+
+// BenchmarkDaemonThroughput measures the tracenetd scheduler end to end:
+// each iteration starts a daemon over a fresh spool, pushes a batch of
+// single-target campaigns through the HTTP-facing submission path
+// (daemon.Submit), and waits for the scheduler to land every one — spool
+// journaling, tenant accounting, and artifact rendering included.
+func BenchmarkDaemonThroughput(b *testing.B) {
+	const campaigns = 8
+	for i := 0; i < b.N; i++ {
+		d, err := daemon.New(daemon.Config{Spool: b.TempDir(), Concurrent: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Start(); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < campaigns; j++ {
+			if _, err := d.Submit(&daemon.Spec{Tenant: "bench", Topology: "figure3"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for {
+			done := 0
+			for _, doc := range d.List() {
+				if doc.Status != "queued" && doc.Status != "running" {
+					done++
+				}
+			}
+			if done == campaigns {
+				break
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		if err := d.Drain(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(campaigns, "campaigns/op")
 }

@@ -46,6 +46,12 @@
 //	-campaign-greedy     also share subnets by member address (saves more
 //	                     probes; probe totals become schedule-dependent)
 //	-campaign-no-cache   disable the shared subnet cache (for comparisons)
+//	-spec file           load a tracenetd campaign spec (JSON, DESIGN.md §14)
+//	                     and run it locally in campaign mode: the spec's
+//	                     topology, seed, vantage, protocol, targets, budget,
+//	                     and resilience knobs override the equivalent flags;
+//	                     daemon-only fields (tenant, priority, rescans) are
+//	                     ignored
 //
 // Any of these flags (or -parallel > 1) selects campaign mode: every
 // destination is traced by its own session/prober pair against a shared
@@ -116,6 +122,7 @@ import (
 	"tracenet/internal/cli"
 	"tracenet/internal/collect"
 	"tracenet/internal/core"
+	"tracenet/internal/daemon"
 	"tracenet/internal/groundtruth"
 	"tracenet/internal/ipv4"
 	"tracenet/internal/netsim"
@@ -141,6 +148,7 @@ type options struct {
 	ckptOut string // write checkpoint here after the run
 	ckptIn  string // resume from this checkpoint
 
+	spec            string // tracenetd campaign spec file; implies campaign mode
 	campaign        bool   // force campaign mode even at parallel 1
 	targets         string // destinations file, one address per line
 	parallel        int    // concurrent traces in campaign mode
@@ -188,9 +196,62 @@ func (o options) evalMode() bool {
 // campaignMode reports whether any campaign flag selects the parallel
 // multi-destination collection engine over the single-session path.
 func (o options) campaignMode() bool {
-	return o.campaign || o.targets != "" || o.parallel > 1 || o.campaignBudget > 0 ||
+	return o.campaign || o.spec != "" || o.targets != "" || o.parallel > 1 || o.campaignBudget > 0 ||
 		o.campaignOut != "" || o.campaignResume != "" || o.campaignGreedy || o.campaignNoCache ||
 		o.progress
+}
+
+// applySpec maps a tracenetd campaign spec onto the equivalent CLI options,
+// so the same submission file drives the daemon and a local one-shot run.
+// Fields the spec sets override their flags; daemon-only fields (tenant,
+// priority, rescan schedule) have no local meaning and are ignored.
+func (o *options) applySpec(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	sp, err := daemon.ReadSpec(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	if sp.Topology != "" {
+		o.topo = sp.Topology
+	}
+	if sp.Seed != 0 {
+		o.seed = sp.Seed
+	}
+	if sp.Vantage != "" {
+		o.vantage = sp.Vantage
+	}
+	if sp.Proto != "" {
+		o.proto = sp.Proto
+	}
+	if sp.MaxTTL > 0 {
+		o.maxTTL = sp.MaxTTL
+	}
+	if len(sp.Targets) > 0 {
+		o.dests = sp.Targets
+	}
+	if sp.Parallel > 0 {
+		o.parallel = sp.Parallel
+	}
+	if sp.Budget > 0 {
+		o.campaignBudget = sp.Budget
+	}
+	if sp.Chaos != 0 {
+		o.chaos = sp.Chaos
+	}
+	o.defend = o.defend || sp.Defend
+	o.backoff = o.backoff || sp.Backoff
+	o.breaker = o.breaker || sp.Breaker
+	o.campaignGreedy = o.campaignGreedy || sp.Greedy
+	o.campaignNoCache = o.campaignNoCache || sp.DisableCache
+	o.eval = o.eval || sp.Eval
+	return nil
 }
 
 func main() {
@@ -209,6 +270,7 @@ func main() {
 	flag.BoolVar(&o.defend, "defend", false, "cross-validate suspicious replies and quarantine inconsistent responders")
 	flag.StringVar(&o.ckptOut, "checkpoint", "", "write a session checkpoint to this file")
 	flag.StringVar(&o.ckptIn, "resume", "", "resume the session from this checkpoint file")
+	flag.StringVar(&o.spec, "spec", "", "load a tracenetd campaign spec (JSON) and run it locally")
 	flag.BoolVar(&o.campaign, "campaign", false, "force campaign mode even with -parallel 1")
 	flag.StringVar(&o.targets, "targets", "", "read destinations from this file, one address per line")
 	flag.IntVar(&o.parallel, "parallel", 1, "trace up to n destinations concurrently (campaign mode)")
@@ -239,6 +301,11 @@ func main() {
 }
 
 func run(w io.Writer, o options) error {
+	if o.spec != "" {
+		if err := o.applySpec(o.spec); err != nil {
+			return err
+		}
+	}
 	if o.cpuProfile != "" {
 		f, err := os.Create(o.cpuProfile)
 		if err != nil {

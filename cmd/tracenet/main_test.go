@@ -543,3 +543,36 @@ func TestRunEvalCoreAndTelemetry(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSpecFile: -spec runs a tracenetd campaign spec locally, producing
+// output byte-identical to the equivalent flag invocation — one submission
+// file drives both the daemon and a one-shot CLI run.
+func TestRunSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if err := os.WriteFile(path, []byte(
+		`{"tenant": "alice", "topology": "random", "seed": 42, "parallel": 2, "eval": true, "priority": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromSpec strings.Builder
+	if err := run(&fromSpec, options{spec: path, topo: "figure3", proto: "icmp", maxTTL: 30, seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var fromFlags strings.Builder
+	if err := run(&fromFlags, options{topo: "random", proto: "icmp", maxTTL: 30, seed: 42,
+		campaign: true, parallel: 2, eval: true}); err != nil {
+		t.Fatal(err)
+	}
+	if fromSpec.String() != fromFlags.String() {
+		t.Errorf("-spec output differs from equivalent flags:\n--- spec\n%s\n--- flags\n%s",
+			fromSpec.String(), fromFlags.String())
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"tenant": "alice", "topology": "/etc/passwd"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(&b, options{spec: bad, proto: "icmp", maxTTL: 30}); err == nil {
+		t.Error("spec with a file topology accepted")
+	}
+}

@@ -20,6 +20,10 @@ const CheckpointVersion = 1
 // tier), so an interrupted run loses at most the in-flight targets' probes.
 type Checkpoint struct {
 	Version int `json:"version"`
+	// CampaignID identifies which campaign wrote the checkpoint (see
+	// Config.ID; omitted for anonymous campaigns, keeping the v1 bytes of
+	// existing checkpoints unchanged).
+	CampaignID string `json:"campaign_id,omitempty"`
 	// Targets is the campaign's full destination list, in input order.
 	Targets []string `json:"targets,omitempty"`
 	// Done lists destinations whose traces ran to completion.
@@ -32,7 +36,7 @@ type Checkpoint struct {
 // subnet list is sorted by prefix and pivot, the done list follows input
 // order, so the serialized bytes are independent of worker scheduling.
 func (r *Report) Checkpoint() *Checkpoint {
-	cp := &Checkpoint{Version: CheckpointVersion}
+	cp := &Checkpoint{Version: CheckpointVersion, CampaignID: r.ID}
 	for i := range r.Targets {
 		cp.Targets = append(cp.Targets, r.Targets[i].Dst.String())
 	}

@@ -36,6 +36,13 @@ import (
 
 // Config tunes one campaign.
 type Config struct {
+	// ID is an optional stable campaign identity. When set it labels every
+	// tracenet_campaign_* metric family with ("campaign", ID), appears in the
+	// Progress snapshot and the checkpoint file, and prefixes stall incidents
+	// — so several campaigns sharing one process (the daemon case) stay
+	// distinguishable in /metrics, /campaigns, and the flight recorder.
+	// Empty keeps the unlabeled single-campaign exposition byte-for-byte.
+	ID string
 	// Targets are the destinations to trace, in input order. The report
 	// preserves this order regardless of which worker traced what.
 	Targets []ipv4.Addr
@@ -47,6 +54,15 @@ type Config struct {
 	// marked skipped — the probe layer's atomic reservation guarantees the
 	// cap is never overspent.
 	Budget uint64
+	// BudgetParent, when set, chains the campaign budget under it: every
+	// wire packet is charged to both, and the campaign stops when either
+	// runs out. The daemon points this at the submitting tenant's aggregate
+	// budget so no set of campaigns can overspend the tenant's allowance.
+	BudgetParent *probe.SharedBudget
+	// Pacer, when set, rate-limits every worker's wire sends (see
+	// probe.Options.Pacer). The daemon passes the tenant's shared token
+	// bucket. A pacer set on Probe directly wins over this field.
+	Pacer probe.Pacer
 	// MaxBreakerTrips stops dispatching new targets once the campaign has
 	// observed this many circuit-breaker opens across all workers (0 =
 	// disabled). Only meaningful when Probe.Breaker is set.
@@ -163,7 +179,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	c := &campaign{
 		cfg:    cfg,
 		tel:    cfg.Telemetry,
-		budget: probe.NewSharedBudget(cfg.Budget),
+		budget: probe.NewChildBudget(cfg.Budget, cfg.BudgetParent),
 		prog:   cfg.Progress,
 	}
 	if !cfg.DisableCache {
@@ -185,7 +201,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		c.resumeDone = done
 	}
 	c.bindTelemetry()
-	c.prog.start(len(cfg.Targets), parallel, c.budget, c.cache)
+	c.prog.start(cfg.ID, len(cfg.Targets), parallel, c.budget, c.cache)
 
 	start := c.tel.Ticks()
 	results := make([]TargetResult, len(cfg.Targets))
@@ -258,23 +274,34 @@ type campaign struct {
 	gInflight *telemetry.Gauge
 }
 
+// metricLabels appends the ("campaign", ID) label pair when the campaign has
+// an identity, so concurrent campaigns sharing one registry get distinct
+// series instead of adding into each other's.
+func (c *campaign) metricLabels(kv ...string) []string {
+	if c.cfg.ID != "" {
+		kv = append(kv, "campaign", c.cfg.ID)
+	}
+	return kv
+}
+
 // bindTelemetry registers the campaign metric families up front so a
 // campaign's exposition always lists the same series, whatever happens.
 func (c *campaign) bindTelemetry() {
 	c.cTargets = make(map[TargetStatus]*telemetry.Counter)
 	for _, st := range []TargetStatus{StatusDone, StatusResumed, StatusBudget, StatusSkipped, StatusFailed} {
-		c.cTargets[st] = c.tel.Counter("tracenet_campaign_targets_total", "status", string(st))
+		c.cTargets[st] = c.tel.Counter("tracenet_campaign_targets_total",
+			c.metricLabels("status", string(st))...)
 	}
-	c.cHits = c.tel.Counter("tracenet_campaign_cache_hits_total")
-	c.cMisses = c.tel.Counter("tracenet_campaign_cache_misses_total")
-	c.cSaved = c.tel.Counter("tracenet_campaign_probes_saved_total")
-	c.cProbes = c.tel.Counter("tracenet_campaign_probes_total")
+	c.cHits = c.tel.Counter("tracenet_campaign_cache_hits_total", c.metricLabels()...)
+	c.cMisses = c.tel.Counter("tracenet_campaign_cache_misses_total", c.metricLabels()...)
+	c.cSaved = c.tel.Counter("tracenet_campaign_probes_saved_total", c.metricLabels()...)
+	c.cProbes = c.tel.Counter("tracenet_campaign_probes_total", c.metricLabels()...)
 	// Live-observability families: the in-flight gauge breathes during the
 	// run and settles back to 0 before exposition is rendered, and the stall
 	// counter is bumped by the collect.Watchdog — both registered here so a
 	// campaign's series list is the same whether or not they ever move.
-	c.gInflight = c.tel.Gauge("tracenet_campaign_workers_inflight")
-	c.tel.Counter("tracenet_campaign_stalls_total")
+	c.gInflight = c.tel.Gauge("tracenet_campaign_workers_inflight", c.metricLabels()...)
+	c.tel.Counter("tracenet_campaign_stalls_total", c.metricLabels()...)
 }
 
 // backpressure reports why no new target may start, or "" to proceed.
@@ -312,6 +339,9 @@ func (c *campaign) collectOne(ctx context.Context, w int, dst ipv4.Addr, out *Ta
 
 	opts := c.cfg.Probe
 	opts.SharedBudget = c.budget
+	if opts.Pacer == nil {
+		opts.Pacer = c.cfg.Pacer
+	}
 	if opts.Activity == nil {
 		opts.Activity = c.prog.Activity()
 	}
@@ -369,7 +399,7 @@ func (c *campaign) collectOne(ctx context.Context, w int, dst ipv4.Addr, out *Ta
 // buildReport assembles the deterministic campaign report from the
 // per-target rows (already in input order).
 func (c *campaign) buildReport(results []TargetResult) *Report {
-	rep := &Report{Targets: results}
+	rep := &Report{ID: c.cfg.ID, Targets: results}
 	for i := range results {
 		switch results[i].Status {
 		case StatusDone:

@@ -50,7 +50,20 @@ type Progress struct {
 	bind atomic.Pointer[progressBinding]
 }
 
+// ID returns the campaign identity bound at start ("" for anonymous
+// campaigns, and always before the campaign starts).
+func (p *Progress) ID() string {
+	if p == nil {
+		return ""
+	}
+	if b := p.bind.Load(); b != nil {
+		return b.id
+	}
+	return ""
+}
+
 type progressBinding struct {
+	id      string
 	budget  *probe.SharedBudget
 	cache   *Cache
 	workers []atomic.Uint64 // packed worker cells, see packWorker
@@ -78,12 +91,13 @@ func (p *Progress) Activity() *probe.Activity {
 
 // start binds the campaign's shared state and publishes the worker table.
 // Called once by Run before any worker launches.
-func (p *Progress) start(targets, parallel int, budget *probe.SharedBudget, cache *Cache) {
+func (p *Progress) start(id string, targets, parallel int, budget *probe.SharedBudget, cache *Cache) {
 	if p == nil {
 		return
 	}
 	p.targets.Store(int64(targets))
 	p.bind.Store(&progressBinding{
+		id:      id,
 		budget:  budget,
 		cache:   cache,
 		workers: make([]atomic.Uint64, parallel),
@@ -206,15 +220,18 @@ type WorkerSnapshot struct {
 // schedule-independent. Field order is fixed by the struct, so rendering is
 // deterministic.
 type Snapshot struct {
-	Started  bool  `json:"started"`
-	Finished bool  `json:"finished"`
-	Targets  int64 `json:"targets"`
-	Done     int64 `json:"done"`
-	Breaker  int64 `json:"breaker"`
-	Resumed  int64 `json:"resumed"`
-	Budget   int64 `json:"budget"`
-	Skipped  int64 `json:"skipped"`
-	Failed   int64 `json:"failed"`
+	// ID is the campaign identity (omitted for anonymous campaigns, which
+	// keeps the single-campaign /campaigns rendering byte-for-byte).
+	ID       string `json:"id,omitempty"`
+	Started  bool   `json:"started"`
+	Finished bool   `json:"finished"`
+	Targets  int64  `json:"targets"`
+	Done     int64  `json:"done"`
+	Breaker  int64  `json:"breaker"`
+	Resumed  int64  `json:"resumed"`
+	Budget   int64  `json:"budget"`
+	Skipped  int64  `json:"skipped"`
+	Failed   int64  `json:"failed"`
 
 	WireProbes   uint64 `json:"wire_probes"`
 	BreakerTrips uint64 `json:"breaker_trips"`
@@ -267,6 +284,7 @@ func (p *Progress) Snapshot() Snapshot {
 	if b == nil {
 		return s
 	}
+	s.ID = b.id
 	if total := b.budget.Cap(); total > 0 {
 		s.BudgetCap = total
 		s.BudgetRemaining = b.budget.Remaining()
@@ -316,6 +334,7 @@ type Watchdog struct {
 	prog    *Progress
 	tel     *telemetry.Telemetry
 	window  uint64
+	id      string
 	cStalls *telemetry.Counter
 	stalled atomic.Bool
 }
@@ -324,14 +343,28 @@ type Watchdog struct {
 // DefaultStallWindow). The stalls counter is resolved up front so polling
 // never pays a by-name registry lookup.
 func NewWatchdog(prog *Progress, tel *telemetry.Telemetry, window uint64) *Watchdog {
+	return NewCampaignWatchdog(prog, tel, window, "")
+}
+
+// NewCampaignWatchdog is NewWatchdog for an identified campaign (see
+// Config.ID): the stall counter carries the ("campaign", id) label and stall
+// incidents name the campaign, so one watchdog per campaign — the daemon's
+// arrangement — files attributable evidence instead of colliding on shared
+// series. An empty id is the anonymous single-campaign behaviour.
+func NewCampaignWatchdog(prog *Progress, tel *telemetry.Telemetry, window uint64, id string) *Watchdog {
 	if window == 0 {
 		window = DefaultStallWindow
+	}
+	labels := []string{}
+	if id != "" {
+		labels = append(labels, "campaign", id)
 	}
 	return &Watchdog{
 		prog:    prog,
 		tel:     tel,
 		window:  window,
-		cStalls: tel.Counter("tracenet_campaign_stalls_total"),
+		id:      id,
+		cStalls: tel.Counter("tracenet_campaign_stalls_total", labels...),
 	}
 }
 
@@ -341,6 +374,15 @@ func (w *Watchdog) Window() uint64 {
 		return 0
 	}
 	return w.window
+}
+
+// ID returns the campaign identity this watchdog labels its evidence with
+// ("" for the anonymous single-campaign arrangement).
+func (w *Watchdog) ID() string {
+	if w == nil {
+		return ""
+	}
+	return w.id
 }
 
 // Check evaluates the stall condition at tick now and reports whether the
@@ -356,9 +398,13 @@ func (w *Watchdog) Check(now uint64) bool {
 	}
 	if w.stalled.CompareAndSwap(false, true) {
 		w.cStalls.Inc()
+		subject := "campaign-stall"
+		if w.id != "" {
+			subject = "campaign-stall " + w.id
+		}
 		w.tel.Incident(fmt.Sprintf(
-			"campaign-stall: no exchange completed since tick %d (now %d, window %d)",
-			last, now, w.window))
+			"%s: no exchange completed since tick %d (now %d, window %d)",
+			subject, last, now, w.window))
 	}
 	return true
 }

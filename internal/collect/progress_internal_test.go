@@ -17,7 +17,7 @@ func TestWatchdogStallEpisodes(t *testing.T) {
 	tel.SetIncidentWriter(&dumps)
 
 	prog := NewProgress()
-	prog.start(4, 2, nil, nil)
+	prog.start("", 4, 2, nil, nil)
 	wd := NewWatchdog(prog, tel, 100)
 	stalls := tel.Counter("tracenet_campaign_stalls_total")
 
@@ -83,7 +83,7 @@ func TestWatchdogIgnoresUnstartedAndNil(t *testing.T) {
 // workers recorded a slightly newer tick) must read as fresh activity.
 func TestWatchdogToleratesClockSkew(t *testing.T) {
 	prog := NewProgress()
-	prog.start(1, 1, nil, nil)
+	prog.start("", 1, 1, nil, nil)
 	wd := NewWatchdog(prog, nil, 10)
 	prog.Activity().MarkAt(500)
 	if wd.Check(499) {

@@ -39,6 +39,10 @@ type Stats struct {
 // byte-stable: two campaigns over the same targets on the same substrate
 // render identically regardless of worker count or scheduling.
 type Report struct {
+	// ID is the campaign identity from Config.ID ("" for anonymous runs).
+	// It is carried, not rendered: WriteTo output stays identical whether or
+	// not the campaign was identified.
+	ID      string
 	Targets []TargetResult
 	// Map is the merged topology over every observation of the campaign
 	// (including subnets restored from a resumed checkpoint).

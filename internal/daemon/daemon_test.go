@@ -1,0 +1,390 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tracenet/internal/cli"
+	"tracenet/internal/obs"
+)
+
+// The daemon tests are in-package on purpose: internal/daemon is inside the
+// determinism lint scope, so its tests may not import the time package. All
+// waiting is done on channels fed by the test hooks (testTargetDone,
+// testCampaignFinished) — never by polling a clock.
+
+// atomicClock is a race-safe manual scheduler clock for freshness tests
+// (telemetry.ManualClock is deliberately unsynchronized).
+type atomicClock struct{ v atomic.Uint64 }
+
+func (c *atomicClock) Ticks() uint64 { return c.v.Load() }
+
+// harness is one live daemon with its HTTP front end and a channel of
+// finished-campaign events.
+type harness struct {
+	d   *Daemon
+	url string
+	fin chan finEvent
+}
+
+type finEvent struct{ id, status string }
+
+// startDaemon builds a daemon over dir, applies mod (for test hooks) before
+// Start, then mounts the API on an httptest server.
+func startDaemon(t *testing.T, dir string, cfg Config, mod func(*Daemon)) *harness {
+	t.Helper()
+	cfg.Spool = dir
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := make(chan finEvent, 64)
+	d.testCampaignFinished = func(id, status string) { fin <- finEvent{id, status} }
+	if mod != nil {
+		mod(d)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	osrv := obs.NewServer(d.Telemetry(), nil)
+	d.Attach(osrv)
+	ts := httptest.NewServer(osrv.Handler())
+	t.Cleanup(ts.Close)
+	return &harness{d: d, url: ts.URL, fin: fin}
+}
+
+// submit POSTs the spec and returns the assigned campaign ID.
+func (h *harness) submit(t *testing.T, sp *Spec) string {
+	t.Helper()
+	code, body := h.do(t, "POST", "/api/v1/campaigns", sp)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", code, body)
+	}
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.ID
+}
+
+// do issues one API request; a non-nil spec becomes the JSON body.
+func (h *harness) do(t *testing.T, method, path string, sp *Spec) (int, []byte) {
+	t.Helper()
+	var body io.Reader
+	if sp != nil {
+		var buf bytes.Buffer
+		if err := WriteSpec(&buf, sp); err != nil {
+			t.Fatal(err)
+		}
+		body = &buf
+	}
+	req, err := http.NewRequest(method, h.url+path, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// await blocks until every listed campaign has reached a final state,
+// returning each campaign's final status.
+func (h *harness) await(t *testing.T, ids ...string) map[string]string {
+	t.Helper()
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	got := map[string]string{}
+	for len(got) < len(ids) {
+		ev := <-h.fin
+		if want[ev.id] {
+			got[ev.id] = ev.status
+		}
+	}
+	return got
+}
+
+// firstTargets renders the first n destination addresses of a built-in
+// scenario, for specs that pin explicit targets.
+func firstTargets(t *testing.T, topology string, seed int64, n int) []string {
+	t.Helper()
+	sc, err := cli.Load(topology, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Destinations) < n {
+		t.Fatalf("scenario %s has %d destinations, want >= %d", topology, len(sc.Destinations), n)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = sc.Destinations[i].String()
+	}
+	return out
+}
+
+// TestDaemonLifecycleResumeByteIdentity is the PR's acceptance test: a
+// daemon drained (the SIGTERM path) mid-campaign and restarted against the
+// same spool produces final artifacts byte-identical to an uninterrupted
+// control run, for both the interrupted campaign and the one that was still
+// queued behind it.
+func TestDaemonLifecycleResumeByteIdentity(t *testing.T) {
+	alice := &Spec{Tenant: "alice", Topology: "random", Seed: 42,
+		Targets: firstTargets(t, "random", 42, 6), Parallel: 2}
+	bob := &Spec{Tenant: "bob", Topology: "figure3", Eval: true}
+
+	// Control: uninterrupted run of both campaigns.
+	control := startDaemon(t, t.TempDir(), Config{}, nil)
+	a := control.submit(t, alice)
+	b := control.submit(t, bob)
+	if a != "c0001" || b != "c0002" {
+		t.Fatalf("assigned ids %s, %s", a, b)
+	}
+	st := control.await(t, a, b)
+	if st[a] != stateDone || st[b] != stateDone {
+		t.Fatalf("control outcomes: %v", st)
+	}
+	_, wantReportA := control.do(t, "GET", "/api/v1/campaigns/"+a+"/report", nil)
+	_, wantReportB := control.do(t, "GET", "/api/v1/campaigns/"+b+"/report", nil)
+	_, wantEvalB := control.do(t, "GET", "/api/v1/campaigns/"+b+"/eval", nil)
+
+	// Interrupted run: block alice's workers once two targets are done, then
+	// drain — the daemon-side half of a SIGTERM.
+	dir := t.TempDir()
+	hit := make(chan struct{})
+	hold := make(chan struct{})
+	var once sync.Once
+	h2 := startDaemon(t, dir, Config{}, func(d *Daemon) {
+		d.testTargetDone = func(id string, done int) {
+			if id != "c0001" || done < 2 {
+				return
+			}
+			once.Do(func() { close(hit) })
+			<-hold
+		}
+	})
+	if id := h2.submit(t, alice); id != "c0001" {
+		t.Fatalf("assigned id %s", id)
+	}
+	if id := h2.submit(t, bob); id != "c0002" {
+		t.Fatalf("assigned id %s", id)
+	}
+	<-hit
+	drained := make(chan error, 1)
+	go func() { drained <- h2.d.Drain(context.Background()) }()
+	// Drain cancels the running campaign's context before waiting; release
+	// the blocked workers once the cancellation is observable.
+	cs := h2.d.campaign("c0001")
+	h2.d.mu.Lock()
+	cctx := cs.ctx
+	h2.d.mu.Unlock()
+	<-cctx.Done()
+	close(hold)
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+
+	var persisted State
+	if err := (spool{dir: dir}).readJSON("c0001.state.json", &persisted); err != nil {
+		t.Fatal(err)
+	}
+	if persisted.Status != stateInterrupted {
+		t.Fatalf("after drain, c0001 state = %s, want interrupted", persisted.Status)
+	}
+	if len(persisted.Rows) == 0 {
+		t.Fatal("interrupted campaign journaled no completed rows")
+	}
+	if len(persisted.Rows) >= 6 {
+		t.Fatalf("interrupt left no work to resume: %d rows journaled", len(persisted.Rows))
+	}
+
+	// Restart against the same spool: the interrupted campaign resumes from
+	// its checkpoint, the queued one runs for the first time.
+	h3 := startDaemon(t, dir, Config{}, nil)
+	if got := h3.d.cReplayed.Value(); got != 2 {
+		t.Fatalf("spool replayed %d campaigns, want 2", got)
+	}
+	st = h3.await(t, "c0001", "c0002")
+	if st["c0001"] != stateDone || st["c0002"] != stateDone {
+		t.Fatalf("resumed outcomes: %v", st)
+	}
+
+	code, gotReportA := h3.do(t, "GET", "/api/v1/campaigns/c0001/report", nil)
+	if code != http.StatusOK {
+		t.Fatalf("resumed report fetch: status %d", code)
+	}
+	if !bytes.Equal(gotReportA, wantReportA) {
+		t.Errorf("resumed c0001 report differs from control:\n--- control\n%s\n--- resumed\n%s", wantReportA, gotReportA)
+	}
+	_, gotReportB := h3.do(t, "GET", "/api/v1/campaigns/c0002/report", nil)
+	if !bytes.Equal(gotReportB, wantReportB) {
+		t.Errorf("restarted c0002 report differs from control:\n--- control\n%s\n--- restarted\n%s", wantReportB, gotReportB)
+	}
+	_, gotEvalB := h3.do(t, "GET", "/api/v1/campaigns/c0002/eval", nil)
+	if !bytes.Equal(gotEvalB, wantEvalB) {
+		t.Errorf("restarted c0002 eval differs from control:\n--- control\n%s\n--- restarted\n%s", wantEvalB, gotEvalB)
+	}
+	if code, _ := h3.do(t, "GET", "/api/v1/campaigns/c0001/checkpoint", nil); code != http.StatusOK {
+		t.Errorf("checkpoint fetch: status %d", code)
+	}
+}
+
+// TestRescanFreshness: a completed campaign with a rescan interval enrolls
+// its next generation behind a freshness deadline on the scheduler clock,
+// and the scheduler holds it until the deadline passes.
+func TestRescanFreshness(t *testing.T) {
+	clk := &atomicClock{}
+	h := startDaemon(t, t.TempDir(), Config{Clock: clk}, nil)
+	id := h.submit(t, &Spec{Tenant: "alice", Topology: "figure3", RescanInterval: 100, MaxRescans: 1})
+	if st := h.await(t, id); st[id] != stateDone {
+		t.Fatalf("outcome: %v", st)
+	}
+
+	rescan := id + ".r1"
+	doc, err := h.d.Status(rescan)
+	if err != nil {
+		t.Fatalf("rescan not enrolled: %v", err)
+	}
+	if doc.Status != stateQueued || doc.NotBefore != 100 {
+		t.Fatalf("rescan doc = %+v, want queued at tick 100", doc)
+	}
+
+	clk.v.Store(150)
+	h.d.Nudge()
+	if st := h.await(t, rescan); st[rescan] != stateDone {
+		t.Fatalf("rescan outcome: %v", st)
+	}
+	if got := h.d.cRescans.Value(); got != 1 {
+		t.Fatalf("rescans_total = %d, want 1 (max_rescans honoured)", got)
+	}
+	if _, err := h.d.Status(id + ".r2"); err == nil {
+		t.Fatal("a second rescan generation was enrolled past max_rescans")
+	}
+}
+
+// TestAPIErrors covers the API's error mapping: 400 for a bad spec, 404 for
+// unknown campaigns and missing artifacts, 409 for cancelling a final
+// campaign, 503 before the daemon starts.
+func TestAPIErrors(t *testing.T) {
+	h := startDaemon(t, t.TempDir(), Config{}, nil)
+
+	if code, _ := h.do(t, "POST", "/api/v1/campaigns", &Spec{}); code != http.StatusBadRequest {
+		t.Errorf("invalid spec: status %d, want 400", code)
+	}
+	resp, err := http.Post(h.url+"/api/v1/campaigns", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	if code, _ := h.do(t, "GET", "/api/v1/campaigns/c9999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown campaign: status %d, want 404", code)
+	}
+	if code, _ := h.do(t, "DELETE", "/api/v1/campaigns/c9999", nil); code != http.StatusNotFound {
+		t.Errorf("cancel unknown: status %d, want 404", code)
+	}
+
+	id := h.submit(t, &Spec{Tenant: "alice", Topology: "figure3"})
+	h.await(t, id)
+	if code, _ := h.do(t, "DELETE", "/api/v1/campaigns/"+id, nil); code != http.StatusConflict {
+		t.Errorf("cancel final: status %d, want 409", code)
+	}
+	if code, _ := h.do(t, "GET", "/api/v1/campaigns/"+id+"/eval", nil); code != http.StatusNotFound {
+		t.Errorf("absent artifact: status %d, want 404", code)
+	}
+
+	// A daemon that has not started (or is draining) refuses submissions.
+	cold, err := New(Config{Spool: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	osrv := obs.NewServer(cold.Telemetry(), nil)
+	cold.Attach(osrv)
+	ts := httptest.NewServer(osrv.Handler())
+	defer ts.Close()
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, &Spec{Tenant: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/api/v1/campaigns", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit before start: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestReadinessLifecycle: /readyz tracks the daemon lifecycle — failing
+// before start and during spool replay, passing while serving, and failing
+// again once draining.
+func TestReadinessLifecycle(t *testing.T) {
+	d, err := New(Config{Spool: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	osrv := obs.NewServer(d.Telemetry(), nil)
+	d.Attach(osrv)
+	ts := httptest.NewServer(osrv.Handler())
+	defer ts.Close()
+
+	readyz := func() (int, string) {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := readyz(); code != http.StatusServiceUnavailable || !strings.Contains(body, "scheduler") {
+		t.Errorf("before start: %d %q, want 503 mentioning scheduler", code, body)
+	}
+
+	// White-box: hold the daemon in its replaying state to observe the
+	// spool-replay readiness gate (the window is otherwise too brief).
+	d.mu.Lock()
+	d.replaying = true
+	d.mu.Unlock()
+	if code, body := readyz(); code != http.StatusServiceUnavailable || !strings.Contains(body, "spool-replay") {
+		t.Errorf("during replay: %d %q, want 503 mentioning spool-replay", code, body)
+	}
+	d.mu.Lock()
+	d.replaying = false
+	d.mu.Unlock()
+
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := readyz(); code != http.StatusOK {
+		t.Errorf("while serving: status %d, want 200", code)
+	}
+
+	if err := d.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := readyz(); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("after drain: %d %q, want 503 mentioning draining", code, body)
+	}
+}

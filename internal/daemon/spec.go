@@ -1,0 +1,201 @@
+// Package daemon turns the one-shot campaign engine (internal/collect) into
+// tracenetd: a long-running collection service. It owns an HTTP submission
+// API mounted beside the observability plane (internal/obs), a
+// priority/freshness scheduler draining a campaign queue, per-tenant
+// accounting (concurrent-campaign caps, an aggregate probe budget, a shared
+// token-bucket rate limit), and a crash-safe spool that journals every
+// accepted spec so queued and in-flight campaigns survive a restart.
+//
+// Determinism contract: the daemon never reads the wall clock. Scheduling
+// time is an injected telemetry.Clock — by default a cumulative clock that
+// advances by each finished campaign's virtual-tick span — and every
+// campaign runs on its own seeded netsim substrate, so a same-seed daemon
+// fed the same submissions produces byte-identical reports, checkpoints,
+// and metric expositions. The daemon's final report rendering is
+// additionally resume-invariant: a campaign interrupted by SIGTERM and
+// resumed from the spool renders the same bytes as an uninterrupted run
+// (see report.go for what that excludes).
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tracenet/internal/cli"
+	"tracenet/internal/ipv4"
+)
+
+// Spec is one campaign submission: the JSON body of POST /api/v1/campaigns,
+// also written to the spool as the accepted campaign's journal entry and
+// readable by cmd/tracenet -spec, so the CLI and the daemon share one
+// campaign encoding.
+type Spec struct {
+	// Tenant is the submitting tenant's identity (required). Budgets, rate
+	// limits, and concurrency caps are enforced per tenant; see TenantConfig.
+	Tenant string `json:"tenant"`
+	// Name is an optional human label echoed in status documents.
+	Name string `json:"name,omitempty"`
+
+	// Topology selects a built-in topology generator (figure3, figure2,
+	// chain, internet2, geant, isps, random); default figure3. File paths
+	// are rejected: a network-submitted spec must not read server files.
+	Topology string `json:"topology,omitempty"`
+	// Seed seeds the simulated substrate (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Vantage overrides the topology's default vantage host.
+	Vantage string `json:"vantage,omitempty"`
+	// Proto is the probe protocol: icmp (default), udp, tcp.
+	Proto string `json:"proto,omitempty"`
+	// Targets are the destinations to trace; empty selects the topology's
+	// suggested targets. Duplicates are rejected (the resume-invariant
+	// report rendering merges rows by destination).
+	Targets []string `json:"targets,omitempty"`
+
+	// MaxTTL bounds each trace (default 30). Parallel is the campaign's
+	// worker count (default 1). Budget caps the campaign's wire probes
+	// (0 = unlimited; the tenant's aggregate budget applies regardless).
+	MaxTTL   int    `json:"max_ttl,omitempty"`
+	Parallel int    `json:"parallel,omitempty"`
+	Budget   uint64 `json:"budget,omitempty"`
+
+	// Priority orders the queue: higher runs first, FIFO within a priority.
+	Priority int `json:"priority,omitempty"`
+
+	// Defend hardens inference against lying responders (core.Config.Defend);
+	// Chaos installs a random fault plan from the given seed (0 = off);
+	// Backoff and Breaker arm the prober's resilience machinery.
+	Defend  bool  `json:"defend,omitempty"`
+	Chaos   int64 `json:"chaos,omitempty"`
+	Backoff bool  `json:"backoff,omitempty"`
+	Breaker bool  `json:"breaker,omitempty"`
+
+	// Greedy and DisableCache tune the shared subnet cache exactly like the
+	// CLI's -campaign-greedy / -campaign-no-cache flags.
+	Greedy       bool `json:"greedy,omitempty"`
+	DisableCache bool `json:"disable_cache,omitempty"`
+
+	// Eval scores the collected subnets against the simulated ground truth
+	// and stores the JSON artifact beside the report.
+	Eval bool `json:"eval,omitempty"`
+
+	// RescanInterval enrolls the campaign's targets for periodic re-scan:
+	// after the campaign completes, a fresh campaign over the same spec is
+	// queued with a freshness deadline RescanInterval scheduler ticks in the
+	// future, up to MaxRescans generations. 0 disables re-scanning.
+	RescanInterval uint64 `json:"rescan_interval,omitempty"`
+	MaxRescans     int    `json:"max_rescans,omitempty"`
+}
+
+// maxSpecBytes bounds a submission body; a campaign spec is small, so
+// anything larger is a client error, not a memory obligation.
+const maxSpecBytes = 1 << 20
+
+// ReadSpec decodes a JSON campaign spec, rejecting unknown fields (a
+// misspelled knob silently ignored would make the daemon lie about what it
+// ran) and bodies over maxSpecBytes.
+func ReadSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("daemon: spec: %w", err)
+	}
+	return &sp, nil
+}
+
+// WriteSpec serializes a spec as indented JSON — the spool's canonical form.
+func WriteSpec(w io.Writer, sp *Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sp)
+}
+
+// Validate checks the spec's internal consistency without touching the
+// network substrate; Resolve performs the full (deterministic) resolution.
+func (sp *Spec) Validate() error {
+	if sp.Tenant == "" {
+		return fmt.Errorf("daemon: spec: tenant is required")
+	}
+	if !validName(sp.Tenant) {
+		return fmt.Errorf("daemon: spec: tenant %q: use letters, digits, '-', '_', '.'", sp.Tenant)
+	}
+	if sp.Topology != "" && !builtinTopology(sp.Topology) {
+		return fmt.Errorf("daemon: spec: topology %q is not a built-in generator (%v)",
+			sp.Topology, cli.BuiltinNames())
+	}
+	switch sp.Proto {
+	case "", "icmp", "udp", "tcp":
+	default:
+		return fmt.Errorf("daemon: spec: unknown protocol %q", sp.Proto)
+	}
+	if sp.MaxTTL < 0 || sp.Parallel < 0 || sp.MaxRescans < 0 {
+		return fmt.Errorf("daemon: spec: max_ttl, parallel, and max_rescans must be non-negative")
+	}
+	if sp.RescanInterval == 0 && sp.MaxRescans > 0 {
+		return fmt.Errorf("daemon: spec: max_rescans without rescan_interval")
+	}
+	seen := make(map[string]bool, len(sp.Targets))
+	for _, t := range sp.Targets {
+		if _, err := ipv4.ParseAddr(t); err != nil {
+			return fmt.Errorf("daemon: spec: target %q: %w", t, err)
+		}
+		if seen[t] {
+			return fmt.Errorf("daemon: spec: duplicate target %q", t)
+		}
+		seen[t] = true
+	}
+	return nil
+}
+
+// validName reports whether s is safe as a tenant identity and a metric
+// label value: non-empty, ASCII letters/digits plus '-', '_', '.'.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// builtinTopology reports whether name is one of the built-in generators.
+func builtinTopology(name string) bool {
+	for _, b := range cli.BuiltinNames() {
+		if name == b {
+			return true
+		}
+	}
+	return false
+}
+
+// seed returns the effective simulation seed.
+func (sp *Spec) seed() int64 {
+	if sp.Seed == 0 {
+		return 1
+	}
+	return sp.Seed
+}
+
+// topology returns the effective topology name.
+func (sp *Spec) topology() string {
+	if sp.Topology == "" {
+		return "figure3"
+	}
+	return sp.Topology
+}
+
+// maxTTL returns the effective trace length bound.
+func (sp *Spec) maxTTL() int {
+	if sp.MaxTTL == 0 {
+		return 30
+	}
+	return sp.MaxTTL
+}

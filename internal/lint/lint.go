@@ -188,14 +188,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // All returns the full tracenetlint suite with its per-package scoping
 // configured. The determinism and map-order analyzers apply only to the
 // measurement-critical packages (netsim, core, probe, telemetry, collect,
-// obs): elsewhere wall-clock time and iteration order are legitimate (e.g.
-// CLI progress output). Telemetry counts as measurement-critical by design:
-// byte-identical same-seed output is part of its contract, so it gets the
-// same policing — collect promises byte-identical reports regardless of
-// worker scheduling, which only holds if nothing in it leaks map order or
-// wall-clock time, and obs serves those artifacts live, so a wall-clock or
-// map-order leak there would break the /metrics and /campaigns golden
-// contract the same way.
+// obs, daemon): elsewhere wall-clock time and iteration order are legitimate
+// (e.g. CLI progress output). Telemetry counts as measurement-critical by
+// design: byte-identical same-seed output is part of its contract, so it
+// gets the same policing — collect promises byte-identical reports
+// regardless of worker scheduling, which only holds if nothing in it leaks
+// map order or wall-clock time, and obs serves those artifacts live, so a
+// wall-clock or map-order leak there would break the /metrics and /campaigns
+// golden contract the same way. The daemon joins the set because its
+// scheduler clock, freshness deadlines, and resume-invariant reports are all
+// derived from the seeds: one time.Now() or ranged map in it would make a
+// drained-and-restarted run diverge from its control.
 func All() []*Analyzer {
 	measurement := matchPaths(
 		"tracenet/internal/netsim",
@@ -204,6 +207,7 @@ func All() []*Analyzer {
 		"tracenet/internal/telemetry",
 		"tracenet/internal/collect",
 		"tracenet/internal/obs",
+		"tracenet/internal/daemon",
 	)
 	examples := matchPrefix("tracenet/examples/")
 	commands := matchPrefix("tracenet/cmd/")

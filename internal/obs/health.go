@@ -55,9 +55,15 @@ const DefaultBreakerStormTrips = 8
 // StallCheck fails while the campaign is stalled: no wire exchange completed
 // within the watchdog's window of the clock's current tick. Each poll drives
 // the watchdog, which files a flight-recorder incident once per stall
-// episode (see collect.Watchdog).
+// episode (see collect.Watchdog). An identified watchdog (the daemon runs
+// one per campaign) gets the campaign ID in the check name, so /readyz
+// verdicts from concurrent campaigns stay distinguishable.
 func StallCheck(wd *collect.Watchdog, clock telemetry.Clock) Check {
-	return Check{Name: "campaign-stall", Probe: func() error {
+	name := "campaign-stall"
+	if id := wd.ID(); id != "" {
+		name += " " + id
+	}
+	return Check{Name: name, Probe: func() error {
 		var now uint64
 		if clock != nil {
 			now = clock.Ticks()

@@ -53,14 +53,23 @@ type Server struct {
 	mux *http.ServeMux
 	hs  *http.Server
 
-	mu        sync.Mutex
-	checks    []Check
-	campaigns []namedProgress
+	mu              sync.Mutex
+	checks          []Check
+	checkSources    []func() []Check
+	campaigns       []namedProgress
+	campaignSources []func() []CampaignEntry
 }
 
 type namedProgress struct {
 	name string
 	prog *collect.Progress
+}
+
+// CampaignEntry is one dynamically published campaign: its display name and
+// live progress. See AddCampaignSource.
+type CampaignEntry struct {
+	Name string
+	Prog *collect.Progress
 }
 
 // NewServer builds a server over the run's telemetry (may be nil: metric
@@ -93,12 +102,46 @@ func (s *Server) AddCheck(c Check) {
 	s.mu.Unlock()
 }
 
+// AddCheckSource registers a dynamic readiness source: /readyz calls it on
+// every request and runs the returned checks after the statically registered
+// ones. This is how a daemon keeps readiness honest while its campaign set
+// changes — per-campaign stall checks exist exactly while their campaign
+// runs, instead of one static check assuming a single campaign per process.
+// The source is called without the server lock held and must be safe for
+// concurrent use.
+func (s *Server) AddCheckSource(src func() []Check) {
+	s.mu.Lock()
+	s.checkSources = append(s.checkSources, src)
+	s.mu.Unlock()
+}
+
 // AddCampaign publishes a campaign's live progress under /campaigns.
 // Campaigns render in registration order.
 func (s *Server) AddCampaign(name string, p *collect.Progress) {
 	s.mu.Lock()
 	s.campaigns = append(s.campaigns, namedProgress{name: name, prog: p})
 	s.mu.Unlock()
+}
+
+// AddCampaignSource registers a dynamic campaign source: /campaigns calls it
+// on every request and renders the returned entries after the statically
+// registered ones, in the order the source yields them (the source owns the
+// ordering contract — the daemon yields submission order, keeping the body
+// deterministic). Called without the server lock held; must be safe for
+// concurrent use.
+func (s *Server) AddCampaignSource(src func() []CampaignEntry) {
+	s.mu.Lock()
+	s.campaignSources = append(s.campaignSources, src)
+	s.mu.Unlock()
+}
+
+// Mount attaches an additional handler subtree to the server's mux — the
+// composition point tracenetd uses to serve its /api/v1/ endpoints on the
+// same listener as the observability surfaces. The pattern follows
+// http.ServeMux rules; mounting a pattern that collides with a built-in
+// endpoint panics, like any duplicate ServeMux registration.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
 }
 
 // Handler returns the server's mux, for mounting in tests (httptest) or a
@@ -177,7 +220,11 @@ func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	checks := append([]Check(nil), s.checks...)
+	sources := append([]func() []Check(nil), s.checkSources...)
 	s.mu.Unlock()
+	for _, src := range sources {
+		checks = append(checks, src()...)
+	}
 
 	type verdict struct {
 		name string
@@ -251,11 +298,17 @@ type campaignDoc struct {
 func (s *Server) serveCampaigns(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	campaigns := append([]namedProgress(nil), s.campaigns...)
+	sources := append([]func() []CampaignEntry(nil), s.campaignSources...)
 	s.mu.Unlock()
 
 	docs := make([]campaignDoc, 0, len(campaigns))
 	for _, c := range campaigns {
 		docs = append(docs, campaignDoc{Name: c.name, Snapshot: c.prog.Snapshot()})
+	}
+	for _, src := range sources {
+		for _, e := range src() {
+			docs = append(docs, campaignDoc{Name: e.Name, Snapshot: e.Prog.Snapshot()})
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -11,9 +11,16 @@ import (
 // across every worker of a parallel collection run. Reservation is atomic:
 // once the cap is reached every further spend attempt fails, no matter how
 // many probers race for the last packet, so the campaign can never overspend.
+//
+// Budgets chain: a budget built with NewChildBudget reserves against its own
+// cap first and then against the parent, refunding the local reservation when
+// the parent declines. The daemon uses this to give every campaign its own
+// cap while a per-tenant root budget bounds the tenant's aggregate spend
+// across all of its campaigns.
 type SharedBudget struct {
-	cap  uint64
-	used atomic.Uint64
+	cap    uint64
+	used   atomic.Uint64
+	parent *SharedBudget
 }
 
 // NewSharedBudget creates a budget allowing cap wire packets in total.
@@ -23,23 +30,49 @@ func NewSharedBudget(cap uint64) *SharedBudget {
 	return &SharedBudget{cap: cap}
 }
 
-// TrySpend reserves n packets against the budget, reporting whether the
-// reservation fit. A failed reservation consumes nothing.
+// NewChildBudget creates a budget allowing cap wire packets (0 = no local
+// cap) whose every successful reservation is also charged to parent. A nil
+// parent makes it equivalent to NewSharedBudget.
+func NewChildBudget(cap uint64, parent *SharedBudget) *SharedBudget {
+	return &SharedBudget{cap: cap, parent: parent}
+}
+
+// Parent returns the budget this one charges through, if any.
+func (b *SharedBudget) Parent() *SharedBudget {
+	if b == nil {
+		return nil
+	}
+	return b.parent
+}
+
+// TrySpend reserves n packets against the budget (and its whole parent
+// chain), reporting whether the reservation fit. A failed reservation
+// consumes nothing at any level: a local reservation that the parent then
+// declines is refunded before returning.
 func (b *SharedBudget) TrySpend(n uint64) bool {
-	if b == nil || b.cap == 0 {
+	if b == nil {
 		return true
 	}
-	for {
-		used := b.used.Load()
-		if used+n > b.cap {
-			return false
-		}
-		if b.used.CompareAndSwap(used, used+n) {
-			invariant.Assertf(used+n <= b.cap,
-				"probe: shared budget overspent: %d of %d", used+n, b.cap)
-			return true
+	if b.cap != 0 {
+		for {
+			used := b.used.Load()
+			if used+n > b.cap {
+				return false
+			}
+			if b.used.CompareAndSwap(used, used+n) {
+				invariant.Assertf(used+n <= b.cap,
+					"probe: shared budget overspent: %d of %d", used+n, b.cap)
+				break
+			}
 		}
 	}
+	if b.parent.TrySpend(n) {
+		return true
+	}
+	if b.cap != 0 {
+		b.used.Add(^uint64(n - 1)) // refund the local reservation
+	}
+	return false
 }
 
 // Used returns how many packets have been reserved so far.
@@ -58,23 +91,34 @@ func (b *SharedBudget) Cap() uint64 {
 	return b.cap
 }
 
-// Remaining returns how many packets may still be spent; unlimited budgets
-// (and nil) report ^uint64(0).
+// Remaining returns how many packets may still be spent, the minimum over
+// the parent chain; unlimited budgets (and nil) report ^uint64(0).
 func (b *SharedBudget) Remaining() uint64 {
-	if b == nil || b.cap == 0 {
+	if b == nil {
 		return ^uint64(0)
 	}
-	used := b.used.Load()
-	if used >= b.cap {
-		return 0
+	rem := ^uint64(0)
+	if b.cap != 0 {
+		if used := b.used.Load(); used >= b.cap {
+			rem = 0
+		} else {
+			rem = b.cap - used
+		}
 	}
-	return b.cap - used
+	if prem := b.parent.Remaining(); prem < rem {
+		rem = prem
+	}
+	return rem
 }
 
-// Exhausted reports whether the budget is fully spent.
+// Exhausted reports whether the budget — or any budget up its parent chain —
+// is fully spent.
 func (b *SharedBudget) Exhausted() bool {
-	if b == nil || b.cap == 0 {
+	if b == nil {
 		return false
 	}
-	return b.used.Load() >= b.cap
+	if b.cap != 0 && b.used.Load() >= b.cap {
+		return true
+	}
+	return b.parent.Exhausted()
 }

@@ -79,6 +79,110 @@ func TestSharedBudgetConcurrentSpend(t *testing.T) {
 	}
 }
 
+// TestChildBudgetCharging verifies the parent chain: every child reservation
+// lands in the parent, a parent refusal refunds the child, and exhaustion
+// propagates upward.
+func TestChildBudgetCharging(t *testing.T) {
+	parent := NewSharedBudget(5)
+	a := NewChildBudget(3, parent)
+	b := NewChildBudget(3, parent)
+	if !a.TrySpend(3) {
+		t.Fatal("child a refused a spend within both caps")
+	}
+	if parent.Used() != 3 {
+		t.Fatalf("parent used %d after child spend, want 3", parent.Used())
+	}
+	if a.TrySpend(1) {
+		t.Fatal("child a overspent its local cap")
+	}
+	// b has 3 locally but the parent has only 2 left: the failed reservation
+	// must be refunded from b, and the 2 that fit must land in both.
+	if b.TrySpend(3) {
+		t.Fatal("child b spend exceeded the parent cap")
+	}
+	if b.Used() != 0 {
+		t.Fatalf("declined spend left %d reserved in child b", b.Used())
+	}
+	if !b.TrySpend(2) || parent.Used() != 5 {
+		t.Fatalf("exact parent fill failed: parent used %d", parent.Used())
+	}
+	if !b.Exhausted() {
+		t.Fatal("child b not exhausted with its parent fully spent")
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("child b remaining %d with exhausted parent", b.Remaining())
+	}
+	if a.Remaining() != 0 {
+		t.Fatalf("child a remaining %d with exhausted parent", a.Remaining())
+	}
+}
+
+// TestChildBudgetUnlimitedLocal: a child with no local cap is purely a window
+// onto its parent.
+func TestChildBudgetUnlimitedLocal(t *testing.T) {
+	parent := NewSharedBudget(2)
+	c := NewChildBudget(0, parent)
+	if c.Parent() != parent {
+		t.Fatal("Parent() lost the chain")
+	}
+	if !c.TrySpend(2) || c.TrySpend(1) {
+		t.Fatal("uncapped child did not mirror parent admission")
+	}
+	if c.Remaining() != 0 || !c.Exhausted() {
+		t.Fatalf("uncapped child remaining %d exhausted %v", c.Remaining(), c.Exhausted())
+	}
+	if parent.Used() != 2 {
+		t.Fatalf("parent used %d, want 2", parent.Used())
+	}
+}
+
+// TestChildBudgetConcurrent races two children of one parent: the parent must
+// admit exactly its cap in total, and each child must stay within its own.
+func TestChildBudgetConcurrent(t *testing.T) {
+	const (
+		workers   = 8
+		attempts  = 500
+		parentCap = 1000
+		childCap  = 800
+	)
+	parent := NewSharedBudget(parentCap)
+	children := []*SharedBudget{
+		NewChildBudget(childCap, parent), NewChildBudget(childCap, parent),
+	}
+	var wg sync.WaitGroup
+	granted := make([]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				if children[w%2].TrySpend(1) {
+					granted[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, g := range granted {
+		total += g
+	}
+	if total != parentCap {
+		t.Fatalf("%d spends granted, parent cap %d", total, parentCap)
+	}
+	if parent.Used() != parentCap {
+		t.Fatalf("parent used %d, want %d", parent.Used(), parentCap)
+	}
+	if sum := children[0].Used() + children[1].Used(); sum != parentCap {
+		t.Fatalf("children account for %d, parent admitted %d", sum, parentCap)
+	}
+	for i, c := range children {
+		if c.Used() > childCap {
+			t.Fatalf("child %d used %d past its cap %d", i, c.Used(), childCap)
+		}
+	}
+}
+
 // TestProberSharedBudgetExceeded wires one SharedBudget into two probers on a
 // shared network: once the collective wire spend reaches the cap, every
 // further probe from either prober fails with ErrBudgetExceeded and nothing

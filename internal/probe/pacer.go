@@ -1,0 +1,84 @@
+package probe
+
+import (
+	"sync"
+
+	"tracenet/internal/telemetry"
+)
+
+// Pacer rate-limits wire sends. Reserve books the next send at virtual-clock
+// tick now and returns how many ticks the caller must wait before putting the
+// packet on the wire. A Pacer never blocks and never refuses: it answers with
+// a delay, the caller waits through its Waiter (which on the simulated
+// substrate advances the virtual clock), so pacing composes with the
+// deterministic clock instead of fighting it. Hard refusal stays the budget's
+// job — the pacer shapes rate, the budget caps volume.
+type Pacer interface {
+	Reserve(now uint64) (wait uint64)
+}
+
+// TokenBucket is a GCRA-style ("leaky bucket as meter") Pacer: sends drain at
+// one per interval ticks with a burst allowance of burst back-to-back sends.
+// Rather than tracking token refills — which would deadlock on a virtual
+// clock that only advances when packets move — it keeps the theoretical
+// arrival time of the next conforming send and answers every Reserve with a
+// finite wait, so progress is guaranteed even when the clock stands still.
+//
+// The daemon shares one TokenBucket across all campaigns of a tenant; it is
+// safe for concurrent use.
+type TokenBucket struct {
+	interval uint64 // ticks per send once the burst is spent
+	depth    uint64 // (burst-1)*interval: how far tat may run ahead of now
+
+	// cWait is the optional pre-resolved wait-tick counter. It must be a
+	// handle, never a by-name lookup: Reserve runs on the hot probe path.
+	cWait *telemetry.Counter
+
+	mu  sync.Mutex
+	tat uint64 // theoretical arrival time of the next send
+}
+
+// NewTokenBucket creates a bucket admitting one send per interval ticks after
+// an initial burst of burst sends. interval == 0 disables pacing (every
+// Reserve returns 0); burst == 0 is treated as 1.
+func NewTokenBucket(interval, burst uint64) *TokenBucket {
+	if burst == 0 {
+		burst = 1
+	}
+	return &TokenBucket{interval: interval, depth: (burst - 1) * interval}
+}
+
+// SetWaitCounter arms a pre-resolved counter accumulating the total wait
+// ticks this bucket has imposed (the daemon points it at the tenant's
+// tracenet_tenant_pacer_wait_ticks_total family).
+func (tb *TokenBucket) SetWaitCounter(c *telemetry.Counter) {
+	if tb == nil {
+		return
+	}
+	tb.mu.Lock()
+	tb.cWait = c
+	tb.mu.Unlock()
+}
+
+// Reserve implements Pacer. A nil bucket (and an interval of 0) admits
+// everything immediately.
+func (tb *TokenBucket) Reserve(now uint64) uint64 {
+	if tb == nil || tb.interval == 0 {
+		return 0
+	}
+	tb.mu.Lock()
+	if tb.tat < now {
+		tb.tat = now
+	}
+	var wait uint64
+	if earliest := tb.tat - min(tb.tat, tb.depth); earliest > now {
+		wait = earliest - now
+	}
+	tb.tat += tb.interval
+	c := tb.cWait
+	tb.mu.Unlock()
+	if wait > 0 {
+		c.Add(wait)
+	}
+	return wait
+}

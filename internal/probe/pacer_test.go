@@ -1,0 +1,167 @@
+package probe
+
+import (
+	"sync"
+	"testing"
+
+	"tracenet/internal/netsim"
+	"tracenet/internal/telemetry"
+	"tracenet/internal/topo"
+)
+
+func TestTokenBucketBurstThenPacing(t *testing.T) {
+	tb := NewTokenBucket(10, 3)
+	// The burst admits 3 back-to-back sends at tick 0.
+	for i := 0; i < 3; i++ {
+		if w := tb.Reserve(0); w != 0 {
+			t.Fatalf("burst send %d waited %d ticks", i, w)
+		}
+	}
+	// Every further send at tick 0 queues one interval behind the last.
+	for i, want := range []uint64{10, 20, 30} {
+		if w := tb.Reserve(0); w != want {
+			t.Fatalf("post-burst send %d waited %d, want %d", i, w, want)
+		}
+	}
+}
+
+func TestTokenBucketRefillsWithClock(t *testing.T) {
+	tb := NewTokenBucket(10, 1)
+	if w := tb.Reserve(0); w != 0 {
+		t.Fatalf("first send waited %d", w)
+	}
+	if w := tb.Reserve(0); w != 10 {
+		t.Fatalf("second send at the same tick waited %d, want 10", w)
+	}
+	// After the clock has advanced past the queue, sends are free again —
+	// but an idle period must not bank extra burst.
+	if w := tb.Reserve(100); w != 0 {
+		t.Fatalf("send after idle waited %d", w)
+	}
+	if w := tb.Reserve(100); w != 10 {
+		t.Fatalf("idle banked burst: second send waited %d, want 10", w)
+	}
+}
+
+func TestTokenBucketDisabledAndNil(t *testing.T) {
+	var nilTB *TokenBucket
+	nilTB.SetWaitCounter(nil) // must not panic
+	for _, tb := range []*TokenBucket{nilTB, NewTokenBucket(0, 5)} {
+		for i := 0; i < 100; i++ {
+			if w := tb.Reserve(0); w != 0 {
+				t.Fatalf("disabled bucket imposed a wait of %d", w)
+			}
+		}
+	}
+}
+
+func TestTokenBucketWaitCounter(t *testing.T) {
+	clk := &telemetry.ManualClock{}
+	tel := telemetry.New(clk)
+	tb := NewTokenBucket(5, 1)
+	tb.SetWaitCounter(tel.Counter("tracenet_tenant_pacer_wait_ticks_total", "tenant", "t"))
+	tb.Reserve(0) // free
+	tb.Reserve(0) // waits 5
+	tb.Reserve(0) // waits 10
+	got := tel.Counter("tracenet_tenant_pacer_wait_ticks_total", "tenant", "t").Value()
+	if got != 15 {
+		t.Fatalf("wait counter = %d, want 15", got)
+	}
+}
+
+// TestTokenBucketConcurrentReserve races reservations: the bucket must hand
+// out strictly increasing slots — total admitted work equals burst plus one
+// per interval — and never panic or lose a reservation.
+func TestTokenBucketConcurrentReserve(t *testing.T) {
+	const (
+		workers  = 8
+		each     = 250
+		interval = 4
+		burst    = 16
+	)
+	tb := NewTokenBucket(interval, burst)
+	waits := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				waits[w] += tb.Reserve(0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// With the clock pinned at 0, reservation i (0-based, globally ordered)
+	// waits max(0, (i-burst+1)*interval); the sum is schedule-independent.
+	var want, got uint64
+	for i := 0; i < workers*each; i++ {
+		if i >= burst-1 {
+			want += uint64(i-burst+1) * interval
+		}
+	}
+	for _, w := range waits {
+		got += w
+	}
+	if got != want {
+		t.Fatalf("total pacer wait %d, want %d", got, want)
+	}
+}
+
+// TestProberPacerWaits runs a paced prober on the simulator: each wire send
+// past the burst must advance the virtual clock by the pacing interval, and
+// the waits must land in Stats.PacerTicks and the metrics mirror.
+func TestProberPacerWaits(t *testing.T) {
+	const interval = 7
+	n := netsim.New(topo.Figure3(), netsim.Config{})
+	port, err := n.PortFor("vantage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New(n)
+	p := New(port, port.LocalAddr(), Options{
+		Pacer:     NewTokenBucket(interval, 1),
+		Telemetry: tel,
+	})
+	for i := 0; i < 4; i++ {
+		if _, err := p.Direct(addr("10.0.2.3")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.Sent != 4 {
+		t.Fatalf("sent %d, want 4", s.Sent)
+	}
+	if s.PacerTicks == 0 {
+		t.Fatal("paced prober accumulated no pacer ticks")
+	}
+	if got := tel.Counter("tracenet_probe_pacer_wait_ticks_total").Value(); got != s.PacerTicks {
+		t.Fatalf("metrics mirror %d, stats %d", got, s.PacerTicks)
+	}
+	if delta := s.Sub(Stats{PacerTicks: 1}); delta.PacerTicks != s.PacerTicks-1 {
+		t.Fatalf("Stats.Sub ignores PacerTicks: %+v", delta)
+	}
+}
+
+// TestProberPacerCacheBypass: cache hits and breaker skips put nothing on the
+// wire, so they must not burn rate slots.
+func TestProberPacerCacheBypass(t *testing.T) {
+	tb := NewTokenBucket(1000, 1)
+	p, _ := newProber(t, netsim.Config{}, Options{Pacer: tb, Cache: true})
+	if _, err := p.Direct(addr("10.0.2.3")); err != nil {
+		t.Fatal(err)
+	}
+	base := p.Stats().PacerTicks
+	for i := 0; i < 5; i++ {
+		if _, err := p.Direct(addr("10.0.2.3")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.Cached != 5 {
+		t.Fatalf("cached %d, want 5", s.Cached)
+	}
+	if s.PacerTicks != base {
+		t.Fatalf("cache hits burned pacer ticks: %d -> %d", base, s.PacerTicks)
+	}
+}

@@ -136,6 +136,7 @@ type Stats struct {
 	BreakerOpens uint64 // circuit-breaker open (or re-open) transitions
 	BreakerSkips uint64 // logical probes skipped because a breaker was open
 	BackoffTicks uint64 // virtual ticks spent waiting between retries
+	PacerTicks   uint64 // virtual ticks spent waiting on the rate pacer
 }
 
 // FaultEvents returns the number of definite fault observations: mangled
@@ -161,6 +162,7 @@ func (s Stats) Sub(base Stats) Stats {
 		BreakerOpens: s.BreakerOpens - base.BreakerOpens,
 		BreakerSkips: s.BreakerSkips - base.BreakerSkips,
 		BackoffTicks: s.BackoffTicks - base.BackoffTicks,
+		PacerTicks:   s.PacerTicks - base.PacerTicks,
 	}
 }
 
@@ -291,6 +293,13 @@ type Options struct {
 	// ErrBudgetExceeded. The budget is reserved atomically, so concurrent
 	// probers can never collectively overspend it.
 	SharedBudget *SharedBudget
+	// Pacer rate-limits wire sends: before every packet the prober reserves a
+	// send slot and sleeps out the returned wait through the transport's
+	// Waiter (advancing the virtual clock on the simulated substrate). The
+	// daemon shares one pacer across every prober of a tenant, shaping the
+	// tenant's aggregate rate; nil disables pacing. Cache hits and
+	// breaker-skipped probes bypass it — they put nothing on the wire.
+	Pacer Pacer
 	// Activity, when set, is marked after every completed wire exchange — a
 	// campaign shares one across its probers so the observability plane can
 	// read live probe counts and detect stalls without locks (two atomic ops,
@@ -376,6 +385,7 @@ type Prober struct {
 	cBreakerOpens *telemetry.Counter
 	cBreakerSkips *telemetry.Counter
 	cBackoff      *telemetry.Counter
+	cPacer        *telemetry.Counter
 	hReplyTTL     *telemetry.Histogram
 }
 
@@ -400,8 +410,11 @@ func New(tr Transport, src ipv4.Addr, opts Options) *Prober {
 		opts.FlowID = 0x7a7a
 	}
 	p := &Prober{tr: tr, src: src, opts: opts, retry: retry}
-	if retry.BackoffBase > 0 {
+	if retry.BackoffBase > 0 || opts.Pacer != nil {
+		// Backoff and pacing both wait through the transport's clock hook.
 		p.waiter, _ = tr.(Waiter)
+	}
+	if retry.BackoffBase > 0 {
 		// The jitter stream is seeded from the flow identifier so a rerun
 		// with the same options backs off identically.
 		p.jitter = rand.New(rand.NewSource(int64(opts.FlowID)*2654435761 + 1))
@@ -439,6 +452,7 @@ func (p *Prober) SetTelemetry(tel *telemetry.Telemetry) {
 	p.cBreakerOpens = tel.Counter("tracenet_probe_breaker_opens_total")
 	p.cBreakerSkips = tel.Counter("tracenet_probe_breaker_skips_total")
 	p.cBackoff = tel.Counter("tracenet_probe_backoff_ticks_total")
+	p.cPacer = tel.Counter("tracenet_probe_pacer_wait_ticks_total")
 	p.hReplyTTL = tel.Histogram("tracenet_probe_reply_ttl", ReplyTTLBuckets, "proto", proto)
 }
 
@@ -520,6 +534,17 @@ func (p *Prober) probe(dst ipv4.Addr, ttl int, useCache bool) (Result, error) {
 		}
 		if !p.opts.SharedBudget.TrySpend(1) {
 			return Result{}, ErrBudgetExceeded
+		}
+		if p.opts.Pacer != nil {
+			// Budget first, pacer second: a refused packet must not burn a
+			// rate slot, and a reserved slot is always followed by a send.
+			if w := p.opts.Pacer.Reserve(p.tel.Ticks()); w > 0 {
+				p.stats.PacerTicks += w
+				p.cPacer.Add(w)
+				if p.waiter != nil {
+					p.waiter.Wait(w)
+				}
+			}
 		}
 		r, err := p.once(dst, uint8(ttl))
 		if err != nil {

@@ -36,12 +36,14 @@ echo "== go test -race -tags invariants ./..."
 go test -race -tags invariants ./...
 
 # The campaign engine's determinism contract (identical merged topology and
-# metrics at -parallel 1 and 8) is its core guarantee, and the observability
-# plane reads live Progress state while campaign workers mutate it; exercise
-# both explicitly under the race detector even when the full suite above is
+# metrics at -parallel 1 and 8) is its core guarantee, the observability
+# plane reads live Progress state while campaign workers mutate it, and the
+# daemon's tenant registry and scheduler are hammered from concurrent HTTP
+# submissions (the tenant-budget invariant test); exercise all of them
+# explicitly under the race detector even when the full suite above is
 # trimmed.
-echo "== go test -race ./internal/collect/ ./internal/obs/ (campaign engine + observability plane)"
-go test -race -count=1 ./internal/collect/ ./internal/obs/
+echo "== go test -race ./internal/collect/ ./internal/obs/ ./internal/daemon/ ./cmd/tracenetd/ (campaign engine + observability plane + daemon)"
+go test -race -count=1 ./internal/collect/ ./internal/obs/ ./internal/daemon/ ./cmd/tracenetd/
 
 # The ground-truth accuracy floors (internal/experiments/accuracy.go) are the
 # regression gate for collector accuracy: the seeded ensemble must stay at or
@@ -64,7 +66,7 @@ go run ./cmd/tracenet -topo chain -eval | grep "subnet precision 1.000"
 
 echo "== bench smoke (1 iteration per benchmark) + warn-only baseline diff"
 bench_tmp="$(mktemp)"
-go test -run '^$' -bench '^(BenchmarkProbeExchange|BenchmarkSingleTrace)(Telemetry)?$|^BenchmarkCampaign(Progress)?$|^BenchmarkAccuracy$' -benchmem -benchtime 1x . | tee "$bench_tmp"
+go test -run '^$' -bench '^(BenchmarkProbeExchange|BenchmarkSingleTrace)(Telemetry)?$|^BenchmarkCampaign(Progress)?$|^BenchmarkAccuracy$|^BenchmarkDaemonThroughput$' -benchmem -benchtime 1x . | tee "$bench_tmp"
 go test -run '^$' -bench . -benchmem -benchtime 1x ./internal/telemetry/ | tee -a "$bench_tmp"
 # Diff the smoke run against the newest committed baseline. The report is
 # advisory (benchjson -compare always exits 0 on parseable input): 1x timing
