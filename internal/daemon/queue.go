@@ -57,18 +57,29 @@ func (q *queue) pop(now uint64, eligible func(*tenantState) bool) *queueEntry {
 	if best < 0 {
 		return nil
 	}
-	e := q.entries[best]
-	q.entries = append(q.entries[:best], q.entries[best+1:]...)
-	return e
+	return q.removeAt(best)
 }
 
 // remove extracts the entry with the given campaign ID, or nil.
 func (q *queue) remove(id string) *queueEntry {
 	for i, e := range q.entries {
 		if e.id == id {
-			q.entries = append(q.entries[:i], q.entries[i+1:]...)
-			return e
+			return q.removeAt(i)
 		}
 	}
 	return nil
+}
+
+// removeAt deletes and returns entries[i], zeroing the vacated tail slot: the
+// compacting copy leaves the last element duplicated in the slice's spare
+// capacity, and a long-lived daemon queue that merely truncated would keep
+// that *queueEntry — and its checkpoint, journal rows, and Spec — reachable
+// until the slot is overwritten by a future push.
+func (q *queue) removeAt(i int) *queueEntry {
+	e := q.entries[i]
+	last := len(q.entries) - 1
+	copy(q.entries[i:], q.entries[i+1:])
+	q.entries[last] = nil
+	q.entries = q.entries[:last]
+	return e
 }

@@ -77,3 +77,27 @@ func TestQueueRemove(t *testing.T) {
 		t.Fatalf("pop after remove = %v, want b", e)
 	}
 }
+
+// TestQueueReleasesRemovedEntries: pop and remove must not keep extracted
+// entries reachable through the slice's spare capacity. A daemon queue lives
+// for the process lifetime, and each entry pins a campaign Spec, resume
+// checkpoint, and journal rows — a stale pointer in the vacated tail slot is
+// a leak until some future push happens to overwrite it.
+func TestQueueReleasesRemovedEntries(t *testing.T) {
+	var q queue
+	q.push(entry("a", 1, 0, 0, nil))
+	q.push(entry("b", 2, 9, 0, nil)) // popped first (priority), vacating a mid slot
+	q.push(entry("c", 3, 0, 0, nil))
+
+	if e := q.pop(0, nil); e == nil || e.id != "b" {
+		t.Fatalf("pop = %v, want b", e)
+	}
+	if e := q.remove("c"); e == nil || e.id != "c" {
+		t.Fatalf("remove(c) = %v", e)
+	}
+	for _, stale := range q.entries[len(q.entries):cap(q.entries)] {
+		if stale != nil {
+			t.Fatalf("vacated slot still pins entry %q", stale.id)
+		}
+	}
+}

@@ -35,10 +35,11 @@ const (
 // AdversarialRegimes is the canonical order for reports and gates.
 var AdversarialRegimes = []Regime{RegimeLiar, RegimeAliasConfuse, RegimeHiddenHop, RegimeEcho, RegimeByzantine}
 
-// AdversarialSeeds is the committed ensemble for the adversarial gate. It is
-// smaller than AccuracySeeds because every seed runs twice (defended and
-// undefended) under five regimes.
-var AdversarialSeeds = []int64{1, 2, 3}
+// AdversarialSeeds is the committed ensemble for the adversarial gate. It
+// matches AccuracySeeds: the per-seed spread of the probabilistic regimes
+// (echo especially) is wide enough that a three-seed mean flips sign on an
+// unlucky draw stream, while the five-seed mean is stable.
+var AdversarialSeeds = []int64{1, 2, 3, 4, 5}
 
 // AdversarialPlan builds the deterministic always-on fault plan for a
 // regime. The probabilities are pinned: high enough that the undefended
@@ -128,13 +129,14 @@ type AdversarialFloor struct {
 // deterministic runs have no noise to absorb, the slack only covers
 // intentional topology-generator changes.
 //
-// Measured means at commit time (seeds 1–3):
+// Measured means at commit time (seeds 1–5, per-router-sharded fault
+// streams):
 //
-//	liar:          undefended subnet P 0.864 → defended 0.954 (R 0.906 → 0.510)
-//	alias-confuse: undefended subnet P 1.000 → defended 1.000 (R 0.156 → 0.635)
-//	hidden-hop:    undefended subnet P 1.000 → defended 1.000 (R 0.958 → 0.958)
-//	echo:          undefended subnet P 0.820 → defended 0.858 (R 0.656 → 0.688)
-//	byzantine:     undefended subnet P 0.820 → defended 0.812 (R 0.385 → 0.490)
+//	liar:          undefended subnet P 0.830 → defended 0.928 (R 0.894 → 0.600)
+//	alias-confuse: undefended subnet P 1.000 → defended 1.000 (R 0.156 → 0.650)
+//	hidden-hop:    undefended subnet P 1.000 → defended 1.000 (R 0.956 → 0.956)
+//	echo:          undefended subnet P 0.794 → defended 0.807 (R 0.606 → 0.650)
+//	byzantine:     undefended subnet P 0.733 → defended 0.826 (R 0.369 → 0.519)
 //
 // The shape per regime is the threat model of DESIGN.md §11 made
 // measurable. Liar and echo poison precision — the undefended collector
@@ -143,17 +145,16 @@ type AdversarialFloor struct {
 // back. Alias-confuse barely touches precision but collapses recall to
 // 0.156 undefended (the repeated shared source trips the loop detector and
 // aborts traces early); quarantining the shared address recovers recall to
-// 0.635. Hidden hops are invisible by construction, so no defense recovers
-// them — the gate just pins that they cost recall, not precision. The
-// combined byzantine regime trades a sliver of defended precision for the
-// recall the alias/liar defenses recover, hence its negative recovery
-// allowance.
+// 0.650. Hidden hops are invisible by construction, so no defense recovers
+// them — the gate just pins that they cost recall, not precision. Echo's
+// recovery is real but small in the mean (its per-seed spread is the reason
+// the ensemble is five seeds), so its margin gate is the loosest.
 var AdversarialFloors = map[Regime]AdversarialFloor{
-	RegimeLiar:         {UndefendedSubnetPrecisionMax: 0.90, DefendedSubnetPrecision: 0.94, DefendedSubnetRecall: 0.45, MinPrecisionRecovery: 0.05},
+	RegimeLiar:         {UndefendedSubnetPrecisionMax: 0.87, DefendedSubnetPrecision: 0.91, DefendedSubnetRecall: 0.55, MinPrecisionRecovery: 0.05},
 	RegimeAliasConfuse: {UndefendedSubnetPrecisionMax: 1, DefendedSubnetPrecision: 0.99, DefendedSubnetRecall: 0.60},
 	RegimeHiddenHop:    {UndefendedSubnetPrecisionMax: 1, DefendedSubnetPrecision: 0.99, DefendedSubnetRecall: 0.94},
-	RegimeEcho:         {UndefendedSubnetPrecisionMax: 0.85, DefendedSubnetPrecision: 0.85, DefendedSubnetRecall: 0.65, MinPrecisionRecovery: 0.02},
-	RegimeByzantine:    {UndefendedSubnetPrecisionMax: 0.85, DefendedSubnetPrecision: 0.78, DefendedSubnetRecall: 0.45, MinPrecisionRecovery: -0.05},
+	RegimeEcho:         {UndefendedSubnetPrecisionMax: 0.84, DefendedSubnetPrecision: 0.79, DefendedSubnetRecall: 0.62, MinPrecisionRecovery: 0.005},
+	RegimeByzantine:    {UndefendedSubnetPrecisionMax: 0.80, DefendedSubnetPrecision: 0.80, DefendedSubnetRecall: 0.48, MinPrecisionRecovery: 0.05},
 }
 
 // Violations compares the result against a floor and describes every bound

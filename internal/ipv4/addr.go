@@ -88,6 +88,18 @@ func (a Addr) String() string {
 	return string(buf)
 }
 
+// AppendText appends the dotted-quad form to dst and returns the extended
+// slice — the allocation-free rendering path for hot-path telemetry.
+func (a Addr) AppendText(dst []byte) []byte {
+	dst = strconv.AppendUint(dst, uint64(a>>24), 10)
+	dst = append(dst, '.')
+	dst = strconv.AppendUint(dst, uint64(a>>16&0xff), 10)
+	dst = append(dst, '.')
+	dst = strconv.AppendUint(dst, uint64(a>>8&0xff), 10)
+	dst = append(dst, '.')
+	return strconv.AppendUint(dst, uint64(a&0xff), 10)
+}
+
 // IsZero reports whether a is the unspecified address.
 func (a Addr) IsZero() bool { return a == 0 }
 

@@ -26,12 +26,14 @@ import (
 )
 
 // Packages are the hot probe-path packages the gate watches: everything a
-// single Prober.probe call executes per packet.
+// single Prober.probe call executes per packet, including the simulator's
+// reply-synthesis path on the other side of the port.
 var Packages = []string{
 	"tracenet/internal/wire",
 	"tracenet/internal/probe",
 	"tracenet/internal/ipv4",
 	"tracenet/internal/telemetry",
+	"tracenet/internal/netsim",
 }
 
 // BudgetsFile is the committed budget file, relative to the module root.
@@ -261,7 +263,10 @@ func Count(escapes []Escape) map[Key]int {
 }
 
 // ParseBudgets reads a budgets file: one `<pkg> <func> <count>` triple per
-// line, '#' comments and blank lines ignored.
+// line, '#' comments and blank lines ignored. The function name may itself
+// contain spaces (the "(package scope)" pseudo-function for escapes in
+// package-level initializers), so it is everything between the first and
+// last fields.
 func ParseBudgets(r io.Reader) (map[Key]int, error) {
 	budgets := make(map[Key]int)
 	sc := bufio.NewScanner(r)
@@ -271,14 +276,15 @@ func ParseBudgets(r io.Reader) (map[Key]int, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 3 {
+		if len(fields) < 3 {
 			return nil, fmt.Errorf("allocbudget: budgets line %d: want `<pkg> <func> <count>`, got %q", n, line)
 		}
 		var count int
-		if _, err := fmt.Sscanf(fields[2], "%d", &count); err != nil {
-			return nil, fmt.Errorf("allocbudget: budgets line %d: bad count %q", n, fields[2])
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%d", &count); err != nil {
+			return nil, fmt.Errorf("allocbudget: budgets line %d: bad count %q", n, fields[len(fields)-1])
 		}
-		budgets[Key{Pkg: fields[0], Func: fields[1]}] = count
+		fn := strings.Join(fields[1:len(fields)-1], " ")
+		budgets[Key{Pkg: fields[0], Func: fn}] = count
 	}
 	return budgets, sc.Err()
 }

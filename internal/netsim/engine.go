@@ -47,51 +47,87 @@ func (c Config) validate() error {
 	return nil
 }
 
-// needsSerial reports whether the configuration (or the topology itself)
-// consumes shared mutable state on the injection path — the random stream
-// (loss, per-router reply loss, random IP-IDs), the clock-salted per-packet
-// balancer, or per-router rate-limit buckets. Such networks funnel every
-// injection through the mutex so their behaviour is byte-identical to the
-// historical single-threaded engine; clean networks take the lock-free path.
-func (c Config) needsSerial(t *Topology) bool {
-	if c.LossRate > 0 || c.Mode == PerPacket {
-		return true
+// numShards stripes the network's mutable random state by responding router,
+// so concurrent injections that end at different routers draw without
+// contending. 16 stripes keep contention negligible up to the parallelism the
+// campaign engine uses while costing one cache line each.
+const (
+	numShards = 16
+	shardMask = numShards - 1
+)
+
+// shardIndex maps a responding router onto its random-stream stripe. A nil
+// responder (defensive; every generated reply has one) uses stripe 0.
+func shardIndex(r *Router) int {
+	if r == nil {
+		return 0
 	}
-	for _, r := range t.Routers {
-		if r.RateLimit != nil || r.ReplyLoss > 0 || r.IPIDRandom {
-			return true
-		}
-	}
-	return false
+	return r.idx & shardMask
+}
+
+// rngShard is one stripe of a seeded random stream: a dedicated generator
+// behind its own lock, padded out to a cache line so neighbouring stripes do
+// not false-share. Each draw locks only its stripe, so routers in different
+// stripes never serialize against each other.
+type rngShard struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	_   [40]byte
+}
+
+// chance draws one uniform float and reports whether it fell below p.
+func (s *rngShard) chance(p float64) bool {
+	s.mu.Lock()
+	ok := s.rng.Float64() < p
+	s.mu.Unlock()
+	return ok
+}
+
+// intn draws one uniform int in [0, n).
+func (s *rngShard) intn(n int) int {
+	s.mu.Lock()
+	v := s.rng.Intn(n)
+	s.mu.Unlock()
+	return v
+}
+
+// shardSeed derives the seed of stripe i from the stream's base seed. The
+// multiplier is the 64-bit golden-ratio constant, so stripe streams are
+// decorrelated from each other and from the base seed itself.
+func shardSeed(base int64, i int) int64 {
+	return base ^ int64(uint64(i+1)*0x9e3779b97f4a7c15)
 }
 
 // Network is a runnable simulation over an immutable Topology.
 //
-// A Network is safe for concurrent use by multiple vantage Ports: on clean
-// configurations (no loss, per-flow balancing, no faults, no rate limits)
-// injections run lock-free over the immutable topology with atomic counters,
-// so concurrent sessions scale across cores; any configuration that consumes
-// the shared random stream or mutable fault state serializes every injection
-// behind the internal mutex, preserving the exact historical behaviour.
+// A Network is safe for concurrent use by multiple vantage Ports, and every
+// injection runs without a network-wide lock: the topology and routing state
+// are immutable, counters and the clock are atomic, and the mutable remainder
+// — the seeded random streams and rate-limit buckets — is striped per
+// responding router (see rngShard) or locked per bucket. A configuration with
+// loss, faults, or rate limits therefore scales across cores exactly like a
+// clean one; only probes answered by the same router contend, and only when
+// they actually draw randomness or tokens.
 type Network struct {
 	Topo *Topology
 
 	// Probes counts every injected packet; Replies counts non-silent answers.
-	// Both are maintained atomically (the lock-free fast path updates them
-	// concurrently); use Counters for a consistently-ordered snapshot while
-	// probing is in flight.
+	// Both are maintained atomically; use Counters for a consistently-ordered
+	// snapshot while probing is in flight.
 	Probes  uint64
 	Replies uint64
 
-	// Everything from here to mu is immutable after construction (cfg, rt) or
-	// set once before probing starts (faults via InstallFaults, telemetry
-	// handles via SetTelemetry), or atomic (clock, serial) — the lock-free
-	// fast path reads these fields concurrently.
+	// cfg and rt are immutable after construction; faults is replaced
+	// wholesale by InstallFaults; clock is atomic.
 	cfg    Config
 	rt     *routingState
-	faults *faultState
+	faults atomic.Pointer[faultState]
 	clock  atomic.Uint64
-	serial atomic.Bool
+
+	// shards stripe the network's own seeded stream (loss, per-router reply
+	// loss, random IP-IDs) by responding router. The fault plan's independent
+	// stream is striped the same way inside faultState.
+	shards [numShards]rngShard
 
 	// Telemetry mirror of the engine counters; handles are resolved once in
 	// SetTelemetry and nil-safe, so the uninstrumented path stays free.
@@ -101,10 +137,9 @@ type Network struct {
 	gClock   *telemetry.Gauge
 	cFault   [12]*telemetry.Counter // indexed by FaultKind
 
-	// mu serializes the slow path; rng (and the mutable fault state reached
-	// through faults) is only touched with it held.
-	mu  sync.Mutex
-	rng *rand.Rand
+	// mu guards configuration (telemetry attachment). The injection path
+	// never takes it: SetTelemetry must be called before probing starts.
+	mu sync.Mutex
 }
 
 // New creates a network simulation over topo. It panics if cfg is out of
@@ -126,15 +161,24 @@ func NewChecked(topo *Topology, cfg Config) (*Network, error) {
 		Topo: topo,
 		cfg:  cfg,
 		rt:   newRoutingState(topo),
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
 	}
-	n.serial.Store(cfg.needsSerial(topo))
+	n.initShards(cfg.Seed)
 	// Spread the per-router IP-ID counters so distinct routers' sequences
 	// don't coincide by construction.
 	for i, r := range topo.Routers {
 		atomic.StoreUint32(&r.ipid, uint32(uint16(i*1021)))
 	}
 	return n, nil
+}
+
+// initShards seeds the network's striped random streams from seed.
+func (n *Network) initShards(seed int64) {
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.mu.Lock()
+		s.rng = rand.New(rand.NewSource(shardSeed(seed, i)))
+		s.mu.Unlock()
+	}
 }
 
 // Counters returns a race-free snapshot of the probe/reply counters. Replies
@@ -155,10 +199,10 @@ func (n *Network) Ticks() uint64 {
 
 // SetTelemetry attaches (or, with nil, detaches) the run's telemetry layer,
 // resolving the engine's metric handles once so the injection path never
-// touches the registry. Call it before probing starts: the lock-free fast
-// path reads the handles without synchronization. Inside the engine
-// everything records through RecordAt with the current clock — never through
-// methods that re-read the clock via Ticks.
+// touches the registry. Call it before probing starts: the injection path
+// reads the handles without synchronization. Inside the engine everything
+// records through RecordAt with the current clock — never through methods
+// that re-read the clock via Ticks.
 func (n *Network) SetTelemetry(tel *telemetry.Telemetry) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -178,13 +222,141 @@ func (n *Network) SetTelemetry(tel *telemetry.Telemetry) {
 
 // observeFault mirrors one inflicted fault onto the telemetry layer: the
 // per-kind fault counter and a flight-recorder entry at the current clock.
-// Called with n.mu held (faults only occur on the serialized path).
+// Counter and recorder are internally synchronized, so fault sites call this
+// without holding any engine lock.
 func (n *Network) observeFault(kind FaultKind, msg string) {
 	if n.tel == nil {
 		return
 	}
 	n.cFault[kind].Inc()
 	n.tel.RecordAt(n.clock.Load(), "fault", msg)
+}
+
+// exchangeScratch owns every piece of transient storage one injection needs:
+// the decode scratch for the probe, the quote buffer an ICMP error embeds,
+// the reply packet and its transport struct, and the reply's options copy.
+// Exchanges borrow a scratch from scratchPool, so the steady-state injection
+// path allocates nothing — the reply is synthesized into the scratch and
+// encoded into the caller's buffer before the scratch is returned.
+type exchangeScratch struct {
+	dec   wire.DecodeScratch
+	quote []byte // re-encoded probe bytes backing ICMP error quotes
+	opts  []byte // reply's copy of accumulated IP options (echo replies)
+	reply wire.Packet
+	icmp  wire.ICMP
+	tcp   wire.TCP
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(exchangeScratch) }}
+
+// quoteBytes materializes the in-flight packet into the scratch quote buffer,
+// so an ICMP error quote reflects the decremented TTL and any record-route
+// stamps accumulated on the way. An optionless packet can only differ from its
+// as-sent bytes in the TTL, so the fast path copies the header plus eight
+// payload bytes (all an RFC 792 quote embeds) and patches TTL and header
+// checksum in place (RFC 1624) — identical output to a re-encode at a
+// fraction of the cost. Packets carrying options re-encode in full; encode
+// failure falls back to the as-sent bytes (unreachable for packets that
+// decoded).
+func (x *exchangeScratch) quoteBytes(pkt *wire.Packet, raw []byte) []byte {
+	if len(pkt.IP.Options) == 0 && len(raw) >= wire.HeaderLen && int(raw[0]&0x0f)*4 == wire.HeaderLen {
+		n := wire.HeaderLen + 8
+		if len(raw) < n {
+			n = len(raw)
+		}
+		q := append(x.quote[:0], raw[:n]...)
+		if q[8] != pkt.IP.TTL {
+			old := uint16(q[8])<<8 | uint16(q[9])
+			q[8] = pkt.IP.TTL
+			wire.CsumUpdate(q, 10, old, uint16(q[8])<<8|uint16(q[9]))
+		}
+		x.quote = q
+		return q
+	}
+	q, err := pkt.AppendEncode(x.quote[:0])
+	if err != nil {
+		return raw
+	}
+	x.quote = q
+	return q
+}
+
+// echoReply synthesizes the echo reply to a decoded echo request into the
+// scratch. IP options (such as an accumulated record route) are copied into
+// scratch-owned storage, as ping -R relies on.
+func (x *exchangeScratch) echoReply(replyFrom ipv4.Addr, req *wire.Packet) *wire.Packet {
+	var opts []byte
+	if len(req.IP.Options) > 0 {
+		x.opts = append(x.opts[:0], req.IP.Options...)
+		opts = x.opts
+	}
+	x.icmp = wire.ICMP{Type: wire.ICMPEchoReply, ID: req.ICMP.ID, Seq: req.ICMP.Seq}
+	x.reply = wire.Packet{
+		IP:   wire.IPHeader{TTL: 64, Src: replyFrom, Dst: req.IP.Src, Options: opts},
+		ICMP: &x.icmp,
+	}
+	return &x.reply
+}
+
+// icmpError synthesizes the ICMP error a router at routerAddr sends for the
+// in-flight probe pkt: time-exceeded or destination/port unreachable. Per
+// RFC 792 the error embeds the original IP header (including any options)
+// plus its first 8 payload bytes; the quote is re-encoded into the scratch,
+// and the error is addressed to the decoded probe's source directly — no
+// quoted re-parse, unlike the allocating wire.NewICMPError constructor.
+func (x *exchangeScratch) icmpError(routerAddr ipv4.Addr, icmpType, code uint8, pkt *wire.Packet, raw []byte) *wire.Packet {
+	quote := x.quoteBytes(pkt, raw)
+	quoteLen := wire.HeaderLen + 8
+	if len(quote) >= 1 {
+		if ihl := int(quote[0]&0x0f) * 4; ihl >= wire.HeaderLen {
+			quoteLen = ihl + 8
+		}
+	}
+	if len(quote) > quoteLen {
+		quote = quote[:quoteLen]
+	}
+	x.icmp = wire.ICMP{Type: icmpType, Code: code, Payload: quote}
+	x.reply = wire.Packet{
+		IP:   wire.IPHeader{TTL: 64, Src: routerAddr, Dst: pkt.IP.Src},
+		ICMP: &x.icmp,
+	}
+	return &x.reply
+}
+
+// tcpReset synthesizes the RST|ACK a live host returns for an unsolicited
+// ACK probe into the scratch.
+func (x *exchangeScratch) tcpReset(replyFrom ipv4.Addr, req *wire.Packet) *wire.Packet {
+	x.tcp = wire.TCP{
+		SrcPort: req.TCP.DstPort,
+		DstPort: req.TCP.SrcPort,
+		Seq:     req.TCP.Ack,
+		Ack:     req.TCP.Seq + 1,
+		Flags:   wire.TCPFlagRST | wire.TCPFlagACK,
+	}
+	x.reply = wire.Packet{
+		IP:  wire.IPHeader{TTL: 64, Src: replyFrom, Dst: req.IP.Src},
+		TCP: &x.tcp,
+	}
+	return &x.reply
+}
+
+// fabricateAlive builds the lie an echo fault tells: a reply of the
+// protocol-appropriate "destination alive" shape — echo reply, port
+// unreachable, or TCP reset — whose source mirrors the probe's destination,
+// indistinguishable on the wire from a genuine endpoint answer. Returns nil
+// for probe shapes that have no alive form, letting the caller fall through
+// to the honest reply.
+func (x *exchangeScratch) fabricateAlive(pkt *wire.Packet, raw []byte) *wire.Packet {
+	dst := pkt.IP.Dst
+	switch {
+	case pkt.ICMP != nil && pkt.ICMP.Type == wire.ICMPEchoRequest:
+		return x.echoReply(dst, pkt)
+	case pkt.UDP != nil:
+		return x.icmpError(dst, wire.ICMPDestUnreach, wire.CodePortUnreach, pkt, raw)
+	case pkt.TCP != nil:
+		return x.tcpReset(dst, pkt)
+	}
+	return nil
 }
 
 // Port binds a vantage host to the network, exposing the probe.Transport
@@ -216,10 +388,21 @@ func (p *Port) LocalAddr() ipv4.Addr { return p.host.Addr() }
 // fault plan is installed the reply bytes may come back corrupted or
 // truncated, exactly as a mangled datagram would off a raw socket.
 // Safe for concurrent use.
+func (p *Port) Exchange(raw []byte) ([]byte, error) {
+	return p.ExchangeAppend(raw, nil)
+}
+
+// ExchangeAppend is Exchange writing the reply into dst's spare capacity: the
+// reply bytes are appended to dst and the extended slice returned, so a
+// caller reusing one buffer (dst[:0]) pays zero steady-state allocations per
+// exchange. A nil return with nil error still means silence. This is the
+// probe layer's ExchangeAppender fast path. Safe for concurrent use.
 //
 //tracenet:hotpath
-func (p *Port) Exchange(raw []byte) ([]byte, error) {
-	pkt, err := wire.Decode(raw)
+func (p *Port) ExchangeAppend(raw, dst []byte) ([]byte, error) {
+	x := scratchPool.Get().(*exchangeScratch)
+	defer scratchPool.Put(x)
+	pkt, err := x.dec.DecodeInto(raw)
 	if err != nil {
 		return nil, fmt.Errorf("netsim: undecodable probe: %w", err)
 	}
@@ -227,28 +410,22 @@ func (p *Port) Exchange(raw []byte) ([]byte, error) {
 		return nil, fmt.Errorf("netsim: probe source %v is not host %s (%v)",
 			pkt.IP.Src, p.host.Name, p.host.Addr())
 	}
-	if !p.net.serial.Load() {
-		reply := p.net.injectFast(pkt, raw, p.host)
-		if reply == nil {
-			return nil, nil
-		}
-		out, err := reply.Encode()
-		if err != nil {
-			return nil, fmt.Errorf("netsim: encoding reply: %w", err)
-		}
-		return out, nil
-	}
-	p.net.mu.Lock()
-	defer p.net.mu.Unlock()
-	reply := p.net.inject(pkt, raw, p.host)
+	reply, responder := p.net.exchange(x, pkt, raw, p.host)
 	if reply == nil {
 		return nil, nil
 	}
-	out, err := reply.Encode()
+	start := len(dst)
+	out, err := reply.AppendEncode(dst)
 	if err != nil {
 		return nil, fmt.Errorf("netsim: encoding reply: %w", err)
 	}
-	return p.net.mangleReply(out), nil
+	// Mangling faults touch only the reply region, never a caller prefix; a
+	// truncation that consumed the whole datagram reads as silence.
+	mangled := p.net.mangleReply(out[start:], responder)
+	if len(mangled) == 0 {
+		return nil, nil
+	}
+	return out[:start+len(mangled)], nil
 }
 
 // Wait advances the network's virtual clock by ticks without injecting a
@@ -261,8 +438,8 @@ func (p *Port) Wait(ticks uint64) {
 }
 
 // tick advances the clock and probe counter for one injection, maintaining
-// the clock-mirror gauge and the counter invariant. Shared by both injection
-// paths; all state it touches is atomic.
+// the clock-mirror gauge and the counter invariant. All state it touches is
+// atomic.
 func (n *Network) tick() {
 	clock := n.clock.Add(1)
 	// Replies is loaded before Probes is incremented: every reply increment
@@ -278,70 +455,53 @@ func (n *Network) tick() {
 		"netsim: LossRate %v escaped [0,1] after construction", n.cfg.LossRate)
 }
 
-// injectFast walks one probe through the topology on the lock-free path:
-// the topology and routing state are immutable, counters are atomic, and no
-// configuration that could consume the shared random stream or mutable fault
-// state is active (see Config.needsSerial, checked by Exchange).
-func (n *Network) injectFast(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packet {
+// exchange walks one probe through the topology and settles its reply: loss,
+// IP-ID assignment, and delay faults, every random draw striped by the
+// responding router. Returns the reply synthesized in x (nil for silence)
+// and the responding router.
+func (n *Network) exchange(x *exchangeScratch, pkt *wire.Packet, raw []byte, origin *Router) (*wire.Packet, *Router) {
 	n.tick()
-	reply, responder := n.walk(pkt, raw, origin)
+	reply, responder := n.walk(x, pkt, raw, origin)
 	if reply == nil {
-		return nil
+		return nil, nil
 	}
-	if responder != nil {
-		// IPIDRandom routers force the serialized path, so only the shared
-		// atomic counter is reachable here. Counter values interleave across
-		// concurrent probers but stay per-router monotonic — the alias signal.
-		reply.IP.ID = responder.nextIPID()
-	}
-	atomic.AddUint64(&n.Replies, 1)
-	n.cReplies.Inc()
-	return reply
-}
-
-// inject walks one probe through the topology and produces its reply on the
-// serialized path. Called with n.mu held.
-func (n *Network) inject(pkt *wire.Packet, raw []byte, origin *Router) *wire.Packet {
-	n.tick()
-	reply, responder := n.walk(pkt, raw, origin)
-	if reply == nil {
-		return nil
-	}
-	lost := n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate
-	if lost && n.duplicateChance() {
-		// A duplicated reply gets a second, independent draw against loss.
-		lost = n.rng.Float64() < n.cfg.LossRate
-	}
-	if lost {
-		return nil
+	if n.cfg.LossRate > 0 {
+		sh := &n.shards[shardIndex(responder)]
+		lost := sh.chance(n.cfg.LossRate)
+		if lost && n.duplicateChance(responder) {
+			// A duplicated reply gets a second, independent draw against loss.
+			lost = sh.chance(n.cfg.LossRate)
+		}
+		if lost {
+			return nil, nil
+		}
 	}
 	if responder != nil {
 		// The reply's IP identifier comes from the responding router's
 		// shared counter (or a random draw for non-cooperative routers) —
 		// the signal Ally-style alias resolution keys on.
 		if responder.IPIDRandom {
-			reply.IP.ID = uint16(n.rng.Intn(1 << 16))
+			reply.IP.ID = uint16(n.shards[shardIndex(responder)].intn(1 << 16))
 		} else {
 			reply.IP.ID = responder.nextIPID()
 		}
 	}
-	if n.replyDelayed() {
+	if n.replyDelayed(responder) {
 		// The router answered, but the reply misses the prober's timeout
 		// window; it consumed the router's tokens and IP-ID all the same.
-		return nil
+		return nil, nil
 	}
 	atomic.AddUint64(&n.Replies, 1)
 	n.cReplies.Inc()
-	return reply
+	return reply, responder
 }
 
 // walk traces one probe hop by hop until it is answered, dropped, or runs out
-// of hops, returning the reply and the router that generated it. On the
-// serialized path the caller holds n.mu; on the fast path every branch that
-// would touch n.rng or mutable fault state (loss, reply loss, rate limits,
-// faults) is unreachable by construction, and the remaining reads are
-// immutable or atomic.
-func (n *Network) walk(pkt *wire.Packet, raw []byte, origin *Router) (*wire.Packet, *Router) {
+// of hops, returning the reply (synthesized into x) and the router that
+// generated it. The topology and routing state it reads are immutable; fault
+// windows and counters are atomic; random draws lock only the responding
+// router's stripe.
+func (n *Network) walk(x *exchangeScratch, pkt *wire.Packet, raw []byte, origin *Router) (*wire.Packet, *Router) {
 	dst := pkt.IP.Dst
 	ttl := int(pkt.IP.TTL)
 	if ttl <= 0 {
@@ -349,7 +509,7 @@ func (n *Network) walk(pkt *wire.Packet, raw []byte, origin *Router) (*wire.Pack
 	}
 	// Self-probe: answered locally without entering the network.
 	if iface := origin.IfaceWithAddr(dst); iface != nil {
-		return n.directReply(origin, iface, nil, pkt, raw)
+		return n.directReply(x, origin, iface, nil, pkt, raw)
 	}
 
 	cur, in, _, verdict := n.forwardStep(origin, pkt, nil)
@@ -364,13 +524,13 @@ func (n *Network) walk(pkt *wire.Packet, raw []byte, origin *Router) (*wire.Pack
 	for hop := 0; hop < maxHops; hop++ {
 		// Local delivery: the packet is addressed to one of cur's interfaces.
 		if iface := cur.IfaceWithAddr(dst); iface != nil {
-			return n.directReply(cur, iface, in, pkt, raw)
+			return n.directReply(x, cur, iface, in, pkt, raw)
 		}
 		// TTL expires on forwarding.
 		ttl--
 		pkt.IP.TTL = uint8(ttl)
 		if ttl <= 0 {
-			return n.ttlExceeded(cur, in, pkt, raw)
+			return n.ttlExceeded(x, cur, in, pkt, raw)
 		}
 		next, nextIn, out, verdict := n.forwardStep(cur, pkt, in)
 		if (verdict == stepForwarded || verdict == stepDelivered) &&
@@ -393,22 +553,12 @@ func (n *Network) walk(pkt *wire.Packet, raw []byte, origin *Router) (*wire.Pack
 		case stepFirewalled:
 			return nil, nil
 		case stepUnassigned:
-			return n.unreachable(cur, in, pkt, raw, wire.CodeHostUnreach)
+			return n.unreachable(x, cur, in, pkt, raw, wire.CodeHostUnreach)
 		case stepNoRoute:
-			return n.unreachable(cur, in, pkt, raw, wire.CodeNetUnreach)
+			return n.unreachable(x, cur, in, pkt, raw, wire.CodeNetUnreach)
 		}
 	}
 	return nil, nil
-}
-
-// quoteBytes re-encodes the in-flight packet for an ICMP error quote, so the
-// quoted header reflects the decremented TTL and any record-route stamps
-// accumulated on the way. Falls back to the as-sent bytes on encode failure.
-func quoteBytes(pkt *wire.Packet, raw []byte) []byte {
-	if q, err := pkt.Encode(); err == nil {
-		return q
-	}
-	return raw
 }
 
 type stepVerdict uint8
@@ -423,9 +573,8 @@ const (
 
 // forwardStep decides cur's next hop for pkt. It returns the next router,
 // the interface the packet enters it through, and the outgoing interface on
-// cur (for record-route stamping). Serialized path: caller holds n.mu;
-// fast path: per-packet salting is inactive and churn faults are absent, so
-// only immutable routing state is read.
+// cur (for record-route stamping). Reads only immutable routing state, the
+// atomic clock, and the lock-free next-hop memo.
 func (n *Network) forwardStep(cur *Router, pkt *wire.Packet, in *Iface) (*Router, *Iface, *Iface, stepVerdict) {
 	dst := pkt.IP.Dst
 	s := n.rt.targetSubnet(dst)
@@ -459,9 +608,8 @@ func (n *Network) forwardStep(cur *Router, pkt *wire.Packet, in *Iface) (*Router
 }
 
 // directReply answers a probe delivered to iface on router r, returning the
-// reply and the responding router. Serialized path: caller holds n.mu; fast
-// path: the rate-limit, storm, and reply-loss branches are unreachable.
-func (n *Network) directReply(r *Router, iface, in *Iface, pkt *wire.Packet, raw []byte) (*wire.Packet, *Router) {
+// reply (synthesized into x) and the responding router.
+func (n *Network) directReply(x *exchangeScratch, r *Router, iface, in *Iface, pkt *wire.Packet, raw []byte) (*wire.Packet, *Router) {
 	if iface.Subnet.Unresponsive {
 		// Firewalled subnet: probes into its range die silently, including
 		// at the hosting router itself.
@@ -479,7 +627,7 @@ func (n *Network) directReply(r *Router, iface, in *Iface, pkt *wire.Packet, raw
 	if !r.RateLimit.Allow(n.clock.Load()) || !n.stormAllows(r) {
 		return nil, nil
 	}
-	if r.ReplyLoss > 0 && n.rng.Float64() < r.ReplyLoss {
+	if r.ReplyLoss > 0 && n.shards[shardIndex(r)].chance(r.ReplyLoss) {
 		return nil, nil
 	}
 	src := n.rt.replySource(r, r.DirectPolicy, iface, in, pkt.IP.Src)
@@ -488,22 +636,21 @@ func (n *Network) directReply(r *Router, iface, in *Iface, pkt *wire.Packet, raw
 	}
 	switch {
 	case pkt.ICMP != nil && pkt.ICMP.Type == wire.ICMPEchoRequest:
-		return wire.NewEchoReply(src.Addr, pkt), r
+		return x.echoReply(src.Addr, pkt), r
 	case pkt.UDP != nil:
 		// No listener on traceroute-style high ports: port unreachable.
-		return wire.NewICMPError(src.Addr, wire.ICMPDestUnreach, wire.CodePortUnreach, quoteBytes(pkt, raw)), r
+		return x.icmpError(src.Addr, wire.ICMPDestUnreach, wire.CodePortUnreach, pkt, raw), r
 	case pkt.TCP != nil:
 		// Unsolicited ACK probe: RST from the probed address (TCP replies
 		// always come from the addressed endpoint).
-		return wire.NewTCPReset(iface.Addr, pkt), r
+		return x.tcpReset(iface.Addr, pkt), r
 	}
 	return nil, nil
 }
 
 // ttlExceeded answers a probe whose TTL expired at router r, returning the
-// reply and the responding router. Serialized path: caller holds n.mu; fast
-// path: the rate-limit, storm, and reply-loss branches are unreachable.
-func (n *Network) ttlExceeded(r *Router, in *Iface, pkt *wire.Packet, raw []byte) (*wire.Packet, *Router) {
+// reply (synthesized into x) and the responding router.
+func (n *Network) ttlExceeded(x *exchangeScratch, r *Router, in *Iface, pkt *wire.Packet, raw []byte) (*wire.Packet, *Router) {
 	// Byzantine faults come first: a transparent hidden hop never answers
 	// whatever its honest policy says, and an echo responder fabricates its
 	// lie even where the honest router would stay silent.
@@ -511,7 +658,7 @@ func (n *Network) ttlExceeded(r *Router, in *Iface, pkt *wire.Packet, raw []byte
 		return nil, nil
 	}
 	if n.echoMirrors(r) {
-		if fake := fabricateAlive(pkt, raw); fake != nil {
+		if fake := x.fabricateAlive(pkt, raw); fake != nil {
 			return fake, r
 		}
 	}
@@ -524,21 +671,19 @@ func (n *Network) ttlExceeded(r *Router, in *Iface, pkt *wire.Packet, raw []byte
 	if !r.RateLimit.Allow(n.clock.Load()) || !n.stormAllows(r) {
 		return nil, nil
 	}
-	if r.ReplyLoss > 0 && n.rng.Float64() < r.ReplyLoss {
+	if r.ReplyLoss > 0 && n.shards[shardIndex(r)].chance(r.ReplyLoss) {
 		return nil, nil
 	}
 	src := n.rt.replySource(r, r.IndirectPolicy, nil, in, pkt.IP.Src)
 	if src == nil {
 		return nil, nil
 	}
-	return wire.NewICMPError(n.spoofSource(r, src.Addr), wire.ICMPTimeExceeded, wire.CodeTTLExceeded, quoteBytes(pkt, raw)), r
+	return x.icmpError(n.spoofSource(r, src.Addr), wire.ICMPTimeExceeded, wire.CodeTTLExceeded, pkt, raw), r
 }
 
 // unreachable answers a probe that cannot be delivered past router r,
-// returning the reply and the responding router. Serialized path: caller
-// holds n.mu; fast path: the rate-limit, storm, and reply-loss branches are
-// unreachable.
-func (n *Network) unreachable(r *Router, in *Iface, pkt *wire.Packet, raw []byte, code uint8) (*wire.Packet, *Router) {
+// returning the reply (synthesized into x) and the responding router.
+func (n *Network) unreachable(x *exchangeScratch, r *Router, in *Iface, pkt *wire.Packet, raw []byte, code uint8) (*wire.Packet, *Router) {
 	// Byzantine faults come first — an echo responder lies about unassigned
 	// destinations even when the honest router would drop them silently
 	// (EmitUnreachable unset). That lie is exactly how phantom subnet members
@@ -547,7 +692,7 @@ func (n *Network) unreachable(r *Router, in *Iface, pkt *wire.Packet, raw []byte
 		return nil, nil
 	}
 	if n.echoMirrors(r) {
-		if fake := fabricateAlive(pkt, raw); fake != nil {
+		if fake := x.fabricateAlive(pkt, raw); fake != nil {
 			return fake, r
 		}
 	}
@@ -563,44 +708,24 @@ func (n *Network) unreachable(r *Router, in *Iface, pkt *wire.Packet, raw []byte
 	if !r.RateLimit.Allow(n.clock.Load()) || !n.stormAllows(r) {
 		return nil, nil
 	}
-	if r.ReplyLoss > 0 && n.rng.Float64() < r.ReplyLoss {
+	if r.ReplyLoss > 0 && n.shards[shardIndex(r)].chance(r.ReplyLoss) {
 		return nil, nil
 	}
 	src := n.rt.replySource(r, r.IndirectPolicy, nil, in, pkt.IP.Src)
 	if src == nil {
 		return nil, nil
 	}
-	return wire.NewICMPError(n.spoofSource(r, src.Addr), wire.ICMPDestUnreach, code, quoteBytes(pkt, raw)), r
-}
-
-// fabricateAlive builds the lie an echo fault tells: a reply of the
-// protocol-appropriate "destination alive" shape — echo reply, port
-// unreachable, or TCP reset — whose source mirrors the probe's destination,
-// indistinguishable on the wire from a genuine endpoint answer. Returns nil
-// for probe shapes that have no alive form, letting the caller fall through
-// to the honest reply.
-func fabricateAlive(pkt *wire.Packet, raw []byte) *wire.Packet {
-	dst := pkt.IP.Dst
-	switch {
-	case pkt.ICMP != nil && pkt.ICMP.Type == wire.ICMPEchoRequest:
-		return wire.NewEchoReply(dst, pkt)
-	case pkt.UDP != nil:
-		return wire.NewICMPError(dst, wire.ICMPDestUnreach, wire.CodePortUnreach, quoteBytes(pkt, raw))
-	case pkt.TCP != nil:
-		return wire.NewTCPReset(dst, pkt)
-	}
-	return nil
+	return x.icmpError(n.spoofSource(r, src.Addr), wire.ICMPDestUnreach, code, pkt, raw), r
 }
 
 // DistanceTo returns the observed hop distance from the named host to addr:
 // the smallest TTL at which a lossless ICMP echo probe is answered with an
 // echo reply. It returns -1 when addr never answers (unassigned,
 // unresponsive, firewalled, or unreachable). The measurement walk shares the
-// routing state but does not perturb the network's clock, counters, or
-// random stream. Exposed for tests and ground-truth computation.
+// immutable routing state but has its own scratch and random stream, so it
+// does not perturb the network's clock, counters, or configured streams.
+// Exposed for tests and ground-truth computation.
 func (n *Network) DistanceTo(hostName string, addr ipv4.Addr) int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	h := n.Topo.HostByName(hostName)
 	if h == nil || h.Addr() == addr {
 		if h != nil {
@@ -608,14 +733,16 @@ func (n *Network) DistanceTo(hostName string, addr ipv4.Addr) int {
 		}
 		return -1
 	}
-	probe := &Network{Topo: n.Topo, rt: n.rt, rng: rand.New(rand.NewSource(0))}
+	probe := &Network{Topo: n.Topo, rt: n.rt}
+	probe.initShards(0)
+	var x exchangeScratch
 	for ttl := 1; ttl <= maxHops; ttl++ {
 		pkt := wire.NewEchoRequest(h.Addr(), addr, uint8(ttl), 0xfffe, uint16(ttl))
 		raw, err := pkt.Encode()
 		if err != nil {
 			return -1
 		}
-		reply, _ := probe.walk(pkt, raw, h)
+		reply, _ := probe.walk(&x, pkt, raw, h)
 		if reply != nil && reply.ICMP != nil && reply.ICMP.Type == wire.ICMPEchoReply {
 			return ttl
 		}

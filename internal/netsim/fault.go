@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
 
 	"tracenet/internal/ipv4"
 )
@@ -289,12 +290,32 @@ func (s FaultStats) Byzantine() uint64 {
 	return s.LiarSpoofs + s.AliasShares + s.HiddenDrops + s.EchoMirrors
 }
 
+// faultCounters is the live, atomically-advanced mirror of FaultStats. It is
+// a distinct type so the exported snapshot can be read plainly: these fields
+// are only ever touched through sync/atomic, FaultStats fields never are.
+type faultCounters struct {
+	FlapDrops      uint64
+	BlackholeDrops uint64
+	Corrupted      uint64
+	Truncated      uint64
+	Delayed        uint64
+	Duplicated     uint64
+	StormDrops     uint64
+	LiarSpoofs     uint64
+	AliasShares    uint64
+	HiddenDrops    uint64
+	EchoMirrors    uint64
+}
+
 // faultState is a fault plan compiled against one network: scope names
-// resolved to topology objects, with a dedicated random stream.
+// resolved to topology objects, with a dedicated random stream. The stream is
+// striped by responding router exactly like the network's own (see rngShard),
+// so concurrent injections draw their pathologies without a shared lock; the
+// stats fields are advanced atomically for the same reason.
 type faultState struct {
 	plan   FaultPlan
-	rng    *rand.Rand
-	stats  FaultStats
+	shards [numShards]rngShard
+	stats  faultCounters
 	flaps  []scopedFault[*Subnet]
 	holes  []scopedFault[*Router] // nil target = every router
 	storms []stormFault
@@ -319,8 +340,11 @@ type scopedFault[T any] struct {
 
 type stormFault struct {
 	Fault
-	target  *Router // nil = every router
-	buckets map[*Router]*TokenBucket
+	target *Router // nil = every router
+	// buckets holds the override token bucket per router index, pre-resolved
+	// at install time so the injection path never mutates shared fault
+	// structure; nil entries are routers outside the storm's scope.
+	buckets []*TokenBucket
 }
 
 type aliasFault struct {
@@ -336,9 +360,14 @@ func (n *Network) InstallFaults(plan FaultPlan) error {
 	if err := plan.Validate(); err != nil {
 		return err
 	}
-	fs := &faultState{
-		plan: plan,
-		rng:  rand.New(rand.NewSource(plan.Seed ^ 0x66617531)),
+	fs := &faultState{plan: plan}
+	for i := range fs.shards {
+		// The fault stream stays independent of the network's loss/IPID
+		// stream (same perturbed base seed as always), striped per router.
+		sh := &fs.shards[i]
+		sh.mu.Lock()
+		sh.rng = rand.New(rand.NewSource(shardSeed(plan.Seed^0x66617531, i)))
+		sh.mu.Unlock()
 	}
 	for i, f := range plan.Faults {
 		switch f.Kind {
@@ -366,7 +395,13 @@ func (n *Network) InstallFaults(plan FaultPlan) error {
 			if err != nil {
 				return err
 			}
-			fs.storms = append(fs.storms, stormFault{f, r, make(map[*Router]*TokenBucket)})
+			buckets := make([]*TokenBucket, len(n.Topo.Routers))
+			for _, tr := range n.Topo.Routers {
+				if r == nil || r == tr {
+					buckets[tr.idx] = NewTokenBucket(f.Rate, f.Burst)
+				}
+			}
+			fs.storms = append(fs.storms, stormFault{f, r, buckets})
 		case FaultChurn:
 			fs.churns = append(fs.churns, f)
 		case FaultLiar:
@@ -412,14 +447,11 @@ func (n *Network) InstallFaults(plan FaultPlan) error {
 			}
 		}
 	}
-	// A fault plan consumes shared mutable state on every injection, so the
-	// network drops to the serialized path from here on. Install the plan
-	// before probing starts: the lock-free path reads n.faults and the
-	// serial flag without the mutex.
-	n.mu.Lock()
-	n.faults = fs
-	n.mu.Unlock()
-	n.serial.Store(true)
+	// Publish atomically: the injection path loads n.faults without a lock.
+	// Install the plan before probing starts — replacing a plan mid-flight is
+	// safe (in-flight injections finish against whichever state they loaded)
+	// but makes the transition boundary nondeterministic.
+	n.faults.Store(fs)
 	return nil
 }
 
@@ -464,27 +496,45 @@ func (n *Network) resolveSharedAddr(i int, f Fault) (ipv4.Addr, error) {
 }
 
 // FaultStats returns a snapshot of the fault accounting; zero when no plan is
-// installed.
+// installed. The per-field loads are individually atomic, so a snapshot taken
+// while probing is in flight is consistent per counter.
 func (n *Network) FaultStats() FaultStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.faults == nil {
+	fs := n.faults.Load()
+	if fs == nil {
 		return FaultStats{}
 	}
-	return n.faults.stats
+	s := &fs.stats
+	return FaultStats{
+		FlapDrops:      atomic.LoadUint64(&s.FlapDrops),
+		BlackholeDrops: atomic.LoadUint64(&s.BlackholeDrops),
+		Corrupted:      atomic.LoadUint64(&s.Corrupted),
+		Truncated:      atomic.LoadUint64(&s.Truncated),
+		Delayed:        atomic.LoadUint64(&s.Delayed),
+		Duplicated:     atomic.LoadUint64(&s.Duplicated),
+		StormDrops:     atomic.LoadUint64(&s.StormDrops),
+		LiarSpoofs:     atomic.LoadUint64(&s.LiarSpoofs),
+		AliasShares:    atomic.LoadUint64(&s.AliasShares),
+		HiddenDrops:    atomic.LoadUint64(&s.HiddenDrops),
+		EchoMirrors:    atomic.LoadUint64(&s.EchoMirrors),
+	}
 }
 
-// --- engine-side queries (called with n.mu held) ---
+// --- engine-side queries ---
+//
+// These run on the lock-free injection path. Fault windows and scope checks
+// read immutable compiled state; statistics advance atomically; probabilistic
+// draws lock only the responding router's stripe of the fault stream.
 
 // subnetDown reports whether s is currently flapped.
-// Called with n.mu held.
 func (n *Network) subnetDown(s *Subnet) bool {
-	if n.faults == nil || s == nil {
+	fs := n.faults.Load()
+	if fs == nil || s == nil {
 		return false
 	}
-	for _, f := range n.faults.flaps {
+	for i := range fs.flaps {
+		f := &fs.flaps[i]
 		if f.target == s && f.active(n.clock.Load()) {
-			n.faults.stats.FlapDrops++
+			atomic.AddUint64(&fs.stats.FlapDrops, 1)
 			n.observeFault(FaultLinkFlap, "link-flap drop subnet="+s.Prefix.String())
 			return true
 		}
@@ -493,14 +543,15 @@ func (n *Network) subnetDown(s *Subnet) bool {
 }
 
 // blackholed reports whether r currently swallows every packet.
-// Called with n.mu held.
 func (n *Network) blackholed(r *Router) bool {
-	if n.faults == nil {
+	fs := n.faults.Load()
+	if fs == nil {
 		return false
 	}
-	for _, f := range n.faults.holes {
+	for i := range fs.holes {
+		f := &fs.holes[i]
 		if (f.target == nil || f.target == r) && f.active(n.clock.Load()) {
-			n.faults.stats.BlackholeDrops++
+			atomic.AddUint64(&fs.stats.BlackholeDrops, 1)
 			n.observeFault(FaultBlackhole, "blackhole drop router="+r.Name)
 			return true
 		}
@@ -509,26 +560,23 @@ func (n *Network) blackholed(r *Router) bool {
 }
 
 // stormAllows consults any active rate-storm bucket scoped to r; it reports
-// false when a storm suppresses the reply. Called with n.mu held.
+// false when a storm suppresses the reply. The buckets were pre-resolved per
+// router at install time and synchronize internally.
 func (n *Network) stormAllows(r *Router) bool {
-	if n.faults == nil {
+	fs := n.faults.Load()
+	if fs == nil {
 		return true
 	}
-	for i := range n.faults.storms {
-		st := &n.faults.storms[i]
+	for i := range fs.storms {
+		st := &fs.storms[i]
 		if st.target != nil && st.target != r {
 			continue
 		}
 		if !st.active(n.clock.Load()) {
 			continue
 		}
-		b := st.buckets[r]
-		if b == nil {
-			b = NewTokenBucket(st.Rate, st.Burst)
-			st.buckets[r] = b
-		}
-		if !b.Allow(n.clock.Load()) {
-			n.faults.stats.StormDrops++
+		if b := st.buckets[r.idx]; b != nil && !b.Allow(n.clock.Load()) {
+			atomic.AddUint64(&fs.stats.StormDrops, 1)
 			n.observeFault(FaultRateStorm, "rate-storm drop router="+r.Name)
 			return false
 		}
@@ -538,28 +586,30 @@ func (n *Network) stormAllows(r *Router) bool {
 
 // churnSalt perturbs the ECMP hash while a churn fault is active: choices
 // stay stable within one churnPeriod epoch and reshuffle at epoch boundaries.
-// Called with n.mu held.
 func (n *Network) churnSalt() uint64 {
-	if n.faults == nil {
+	fs := n.faults.Load()
+	if fs == nil {
 		return 0
 	}
-	for _, f := range n.faults.churns {
-		if f.active(n.clock.Load()) {
+	for i := range fs.churns {
+		if fs.churns[i].active(n.clock.Load()) {
 			return (n.clock.Load()/churnPeriod + 1) * 0x9e3779b97f4a7c15
 		}
 	}
 	return 0
 }
 
-// replyDelayed reports whether an otherwise-delivered reply misses the
-// prober's timeout window. Called with n.mu held.
-func (n *Network) replyDelayed() bool {
-	if n.faults == nil {
+// replyDelayed reports whether an otherwise-delivered reply from r misses the
+// prober's timeout window.
+func (n *Network) replyDelayed(r *Router) bool {
+	fs := n.faults.Load()
+	if fs == nil {
 		return false
 	}
-	for _, f := range n.faults.mangles {
-		if f.Kind == FaultDelay && f.active(n.clock.Load()) && n.faults.rng.Float64() < f.Prob {
-			n.faults.stats.Delayed++
+	for i := range fs.mangles {
+		f := &fs.mangles[i]
+		if f.Kind == FaultDelay && f.active(n.clock.Load()) && fs.shards[shardIndex(r)].chance(f.Prob) {
+			atomic.AddUint64(&fs.stats.Delayed, 1)
 			n.observeFault(FaultDelay, "delayed reply (seen as silence)")
 			return true
 		}
@@ -567,15 +617,17 @@ func (n *Network) replyDelayed() bool {
 	return false
 }
 
-// duplicateChance reports whether a reply about to be lost gets a second
-// delivery chance from a duplication fault. Called with n.mu held.
-func (n *Network) duplicateChance() bool {
-	if n.faults == nil {
+// duplicateChance reports whether a reply from r about to be lost gets a
+// second delivery chance from a duplication fault.
+func (n *Network) duplicateChance(r *Router) bool {
+	fs := n.faults.Load()
+	if fs == nil {
 		return false
 	}
-	for _, f := range n.faults.mangles {
-		if f.Kind == FaultDuplicate && f.active(n.clock.Load()) && n.faults.rng.Float64() < f.Prob {
-			n.faults.stats.Duplicated++
+	for i := range fs.mangles {
+		f := &fs.mangles[i]
+		if f.Kind == FaultDuplicate && f.active(n.clock.Load()) && fs.shards[shardIndex(r)].chance(f.Prob) {
+			atomic.AddUint64(&fs.stats.Duplicated, 1)
 			n.observeFault(FaultDuplicate, "duplicated reply")
 			return true
 		}
@@ -583,33 +635,36 @@ func (n *Network) duplicateChance() bool {
 	return false
 }
 
-// mangleReply applies corruption and truncation faults to an encoded reply.
-// It may return the bytes modified in place, a shorter slice, or nil when
-// truncation consumed the whole datagram. Called with n.mu held.
-func (n *Network) mangleReply(raw []byte) []byte {
-	if n.faults == nil || len(raw) == 0 {
+// mangleReply applies corruption and truncation faults to a reply encoded
+// from router r. It may return the bytes modified in place, a shorter slice,
+// or nil when truncation consumed the whole datagram.
+func (n *Network) mangleReply(raw []byte, r *Router) []byte {
+	fs := n.faults.Load()
+	if fs == nil || len(raw) == 0 {
 		return raw
 	}
-	for _, f := range n.faults.mangles {
+	sh := &fs.shards[shardIndex(r)]
+	for i := range fs.mangles {
+		f := &fs.mangles[i]
 		if !f.active(n.clock.Load()) {
 			continue
 		}
 		switch f.Kind {
 		case FaultCorrupt:
-			if n.faults.rng.Float64() < f.Prob {
+			if sh.chance(f.Prob) {
 				// Flip 1–3 bytes with non-zero masks; checksums are left
 				// stale, so the prober's decoder rejects the reply.
-				flips := 1 + n.faults.rng.Intn(3)
+				flips := 1 + sh.intn(3)
 				for j := 0; j < flips; j++ {
-					raw[n.faults.rng.Intn(len(raw))] ^= byte(1 + n.faults.rng.Intn(255))
+					raw[sh.intn(len(raw))] ^= byte(1 + sh.intn(255))
 				}
-				n.faults.stats.Corrupted++
+				atomic.AddUint64(&fs.stats.Corrupted, 1)
 				n.observeFault(FaultCorrupt, "corrupted reply")
 			}
 		case FaultTruncate:
-			if n.faults.rng.Float64() < f.Prob {
-				raw = raw[:n.faults.rng.Intn(len(raw))]
-				n.faults.stats.Truncated++
+			if sh.chance(f.Prob) {
+				raw = raw[:sh.intn(len(raw))]
+				atomic.AddUint64(&fs.stats.Truncated, 1)
 				n.observeFault(FaultTruncate, "truncated reply")
 				if len(raw) == 0 {
 					return nil
@@ -622,15 +677,17 @@ func (n *Network) mangleReply(raw []byte) []byte {
 
 // hiddenHop reports whether r currently forwards transparently: it keeps
 // decrementing TTL and forwarding, but generates no ICMP of any kind while
-// the fault is active. Called with n.mu held, and only at a point where r was
-// about to generate a reply — so every true return is one suppressed answer.
+// the fault is active. Called only at a point where r was about to generate
+// a reply — so every true return is one suppressed answer.
 func (n *Network) hiddenHop(r *Router) bool {
-	if n.faults == nil {
+	fs := n.faults.Load()
+	if fs == nil {
 		return false
 	}
-	for _, f := range n.faults.hidden {
+	for i := range fs.hidden {
+		f := &fs.hidden[i]
 		if (f.target == nil || f.target == r) && f.active(n.clock.Load()) {
-			n.faults.stats.HiddenDrops++
+			atomic.AddUint64(&fs.stats.HiddenDrops, 1)
 			n.observeFault(FaultHiddenHop, "hidden-hop suppressed reply router="+r.Name)
 			return true
 		}
@@ -642,25 +699,26 @@ func (n *Network) hiddenHop(r *Router) bool {
 // to the source address r is about to answer an indirect probe with,
 // returning the possibly rewritten address. Alias-confuse wins when both are
 // armed: the anycast collapse is deterministic, the liar draw is not.
-// Called with n.mu held.
 func (n *Network) spoofSource(r *Router, src ipv4.Addr) ipv4.Addr {
-	if n.faults == nil {
+	fs := n.faults.Load()
+	if fs == nil {
 		return src
 	}
 	clock := n.clock.Load()
-	for i := range n.faults.aliases {
-		f := &n.faults.aliases[i]
+	for i := range fs.aliases {
+		f := &fs.aliases[i]
 		if (f.target == nil || f.target == r) && f.active(clock) {
-			n.faults.stats.AliasShares++
+			atomic.AddUint64(&fs.stats.AliasShares, 1)
 			n.observeFault(FaultAliasConfuse, "alias-confuse shared source router="+r.Name)
 			return f.shared
 		}
 	}
-	for _, f := range n.faults.liars {
+	for i := range fs.liars {
+		f := &fs.liars[i]
 		if (f.target == nil || f.target == r) && f.active(clock) &&
-			len(n.faults.ifacePool) > 0 && n.faults.rng.Float64() < f.Prob {
-			spoofed := n.faults.ifacePool[n.faults.rng.Intn(len(n.faults.ifacePool))]
-			n.faults.stats.LiarSpoofs++
+			len(fs.ifacePool) > 0 && fs.shards[shardIndex(r)].chance(f.Prob) {
+			spoofed := fs.ifacePool[fs.shards[shardIndex(r)].intn(len(fs.ifacePool))]
+			atomic.AddUint64(&fs.stats.LiarSpoofs, 1)
 			n.observeFault(FaultLiar, "liar spoofed source router="+r.Name)
 			return spoofed
 		}
@@ -670,15 +728,17 @@ func (n *Network) spoofSource(r *Router, src ipv4.Addr) ipv4.Addr {
 
 // echoMirrors reports whether r, about to answer a probe with an ICMP error,
 // instead fabricates an alive reply mirroring the probe's destination back as
-// its source. Called with n.mu held.
+// its source.
 func (n *Network) echoMirrors(r *Router) bool {
-	if n.faults == nil {
+	fs := n.faults.Load()
+	if fs == nil {
 		return false
 	}
-	for _, f := range n.faults.echoes {
+	for i := range fs.echoes {
+		f := &fs.echoes[i]
 		if (f.target == nil || f.target == r) && f.active(n.clock.Load()) &&
-			n.faults.rng.Float64() < f.Prob {
-			n.faults.stats.EchoMirrors++
+			fs.shards[shardIndex(r)].chance(f.Prob) {
+			atomic.AddUint64(&fs.stats.EchoMirrors, 1)
 			n.observeFault(FaultEcho, "echo fabricated alive reply router="+r.Name)
 			return true
 		}

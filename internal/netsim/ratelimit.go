@@ -1,14 +1,21 @@
 package netsim
 
+import "sync"
+
 // TokenBucket is a deterministic token bucket driven by the network's virtual
 // clock (one tick per injected probe). It models ICMP rate limiting on
 // routers, which the paper identifies as a cause of cross-vantage
 // disagreement (§4.2).
+//
+// A bucket synchronizes internally: concurrent injections that reach the same
+// router contend only on that router's bucket, never on a network-wide lock.
 type TokenBucket struct {
 	// Rate is tokens added per clock tick; Burst is the bucket capacity.
+	// Both are fixed at construction.
 	Rate  float64
 	Burst float64
 
+	mu       sync.Mutex
 	level    float64
 	lastTick uint64
 	primed   bool
@@ -20,11 +27,13 @@ func NewTokenBucket(rate, burst float64) *TokenBucket {
 }
 
 // Allow consumes one token at virtual time tick, reporting whether the
-// response may be sent.
+// response may be sent. Safe for concurrent use; a nil bucket always allows.
 func (tb *TokenBucket) Allow(tick uint64) bool {
 	if tb == nil {
 		return true
 	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
 	if !tb.primed {
 		tb.level = tb.Burst
 		tb.lastTick = tick

@@ -1,8 +1,7 @@
 package netsim
 
 import (
-	"hash/fnv"
-	"sync"
+	"sync/atomic"
 
 	"tracenet/internal/ipv4"
 	"tracenet/internal/wire"
@@ -22,21 +21,20 @@ type routingState struct {
 	// dist[s.idx][r.idx] = forwarding steps from router r until attached to
 	// subnet s (0 if attached). Immutable after construction.
 	dist [][]int32
-	// mu guards the lazily-built hops memo — the only mutable routing state,
-	// so it carries its own lock rather than riding on the Network mutex
-	// (which the concurrent fast path deliberately avoids).
-	mu sync.Mutex
-	// hops memoizes equal-cost candidate edges per (router, subnet).
-	hops map[hopKey][]edge
+	// hops memoizes the equal-cost candidate edges per (router, subnet) pair,
+	// indexed rIdx*len(subnets)+sIdx. Each slot is an atomic pointer so the
+	// memo is lock-free on the injection path: a miss computes the slice and
+	// publishes it; racing computations produce identical slices (the scan is
+	// a pure function of immutable state), so whichever store wins is correct.
+	// Published slices are never mutated.
+	hops []atomic.Pointer[[]edge]
 }
-
-type hopKey struct{ rIdx, sIdx int }
 
 func newRoutingState(t *Topology) *routingState {
 	rs := &routingState{
 		topo: t,
 		dist: make([][]int32, len(t.Subnets)),
-		hops: make(map[hopKey][]edge),
+		hops: make([]atomic.Pointer[[]edge], len(t.Routers)*len(t.Subnets)),
 	}
 	routerQ := make([]*Router, 0, len(t.Routers))
 	subnetSeen := make([]bool, len(t.Subnets))
@@ -117,18 +115,16 @@ func (rs *routingState) distTo(r *Router, s *Subnet) int32 { return rs.dist[s.id
 // The result is ordered as the router's edge list, so selection by flow hash
 // is deterministic. Results are memoized: the edge scan over a router with a
 // large LAN attachment would otherwise dominate every forwarding step. The
-// memo is guarded by its own mutex, making nextHops safe for concurrent
-// walks; memoized slices are never mutated after publication.
+// memo is lock-free (see routingState.hops), making nextHops safe for
+// concurrent walks; memoized slices are never mutated after publication.
 func (rs *routingState) nextHops(r *Router, s *Subnet) []edge {
 	d := rs.dist[s.idx][r.idx]
 	if d == unreachableDist || d == 0 {
 		return nil
 	}
-	key := hopKey{r.idx, s.idx}
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	if out, ok := rs.hops[key]; ok {
-		return out
+	slot := &rs.hops[r.idx*len(rs.topo.Subnets)+s.idx]
+	if memo := slot.Load(); memo != nil {
+		return *memo
 	}
 	var out []edge
 	for _, e := range r.edges {
@@ -139,7 +135,7 @@ func (rs *routingState) nextHops(r *Router, s *Subnet) []edge {
 			out = append(out, e)
 		}
 	}
-	rs.hops[key] = out
+	slot.Store(&out)
 	return out
 }
 
@@ -162,14 +158,23 @@ func flowKey(p *wire.Packet) (a, b uint16) {
 	return 0, 0
 }
 
+// FNV-1a constants (the 64-bit offset basis and prime), matching hash/fnv.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // ecmpIndex hashes the flow (plus the deciding router and, in per-packet
-// mode, the virtual clock) onto one of n equal-cost candidates.
+// mode, the virtual clock) onto one of n equal-cost candidates. The FNV-1a
+// hash is inlined rather than taken from hash/fnv: constructing a hash.Hash64
+// escapes to the heap, and this runs on every forwarding step of every probe.
+// The digest is bit-identical to fnv.New64a over the same bytes, so path
+// choices match the historical implementation exactly.
 func ecmpIndex(p *wire.Packet, r *Router, perPacketSalt uint64, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	h := fnv.New64a()
-	var buf [26]byte
+	var buf [25]byte
 	put32 := func(off int, v uint32) {
 		buf[off] = byte(v >> 24)
 		buf[off+1] = byte(v >> 16)
@@ -193,8 +198,12 @@ func ecmpIndex(p *wire.Packet, r *Router, perPacketSalt uint64, n int) int {
 	buf[22] = byte(perPacketSalt >> 16)
 	buf[23] = byte(perPacketSalt >> 8)
 	buf[24] = byte(perPacketSalt)
-	h.Write(buf[:25])
-	return int(h.Sum64() % uint64(n))
+	h := uint64(fnvOffset64)
+	for _, c := range buf {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return int(h % uint64(n))
 }
 
 // replySource resolves the source address a router uses for a reply under the

@@ -2,7 +2,7 @@ package probe
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
 	"tracenet/internal/ipv4"
 	"tracenet/internal/wire"
@@ -63,19 +63,38 @@ type ProbeEvent struct {
 //
 //	icmp 10.0.5.2 ttl=3 -> ttl-exceeded from 10.0.2.1 rttl=61 ipid=3063
 func (e ProbeEvent) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s %v ttl=%d -> ", e.Proto, e.Dst, e.TTL)
+	return string(e.AppendText(nil))
+}
+
+// AppendText appends the String form to dst and returns the extended slice —
+// the allocation-free rendering path the prober's telemetry hot path uses
+// with a reused buffer. Byte-identical to String by construction.
+func (e ProbeEvent) AppendText(dst []byte) []byte {
+	dst = append(dst, e.Proto...)
+	dst = append(dst, ' ')
+	dst = e.Dst.AppendText(dst)
+	dst = append(dst, " ttl="...)
+	dst = strconv.AppendUint(dst, uint64(e.TTL), 10)
+	dst = append(dst, " -> "...)
 	switch e.Err {
 	case ErrTimeout:
-		b.WriteString("timeout")
+		dst = append(dst, "timeout"...)
 	case ErrTransportFault:
-		b.WriteString("error: transport")
+		dst = append(dst, "error: transport"...)
 	case ErrDecode:
-		fmt.Fprintf(&b, "error: decode(%d bytes)", e.RawLen)
+		dst = append(dst, "error: decode("...)
+		dst = strconv.AppendInt(dst, int64(e.RawLen), 10)
+		dst = append(dst, " bytes)"...)
 	default:
-		fmt.Fprintf(&b, "%s from %v rttl=%d ipid=%d", e.Outcome, e.From, e.ReplyTTL, e.IPID)
+		dst = append(dst, e.Outcome...)
+		dst = append(dst, " from "...)
+		dst = e.From.AppendText(dst)
+		dst = append(dst, " rttl="...)
+		dst = strconv.AppendUint(dst, uint64(e.ReplyTTL), 10)
+		dst = append(dst, " ipid="...)
+		dst = strconv.AppendUint(dst, uint64(e.IPID), 10)
 	}
-	return b.String()
+	return dst
 }
 
 // exchangeEvent builds the event for one raw exchange, classifying the error

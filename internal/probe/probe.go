@@ -28,6 +28,16 @@ type Transport interface {
 	Exchange(raw []byte) ([]byte, error)
 }
 
+// ExchangeAppender is optionally implemented by Transports that can write the
+// reply into a caller-supplied buffer: the reply is appended to dst (normally
+// dst[:0] of a reused buffer) and the extended slice returned, or (nil, nil)
+// on silence. The prober owns the buffer, so steady-state exchanges allocate
+// nothing — and because each prober brings its own buffer, one shared
+// transport port can serve concurrent probers without a shared reply slot.
+type ExchangeAppender interface {
+	ExchangeAppend(raw, dst []byte) ([]byte, error)
+}
+
 // Waiter is optionally implemented by Transports whose notion of time can
 // advance without sending a packet. The prober's exponential backoff calls
 // Wait between retries; the simulated substrate advances its virtual clock
@@ -359,7 +369,11 @@ type Prober struct {
 	jitter *rand.Rand
 	br     *breaker
 
-	seq   uint16
+	// seq numbers every packet the prober ever sends. It is 32-bit — wide
+	// enough that long re-scan sessions never silently wrap the probe
+	// identifier space (a uint16 wrapped after 65k sends, and with VaryFlow
+	// the repeated (ID, Seq) pairs risked reply mis-association).
+	seq   uint32
 	stats Stats
 	cache map[cacheKey]Result
 
@@ -373,8 +387,26 @@ type Prober struct {
 	reqTCP  wire.TCP
 	encBuf  []byte
 
+	// tmpl is the pre-marshaled probe packet, patched in place per send with
+	// incremental checksum updates. nil when the probe shape precludes it
+	// (RecordRoute options mutate en route), falling back to AppendEncode.
+	tmpl *wire.Template
+	// exApp is tr's ExchangeAppend hook (nil when unsupported) and replyBuf
+	// the prober-owned reply buffer it fills.
+	exApp    ExchangeAppender
+	replyBuf []byte
+	// dec is the reply decode scratch: each reply is decoded in place,
+	// overwriting the previous one (nothing retains the decoded reply beyond
+	// classify/observe).
+	dec wire.DecodeScratch
+
 	// Telemetry mirror of stats: handles are resolved once (SetTelemetry)
 	// and nil-safe, so the disabled path costs one nil check per increment.
+	// evBuf is the reused flight-recorder message buffer; dstMemo caches the
+	// rendered destination (a trace probes one address many times in a row).
+	evBuf         []byte
+	dstMemo       string
+	dstMemoAddr   ipv4.Addr
 	tel           *telemetry.Telemetry
 	cSent         *telemetry.Counter
 	cAnswered     *telemetry.Counter
@@ -428,6 +460,28 @@ func New(tr Transport, src ipv4.Addr, opts Options) *Prober {
 	if opts.Cache {
 		p.cache = make(map[cacheKey]Result)
 	}
+	if !opts.RecordRoute {
+		// Pre-marshal the probe once; per-send fields (TTL, seq, dst, ports)
+		// are patched in place with incremental checksum updates. The
+		// placeholder field values are overwritten by the first patch.
+		var base *wire.Packet
+		switch opts.Protocol {
+		case ICMP:
+			base = wire.NewEchoRequest(src, ipv4.Zero, 1, opts.FlowID, 0)
+		case UDP:
+			base = wire.NewUDPProbe(src, ipv4.Zero, 1, opts.FlowID, 33434)
+		case TCP:
+			base = wire.NewTCPProbe(src, ipv4.Zero, 1, opts.FlowID, 80, 0)
+		}
+		if base != nil {
+			tmpl, err := wire.NewTemplate(base)
+			if err != nil {
+				panic(err) // unreachable: the base probe carries no options
+			}
+			p.tmpl = tmpl
+		}
+	}
+	p.exApp, _ = tr.(ExchangeAppender)
 	p.SetTelemetry(opts.Telemetry)
 	return p
 }
@@ -587,36 +641,43 @@ func (p *Prober) probe(dst ipv4.Addr, ttl int, useCache bool) (Result, error) {
 //tracenet:hotpath
 func (p *Prober) once(dst ipv4.Addr, ttl uint8) (Result, error) {
 	p.seq++
+	seq16 := uint16(p.seq)
 	flow := p.opts.FlowID
+	dstPort := uint16(33434) // classic traceroute's unused high-port range
 	if p.opts.VaryFlow {
-		flow = p.opts.FlowID + p.seq
+		// Epoch-rotated flow window: each probe draws a fresh flow identifier
+		// from a 256-wide window anchored at FlowID, and the window's phase
+		// rotates by one every time the 16-bit sequence laps. The bounded
+		// window keeps flows from colliding with other probers' FlowID
+		// ranges, and the rotation keeps (ID, Seq) pairs unique for 2^24
+		// sends instead of repeating after 65k.
+		off := uint16((p.seq + p.seq>>16) % 256)
+		flow = p.opts.FlowID + off
+		dstPort += off
 	}
 	// The request packet and its transport layer live in prober scratch:
 	// mirrors of wire.NewEchoRequest/NewUDPProbe/NewTCPProbe built in place,
 	// so the steady-state exchange allocates neither packet structs nor an
-	// encode buffer.
+	// encode buffer. classify and observeExchange read this mirror; the wire
+	// bytes come from the patched template (or AppendEncode when options are
+	// carried).
 	pkt := &p.req
 	switch p.opts.Protocol {
 	case ICMP:
-		p.reqICMP = wire.ICMP{Type: wire.ICMPEchoRequest, ID: flow, Seq: p.seq}
+		p.reqICMP = wire.ICMP{Type: wire.ICMPEchoRequest, ID: flow, Seq: seq16}
 		p.req = wire.Packet{
-			IP:   wire.IPHeader{TTL: ttl, Src: p.src, Dst: dst, ID: p.seq},
+			IP:   wire.IPHeader{TTL: ttl, Src: p.src, Dst: dst, ID: seq16},
 			ICMP: &p.reqICMP,
 		}
 	case UDP:
-		// Classic traceroute aims at the unused high-port range; the
-		// destination port doubles as the flow discriminator.
-		dstPort := uint16(33434)
-		if p.opts.VaryFlow {
-			dstPort += p.seq % 256
-		}
+		// The destination port doubles as the flow discriminator.
 		p.reqUDP = wire.UDP{SrcPort: flow, DstPort: dstPort}
 		p.req = wire.Packet{
 			IP:  wire.IPHeader{TTL: ttl, Src: p.src, Dst: dst, ID: flow},
 			UDP: &p.reqUDP,
 		}
 	case TCP:
-		p.reqTCP = wire.TCP{SrcPort: flow, DstPort: 80, Seq: uint32(p.seq), Flags: wire.TCPFlagACK, Window: 1024}
+		p.reqTCP = wire.TCP{SrcPort: flow, DstPort: 80, Seq: p.seq, Flags: wire.TCPFlagACK, Window: 1024}
 		p.req = wire.Packet{
 			IP:  wire.IPHeader{TTL: ttl, Src: p.src, Dst: dst, ID: flow},
 			TCP: &p.reqTCP,
@@ -624,27 +685,51 @@ func (p *Prober) once(dst ipv4.Addr, ttl uint8) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("probe: unknown protocol %v", p.opts.Protocol)
 	}
-	if p.opts.RecordRoute {
-		pkt.IP.Options = wire.MakeRecordRoute(wire.MaxRecordRouteSlots)
+	var raw []byte
+	if p.tmpl != nil {
+		switch p.opts.Protocol {
+		case ICMP:
+			p.tmpl.PatchICMPProbe(ttl, seq16, dst, flow, seq16)
+		case UDP:
+			p.tmpl.PatchUDPProbe(ttl, flow, dst, flow, dstPort)
+		case TCP:
+			p.tmpl.PatchTCPProbe(ttl, flow, dst, flow, p.seq)
+		}
+		raw = p.tmpl.Bytes()
+	} else {
+		if p.opts.RecordRoute {
+			pkt.IP.Options = wire.MakeRecordRoute(wire.MaxRecordRouteSlots)
+		}
+		var err error
+		raw, err = pkt.AppendEncode(p.encBuf[:0])
+		if err != nil {
+			return Result{}, err
+		}
+		p.encBuf = raw[:0]
 	}
-	raw, err := pkt.AppendEncode(p.encBuf[:0])
-	if err != nil {
-		return Result{}, err
-	}
-	p.encBuf = raw[:0]
 	p.stats.Sent++
 	p.cSent.Inc()
 	var start uint64
 	if p.tel != nil {
 		start = p.tel.Ticks()
 	}
-	rawReply, err := p.tr.Exchange(raw)
-	// Decode the reply exactly once; telemetry observation reuses it instead
-	// of re-decoding both datagrams per exchange.
+	var rawReply []byte
+	var err error
+	if p.exApp != nil {
+		rawReply, err = p.exApp.ExchangeAppend(raw, p.replyBuf[:0])
+		if rawReply != nil {
+			p.replyBuf = rawReply[:0]
+		}
+	} else {
+		rawReply, err = p.tr.Exchange(raw)
+	}
+	// Decode the reply exactly once, into prober-owned scratch; telemetry
+	// observation reuses the decoded packet instead of re-decoding both
+	// datagrams per exchange. Nothing retains it past this call.
 	var reply *wire.Packet
 	var derr error
 	if err == nil && rawReply != nil {
-		reply, derr = wire.Decode(rawReply)
+		reply, derr = p.dec.DecodeInto(rawReply)
 	}
 	if p.tel != nil {
 		p.observeExchange(start, pkt, reply, rawReply, err, derr)
@@ -687,9 +772,18 @@ func (p *Prober) observeExchange(start uint64, sent, reply *wire.Packet, rawRepl
 	if ev.Err != ErrNone {
 		outcome = ev.Err.String()
 	}
-	p.tel.Record("probe", ev.String())
+	// Render the recorder line into prober-owned scratch (copied into
+	// recorder-owned storage by RecordBytes) and memoize the destination
+	// string — a trace probes one address many times in a row, so the
+	// steady-state telemetry cost is a few appends, not a heap of formatting.
+	p.evBuf = ev.AppendText(p.evBuf[:0])
+	p.tel.RecordBytes("probe", p.evBuf)
+	if ev.Dst != p.dstMemoAddr || p.dstMemo == "" {
+		p.dstMemoAddr = ev.Dst
+		p.dstMemo = ev.Dst.String()
+	}
 	p.tel.Complete("probe", start, end,
-		"dst", ev.Dst.String(),
+		"dst", p.dstMemo,
 		"ttl", strconv.FormatUint(uint64(ev.TTL), 10),
 		"outcome", outcome)
 	if ev.Err == ErrNone {

@@ -200,6 +200,47 @@ func TestKindAndProtocolStrings(t *testing.T) {
 	}
 }
 
+// TestSeqSurvivesUint16Wrap pins the sequence-counter widening: the prober's
+// send counter is 32-bit, and with VaryFlow the flow window's phase rotates
+// each time the low 16 bits lap, so the (flow, seq16) identifier pair a probe
+// carries does not repeat after 65k sends. The old uint16 counter wrapped to
+// an identical pair one lap later, risking replies of a stale probe being
+// associated with a fresh one on long re-scan sessions.
+func TestSeqSurvivesUint16Wrap(t *testing.T) {
+	capture := func(p *Prober, seq uint32) (flow, seq16 uint16) {
+		t.Helper()
+		var raw []byte
+		p.tr = staticTransport{reply: func(b []byte) []byte {
+			raw = append([]byte(nil), b...)
+			return nil
+		}}
+		p.exApp = nil // route through Exchange so the capture sees the bytes
+		p.seq = seq
+		if _, err := p.Probe(addr("10.0.2.3"), 7); err != nil {
+			t.Fatal(err)
+		}
+		pkt, err := wire.Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkt.ICMP.ID, pkt.ICMP.Seq
+	}
+
+	p, _ := newProber(t, netsim.Config{}, Options{Protocol: ICMP, VaryFlow: true, NoRetry: true})
+	const base = 1<<16 - 2
+	flowA, seqA := capture(p, base)
+	if got := p.seq; got != base+1 {
+		t.Fatalf("seq after send = %d, want %d (wrapped?)", got, base+1)
+	}
+	flowB, seqB := capture(p, base+1<<16) // same low 16 bits, one lap later
+	if seqA != seqB {
+		t.Fatalf("low 16 bits differ across laps: %d vs %d", seqA, seqB)
+	}
+	if flowA == flowB {
+		t.Fatalf("flow %d repeated one lap later: (flow, seq16) pair not unique across a 16-bit wrap", flowA)
+	}
+}
+
 // staticTransport replays canned responses for classifier edge cases.
 type staticTransport struct {
 	reply func(raw []byte) []byte

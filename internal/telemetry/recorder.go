@@ -17,6 +17,16 @@ type Event struct {
 	Msg   string
 }
 
+// slot is the internal ring entry. The message bytes are copied into the
+// slot's reused buffer, so steady-state recording allocates nothing however
+// hot the instrumented path — the string form is materialized only when a
+// snapshot or dump asks for it.
+type slot struct {
+	ticks uint64
+	kind  string
+	msg   []byte
+}
+
 // FlightRecorder is a bounded ring buffer of recent events — the black box
 // a degraded run is debugged from. Recording overwrites the oldest entry
 // once the buffer is full, so memory stays constant however long the run;
@@ -24,7 +34,7 @@ type Event struct {
 // methods are safe for concurrent use; a nil recorder is inert.
 type FlightRecorder struct {
 	mu    sync.Mutex
-	buf   []Event
+	buf   []slot
 	total uint64 // events ever recorded; buf holds the last min(total, cap)
 }
 
@@ -39,7 +49,7 @@ func NewFlightRecorder(capacity int) *FlightRecorder {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("telemetry: flight recorder capacity %d < 1", capacity))
 	}
-	return &FlightRecorder{buf: make([]Event, 0, capacity)}
+	return &FlightRecorder{buf: make([]slot, 0, capacity)}
 }
 
 // Record appends one event, evicting the oldest when full.
@@ -48,13 +58,37 @@ func (f *FlightRecorder) Record(ev Event) {
 		return
 	}
 	f.mu.Lock()
-	if len(f.buf) < cap(f.buf) {
-		f.buf = append(f.buf, ev)
-	} else {
-		f.buf[f.total%uint64(cap(f.buf))] = ev
-	}
+	s := f.nextSlotLocked()
+	s.ticks, s.kind = ev.Ticks, ev.Kind
+	s.msg = append(s.msg[:0], ev.Msg...)
 	f.total++
 	f.mu.Unlock()
+}
+
+// RecordBytes appends one event whose message is copied out of msg into
+// slot-owned storage — the zero-alloc variant of Record for hot paths that
+// render into a reused buffer. kind should be a static string.
+func (f *FlightRecorder) RecordBytes(ticks uint64, kind string, msg []byte) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	s := f.nextSlotLocked()
+	s.ticks, s.kind = ticks, kind
+	s.msg = append(s.msg[:0], msg...)
+	f.total++
+	f.mu.Unlock()
+}
+
+// nextSlotLocked returns the slot the next event lands in: the ring grows
+// until it reaches capacity, then the oldest slot (and its message buffer) is
+// reused. Called with f.mu held, before total is incremented.
+func (f *FlightRecorder) nextSlotLocked() *slot {
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, slot{})
+		return &f.buf[len(f.buf)-1]
+	}
+	return &f.buf[f.total%uint64(cap(f.buf))]
 }
 
 // Total returns how many events were ever recorded (including evicted ones).
@@ -67,8 +101,8 @@ func (f *FlightRecorder) Total() uint64 {
 	return f.total
 }
 
-// Snapshot returns the retained events, oldest first. The returned slice is
-// a copy: it stays valid while recording continues.
+// Snapshot returns the retained events, oldest first. The returned slice and
+// its messages are copies: they stay valid while recording continues.
 func (f *FlightRecorder) Snapshot() []Event {
 	if f == nil {
 		return nil
@@ -77,12 +111,26 @@ func (f *FlightRecorder) Snapshot() []Event {
 	defer f.mu.Unlock()
 	out := make([]Event, 0, len(f.buf))
 	if len(f.buf) < cap(f.buf) {
-		return append(out, f.buf...)
+		for i := range f.buf {
+			out = append(out, f.buf[i].event())
+		}
+		return out
 	}
 	// Full ring: the slot about to be overwritten is the oldest event.
-	start := f.total % uint64(cap(f.buf))
-	out = append(out, f.buf[start:]...)
-	return append(out, f.buf[:start]...)
+	start := int(f.total % uint64(cap(f.buf)))
+	for i := start; i < len(f.buf); i++ {
+		out = append(out, f.buf[i].event())
+	}
+	for i := 0; i < start; i++ {
+		out = append(out, f.buf[i].event())
+	}
+	return out
+}
+
+// event materializes the slot as a public Event, copying the message bytes
+// into a fresh string.
+func (s *slot) event() Event {
+	return Event{Ticks: s.ticks, Kind: s.kind, Msg: string(s.msg)}
 }
 
 // DumpTo writes an on-demand snapshot of the retained window: a header

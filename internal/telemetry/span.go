@@ -24,6 +24,11 @@ type Tracer struct {
 	closed bool
 	err    error
 	events uint64
+	// line is the reusable event-line buffer, guarded by mu: one event is
+	// rendered into it and written out per emit, so high-volume leaf events
+	// (probe exchanges) cost appends into warm storage instead of a chain of
+	// string concatenations.
+	line []byte
 }
 
 // NewTracer creates a tracer writing trace events to w.
@@ -84,7 +89,9 @@ func (t *Tracer) writeLocked(s string) {
 
 // emit writes one event object line. args must have even length.
 // counts, when non-nil, is rendered as a nested "counts" object with sorted
-// keys, so the output is deterministic.
+// keys, so the output is deterministic. The line is built in the tracer's
+// reusable buffer with append-style formatting — byte-identical to the
+// equivalent strconv.Quote/FormatUint concatenation it replaced.
 func (t *Tracer) emit(ph string, ts uint64, dur uint64, name string, args []string, counts map[string]uint64) {
 	if t == nil {
 		return
@@ -97,46 +104,66 @@ func (t *Tracer) emit(ph string, ts uint64, dur uint64, name string, args []stri
 	if t.closed {
 		return
 	}
+	b := t.line[:0]
 	if !t.opened {
-		t.writeLocked("[\n")
+		b = append(b, "[\n"...)
 		t.opened = true
 	} else {
-		t.writeLocked(",\n")
+		b = append(b, ",\n"...)
 	}
-	line := `{"name":` + strconv.Quote(name) + `,"cat":"tracenet","ph":"` + ph +
-		`","ts":` + strconv.FormatUint(ts, 10)
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `,"cat":"tracenet","ph":"`...)
+	b = append(b, ph...)
+	b = append(b, `","ts":`...)
+	b = strconv.AppendUint(b, ts, 10)
 	if ph == "X" {
-		line += `,"dur":` + strconv.FormatUint(dur, 10)
+		b = append(b, `,"dur":`...)
+		b = strconv.AppendUint(b, dur, 10)
 	}
-	line += `,"pid":1,"tid":1`
+	b = append(b, `,"pid":1,"tid":1`...)
 	if len(args) > 0 || len(counts) > 0 {
-		line += `,"args":{`
+		b = append(b, `,"args":{`...)
 		first := true
 		for i := 0; i < len(args); i += 2 {
 			if !first {
-				line += ","
+				b = append(b, ',')
 			}
 			first = false
-			line += strconv.Quote(args[i]) + ":" + strconv.Quote(args[i+1])
+			b = strconv.AppendQuote(b, args[i])
+			b = append(b, ':')
+			b = strconv.AppendQuote(b, args[i+1])
 		}
 		if len(counts) > 0 {
 			if !first {
-				line += ","
+				b = append(b, ',')
 			}
-			line += `"counts":{`
+			b = append(b, `"counts":{`...)
 			for i, k := range sortedKeys(counts) {
 				if i > 0 {
-					line += ","
+					b = append(b, ',')
 				}
-				line += strconv.Quote(k) + ":" + strconv.FormatUint(counts[k], 10)
+				b = strconv.AppendQuote(b, k)
+				b = append(b, ':')
+				b = strconv.AppendUint(b, counts[k], 10)
 			}
-			line += "}"
+			b = append(b, '}')
 		}
-		line += "}"
+		b = append(b, '}')
 	}
-	line += "}"
-	t.writeLocked(line)
+	b = append(b, '}')
+	t.line = b[:0]
+	t.writeBytesLocked(b)
 	t.events++
+}
+
+// writeBytesLocked appends b to the output, latching the first error.
+// Called with t.mu held.
+func (t *Tracer) writeBytesLocked(b []byte) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = t.w.Write(b)
 }
 
 // Start opens a span at ts ticks, emitting its "B" event immediately. The

@@ -149,6 +149,16 @@ func (t *Telemetry) Record(kind, msg string) {
 	t.Recorder.Record(Event{Ticks: t.Ticks(), Kind: kind, Msg: msg})
 }
 
+// RecordBytes appends a flight-recorder event whose message bytes are copied
+// into recorder-owned storage, stamped with the current ticks — the zero-alloc
+// variant of Record for hot paths rendering into a reused buffer.
+func (t *Telemetry) RecordBytes(kind string, msg []byte) {
+	if t == nil || t.Recorder == nil {
+		return
+	}
+	t.Recorder.RecordBytes(t.Ticks(), kind, msg)
+}
+
 // RecordAt is Record with an explicit timestamp, for callers that hold the
 // tick count already (netsim records under its own lock, where re-reading
 // the clock through the Telemetry would deadlock).

@@ -1,0 +1,56 @@
+package wire
+
+import "fmt"
+
+// DecodeScratch owns the reusable storage behind DecodeInto: one Packet, one
+// struct per transport layer, and the byte buffers the Options and Payload
+// copies land in. A long-lived owner (one prober, one simulator exchange slot)
+// embeds a scratch and decodes every reply through it, paying zero steady-state
+// heap allocations once the buffers have warmed to the largest reply seen.
+//
+// The zero value is ready to use. A scratch must not be shared between
+// goroutines.
+type DecodeScratch struct {
+	pkt     Packet
+	icmp    ICMP
+	udp     UDP
+	tcp     TCP
+	options []byte // backing store for pkt.IP.Options
+	payload []byte // backing store for icmp/udp Payload
+}
+
+// DecodeInto parses raw into the scratch-owned Packet, dispatching on the IP
+// protocol exactly like Decode. The returned packet — including its transport
+// struct, IP options, and payload slices — is valid only until the next
+// DecodeInto call on the same scratch; callers that retain decoded packets
+// must deep-copy them or use Decode. The decoded packet never aliases raw
+// (the ipalias invariant), so the caller may reuse or discard the reply
+// buffer immediately.
+func (s *DecodeScratch) DecodeInto(raw []byte) (*Packet, error) {
+	p := &s.pkt
+	p.ICMP, p.UDP, p.TCP = nil, nil, nil
+	payload, err := p.IP.unmarshal(raw, &s.options, false)
+	if err != nil {
+		return nil, err
+	}
+	switch p.IP.Protocol {
+	case ProtoICMP:
+		if err := s.icmp.unmarshal(payload, &s.payload); err != nil {
+			return nil, err
+		}
+		p.ICMP = &s.icmp
+	case ProtoUDP:
+		if err := s.udp.unmarshal(payload, p.IP.Src, p.IP.Dst, &s.payload); err != nil {
+			return nil, err
+		}
+		p.UDP = &s.udp
+	case ProtoTCP:
+		if err := s.tcp.Unmarshal(payload, p.IP.Src, p.IP.Dst); err != nil {
+			return nil, err
+		}
+		p.TCP = &s.tcp
+	default:
+		return nil, fmt.Errorf("wire: unsupported protocol %d", p.IP.Protocol)
+	}
+	return p, nil
+}

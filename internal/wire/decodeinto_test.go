@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"tracenet/internal/ipv4"
+)
+
+// decodeSamples returns one encoded packet of every shape the simulator emits,
+// including an option-bearing echo reply and an ICMP error quote.
+func decodeSamples(t testing.TB) [][]byte {
+	t.Helper()
+	echo, _ := NewEchoRequest(testSrc, testDst, 9, 1, 2).Encode()
+	udp, _ := NewUDPProbe(testSrc, testDst, 3, 40000, 33434).Encode()
+	tcp, _ := NewTCPProbe(testSrc, testDst, 3, 55000, 80, 7).Encode()
+	rr := NewEchoRequest(testSrc, testDst, 9, 1, 2)
+	rr.IP.Options = MakeRecordRoute(9)
+	StampRecordRoute(rr.IP.Options, ipv4.MustParseAddr("10.9.9.9"))
+	rrRaw, _ := rr.Encode()
+	errPkt, _ := NewICMPError(ipv4.MustParseAddr("203.0.113.9"), ICMPTimeExceeded, CodeTTLExceeded, udp).Encode()
+	rst, _ := NewTCPReset(testDst, &Packet{
+		IP:  IPHeader{Src: testSrc, Dst: testDst},
+		TCP: &TCP{SrcPort: 55000, DstPort: 80, Seq: 7},
+	}).Encode()
+	return [][]byte{echo, udp, tcp, rrRaw, errPkt, rst}
+}
+
+// packetsEquivalent compares two decoded packets field by field, including
+// option and payload bytes.
+func packetsEquivalent(a, b *Packet) bool {
+	if a.IP.TOS != b.IP.TOS || a.IP.TotalLen != b.IP.TotalLen || a.IP.ID != b.IP.ID ||
+		a.IP.Flags != b.IP.Flags || a.IP.FragOff != b.IP.FragOff || a.IP.TTL != b.IP.TTL ||
+		a.IP.Protocol != b.IP.Protocol || a.IP.Src != b.IP.Src || a.IP.Dst != b.IP.Dst ||
+		!bytes.Equal(a.IP.Options, b.IP.Options) {
+		return false
+	}
+	if (a.ICMP == nil) != (b.ICMP == nil) || (a.UDP == nil) != (b.UDP == nil) || (a.TCP == nil) != (b.TCP == nil) {
+		return false
+	}
+	switch {
+	case a.ICMP != nil:
+		return a.ICMP.Type == b.ICMP.Type && a.ICMP.Code == b.ICMP.Code &&
+			a.ICMP.ID == b.ICMP.ID && a.ICMP.Seq == b.ICMP.Seq &&
+			bytes.Equal(a.ICMP.Payload, b.ICMP.Payload)
+	case a.UDP != nil:
+		return a.UDP.SrcPort == b.UDP.SrcPort && a.UDP.DstPort == b.UDP.DstPort &&
+			bytes.Equal(a.UDP.Payload, b.UDP.Payload)
+	case a.TCP != nil:
+		return *a.TCP == *b.TCP
+	}
+	return false
+}
+
+func TestDecodeIntoEquivalence(t *testing.T) {
+	var scratch DecodeScratch
+	for i, raw := range decodeSamples(t) {
+		want, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("sample %d: Decode: %v", i, err)
+		}
+		got, err := scratch.DecodeInto(raw)
+		if err != nil {
+			t.Fatalf("sample %d: DecodeInto: %v", i, err)
+		}
+		if !packetsEquivalent(got, want) {
+			t.Fatalf("sample %d: DecodeInto diverges from Decode:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestDecodeIntoAliasSafety proves the zero-copy decode never aliases the
+// reply buffer: clobbering raw after the decode must leave every decoded
+// field — including option and payload bytes — untouched. This is the PR 2
+// ipalias bug class, re-checked on the scratch path.
+func TestDecodeIntoAliasSafety(t *testing.T) {
+	var scratch DecodeScratch
+	for i, raw := range decodeSamples(t) {
+		got, err := scratch.DecodeInto(raw)
+		if err != nil {
+			t.Fatalf("sample %d: DecodeInto: %v", i, err)
+		}
+		opts := append([]byte(nil), got.IP.Options...)
+		var payload []byte
+		if got.ICMP != nil {
+			payload = append([]byte(nil), got.ICMP.Payload...)
+		} else if got.UDP != nil {
+			payload = append([]byte(nil), got.UDP.Payload...)
+		}
+		for j := range raw {
+			raw[j] = 0xee
+		}
+		if !bytes.Equal(got.IP.Options, opts) {
+			t.Fatalf("sample %d: IP options alias the reply buffer", i)
+		}
+		switch {
+		case got.ICMP != nil && !bytes.Equal(got.ICMP.Payload, payload):
+			t.Fatalf("sample %d: ICMP payload aliases the reply buffer", i)
+		case got.UDP != nil && !bytes.Equal(got.UDP.Payload, payload):
+			t.Fatalf("sample %d: UDP payload aliases the reply buffer", i)
+		}
+	}
+}
+
+// TestDecodeIntoScratchReuse pins the ownership contract: a second DecodeInto
+// on the same scratch rewrites the previously returned packet in place, so a
+// caller deep-copying before the next exchange keeps stable data.
+func TestDecodeIntoScratchReuse(t *testing.T) {
+	var scratch DecodeScratch
+	samples := decodeSamples(t)
+	first, err := scratch.DecodeInto(samples[0]) // echo request
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied := first.IP // value copy survives reuse
+	if _, err := scratch.DecodeInto(samples[2]); err != nil {
+		t.Fatal(err)
+	}
+	if first.IP.Protocol != ProtoTCP {
+		t.Fatalf("retained pointer not rewritten: protocol = %d, want %d (TCP)", first.IP.Protocol, ProtoTCP)
+	}
+	if copied.Protocol != ProtoICMP {
+		t.Fatalf("value copy mutated: protocol = %d, want %d (ICMP)", copied.Protocol, ProtoICMP)
+	}
+}
+
+func TestDecodeIntoZeroAlloc(t *testing.T) {
+	var scratch DecodeScratch
+	samples := decodeSamples(t)
+	// Warm the scratch buffers to the largest sample first.
+	for _, raw := range samples {
+		if _, err := scratch.DecodeInto(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		raw := samples[i%len(samples)]
+		i++
+		if _, err := scratch.DecodeInto(raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodeInto allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// FuzzDecodeIntoEquivalence throws arbitrary bytes at both decoders: they must
+// agree on success/failure, and on success produce equivalent packets — with
+// the scratch decode never aliasing the input.
+func FuzzDecodeIntoEquivalence(f *testing.F) {
+	echo, _ := NewEchoRequest(testSrc, testDst, 9, 1, 2).Encode()
+	udp, _ := NewUDPProbe(testSrc, testDst, 3, 40000, 33434).Encode()
+	tcp, _ := NewTCPProbe(testSrc, testDst, 3, 55000, 80, 7).Encode()
+	errPkt, _ := NewICMPError(testSrc, ICMPTimeExceeded, 0, echo).Encode()
+	for _, seed := range [][]byte{echo, udp, tcp, errPkt, echo[:10], nil} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		want, wantErr := Decode(raw)
+		var scratch DecodeScratch
+		got, gotErr := scratch.DecodeInto(raw)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("decoders disagree: Decode err=%v, DecodeInto err=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if !packetsEquivalent(got, want) {
+			t.Fatalf("DecodeInto diverges from Decode:\n got %+v\nwant %+v", got, want)
+		}
+		for j := range raw {
+			raw[j] ^= 0xa5
+		}
+		if !packetsEquivalent(got, want) {
+			t.Fatal("decoded packet aliases the fuzz input")
+		}
+	})
+}

@@ -57,6 +57,12 @@ func (m *ICMP) Marshal(dst []byte) []byte {
 
 // Unmarshal decodes an ICMP message from b, verifying the checksum.
 func (m *ICMP) Unmarshal(b []byte) error {
+	return m.unmarshal(b, nil)
+}
+
+// unmarshal is the shared decoder behind Unmarshal and DecodeInto. payloadBuf,
+// when non-nil, is the reused backing store the Payload copy lands in.
+func (m *ICMP) unmarshal(b []byte, payloadBuf *[]byte) error {
 	if len(b) < ICMPHeaderLen {
 		return ErrTruncated
 	}
@@ -74,7 +80,12 @@ func (m *ICMP) Unmarshal(b []byte) error {
 	// Copy the payload out of the decode buffer: a transport may reuse the
 	// buffer for the next datagram, and a retained alias would rewrite this
 	// message's embedded quote under us (enforced by tracenetlint's ipalias).
-	m.Payload = append([]byte(nil), b[ICMPHeaderLen:]...)
+	if payloadBuf != nil {
+		*payloadBuf = append((*payloadBuf)[:0], b[ICMPHeaderLen:]...)
+		m.Payload = *payloadBuf
+	} else {
+		m.Payload = append([]byte(nil), b[ICMPHeaderLen:]...)
+	}
 	return nil
 }
 

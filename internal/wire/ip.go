@@ -77,6 +77,23 @@ func (h *IPHeader) Marshal(dst []byte) []byte {
 // Unmarshal decodes an IPv4 header from b, verifying version, length, and
 // checksum. It returns the header and the payload slice (aliasing b).
 func (h *IPHeader) Unmarshal(b []byte) (payload []byte, err error) {
+	return h.unmarshal(b, nil, false)
+}
+
+// UnmarshalQuoted decodes an IPv4 header from the quote inside an ICMP error
+// message. RFC 792 routers embed only the header plus the leading 8 payload
+// bytes, so TotalLen usually exceeds the quoted bytes; the truncation is
+// accepted and the available payload prefix returned. The header checksum is
+// still verified.
+func (h *IPHeader) UnmarshalQuoted(b []byte) (payload []byte, err error) {
+	return h.unmarshal(b, nil, true)
+}
+
+// unmarshal is the shared decoder behind Unmarshal and UnmarshalQuoted.
+// optBuf, when non-nil, is the reused backing store the Options copy lands in
+// (the DecodeInto zero-alloc path); nil allocates a fresh copy per decode.
+// Either way Options never aliases b — the ipalias invariant.
+func (h *IPHeader) unmarshal(b []byte, optBuf *[]byte, quoted bool) (payload []byte, err error) {
 	if len(b) < HeaderLen {
 		return nil, ErrTruncated
 	}
@@ -88,6 +105,9 @@ func (h *IPHeader) Unmarshal(b []byte) (payload []byte, err error) {
 		return nil, ErrBadHeader
 	}
 	if Checksum(b[:ihl]) != 0 {
+		if quoted {
+			return nil, fmt.Errorf("ip header quote: %w", ErrBadChecksum)
+		}
 		return nil, fmt.Errorf("ip header: %w", ErrBadChecksum)
 	}
 	h.TOS = b[1]
@@ -101,47 +121,12 @@ func (h *IPHeader) Unmarshal(b []byte) (payload []byte, err error) {
 	h.Src = ipv4.AddrFromOctets([4]byte(b[12:16]))
 	h.Dst = ipv4.AddrFromOctets([4]byte(b[16:20]))
 	if ihl > HeaderLen {
-		h.Options = append([]byte(nil), b[HeaderLen:ihl]...)
-	} else {
-		h.Options = nil
-	}
-	if int(h.TotalLen) < ihl || int(h.TotalLen) > len(b) {
-		return nil, ErrBadHeader
-	}
-	return b[ihl:h.TotalLen], nil
-}
-
-// UnmarshalQuoted decodes an IPv4 header from the quote inside an ICMP error
-// message. RFC 792 routers embed only the header plus the leading 8 payload
-// bytes, so TotalLen usually exceeds the quoted bytes; the truncation is
-// accepted and the available payload prefix returned. The header checksum is
-// still verified.
-func (h *IPHeader) UnmarshalQuoted(b []byte) (payload []byte, err error) {
-	if len(b) < HeaderLen {
-		return nil, ErrTruncated
-	}
-	if b[0]>>4 != 4 {
-		return nil, ErrBadVersion
-	}
-	ihl := int(b[0]&0x0f) * 4
-	if ihl < HeaderLen || len(b) < ihl {
-		return nil, ErrBadHeader
-	}
-	if Checksum(b[:ihl]) != 0 {
-		return nil, fmt.Errorf("ip header quote: %w", ErrBadChecksum)
-	}
-	h.TOS = b[1]
-	h.TotalLen = binary.BigEndian.Uint16(b[2:])
-	h.ID = binary.BigEndian.Uint16(b[4:])
-	frag := binary.BigEndian.Uint16(b[6:])
-	h.Flags = uint8(frag >> 13)
-	h.FragOff = frag & 0x1fff
-	h.TTL = b[8]
-	h.Protocol = b[9]
-	h.Src = ipv4.AddrFromOctets([4]byte(b[12:16]))
-	h.Dst = ipv4.AddrFromOctets([4]byte(b[16:20]))
-	if ihl > HeaderLen {
-		h.Options = append([]byte(nil), b[HeaderLen:ihl]...)
+		if optBuf != nil {
+			*optBuf = append((*optBuf)[:0], b[HeaderLen:ihl]...)
+			h.Options = *optBuf
+		} else {
+			h.Options = append([]byte(nil), b[HeaderLen:ihl]...)
+		}
 	} else {
 		h.Options = nil
 	}
@@ -150,6 +135,9 @@ func (h *IPHeader) UnmarshalQuoted(b []byte) (payload []byte, err error) {
 	}
 	end := int(h.TotalLen)
 	if end > len(b) {
+		if !quoted {
+			return nil, ErrBadHeader
+		}
 		end = len(b)
 	}
 	return b[ihl:end], nil

@@ -1,0 +1,173 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tracenet/internal/ipv4"
+)
+
+// Template is a pre-marshaled probe packet whose per-probe fields — TTL, IP
+// ID, destination address, ports, sequence numbers — are patched in place
+// with RFC 1624 incremental checksum updates. Steady-state sends touch a
+// handful of header bytes instead of re-serializing an unchanged packet, and
+// never allocate.
+//
+// Templates carry no IP options: option-bearing probes (record route) mutate
+// their option body en route and must take the AppendEncode path instead.
+type Template struct {
+	buf   []byte
+	proto uint8
+}
+
+// Template field offsets. Templates reject IP options, so the transport layer
+// always starts at HeaderLen.
+const (
+	tmplIPID = 4  // IP identification
+	tmplTTL  = 8  // 16-bit word covering TTL (high byte) and Protocol
+	tmplIPCk = 10 // IP header checksum
+	tmplDst  = 16 // destination address (two 16-bit words)
+
+	tmplICMPCk  = HeaderLen + 2
+	tmplICMPID  = HeaderLen + 4
+	tmplICMPSeq = HeaderLen + 6
+
+	tmplPortSrc = HeaderLen + 0 // UDP and TCP share port offsets
+	tmplPortDst = HeaderLen + 2
+	tmplUDPCk   = HeaderLen + 6
+	tmplTCPSeq  = HeaderLen + 4 // two 16-bit words
+	tmplTCPCk   = HeaderLen + 16
+)
+
+// NewTemplate pre-marshals p into a patchable template. The packet must carry
+// exactly one transport layer and no IP options.
+func NewTemplate(p *Packet) (*Template, error) {
+	if len(p.IP.Options) > 0 {
+		return nil, fmt.Errorf("wire: template cannot carry IP options")
+	}
+	buf, err := p.Encode()
+	if err != nil {
+		return nil, err
+	}
+	t := &Template{buf: buf}
+	switch {
+	case p.ICMP != nil:
+		t.proto = ProtoICMP
+	case p.UDP != nil:
+		t.proto = ProtoUDP
+	case p.TCP != nil:
+		t.proto = ProtoTCP
+	}
+	return t, nil
+}
+
+// Bytes returns the template's current wire form. The slice aliases the
+// template: it is rewritten by the next Patch call, so transports must not
+// retain it across exchanges (the same contract raw probe buffers already
+// carry).
+func (t *Template) Bytes() []byte { return t.buf }
+
+// PatchICMPProbe retargets an echo-request template in place.
+func (t *Template) PatchICMPProbe(ttl uint8, ipid uint16, dst ipv4.Addr, id, seq uint16) {
+	if t.proto != ProtoICMP {
+		panic("wire: PatchICMPProbe on non-ICMP template")
+	}
+	t.patchTTL(ttl)
+	t.patch16(tmplIPID, tmplIPCk, ipid)
+	t.patchDst(dst, -1) // ICMP has no pseudo-header: IP checksum only
+	t.patch16(tmplICMPID, tmplICMPCk, id)
+	t.patch16(tmplICMPSeq, tmplICMPCk, seq)
+}
+
+// PatchUDPProbe retargets a UDP probe template in place. The destination
+// address feeds the UDP pseudo-header checksum, so both checksums are updated.
+func (t *Template) PatchUDPProbe(ttl uint8, ipid uint16, dst ipv4.Addr, srcPort, dstPort uint16) {
+	if t.proto != ProtoUDP {
+		panic("wire: PatchUDPProbe on non-UDP template")
+	}
+	t.patchTTL(ttl)
+	t.patch16(tmplIPID, tmplIPCk, ipid)
+	t.patchDst(dst, tmplUDPCk)
+	t.patch16(tmplPortSrc, tmplUDPCk, srcPort)
+	t.patch16(tmplPortDst, tmplUDPCk, dstPort)
+	// RFC 768: a computed sum of zero is transmitted as all ones (0x0000 on
+	// the wire means "no checksum"). Ones-complement arithmetic treats 0x0000
+	// and 0xffff identically, so later incremental updates stay correct.
+	if t.buf[tmplUDPCk] == 0 && t.buf[tmplUDPCk+1] == 0 {
+		t.buf[tmplUDPCk], t.buf[tmplUDPCk+1] = 0xff, 0xff
+	}
+}
+
+// PatchTCPProbe retargets a TCP ACK-probe template in place.
+func (t *Template) PatchTCPProbe(ttl uint8, ipid uint16, dst ipv4.Addr, srcPort uint16, seq uint32) {
+	if t.proto != ProtoTCP {
+		panic("wire: PatchTCPProbe on non-TCP template")
+	}
+	t.patchTTL(ttl)
+	t.patch16(tmplIPID, tmplIPCk, ipid)
+	t.patchDst(dst, tmplTCPCk)
+	t.patch16(tmplPortSrc, tmplTCPCk, srcPort)
+	t.patch16(tmplTCPSeq, tmplTCPCk, uint16(seq>>16))
+	t.patch16(tmplTCPSeq+2, tmplTCPCk, uint16(seq))
+}
+
+// patchTTL rewrites the TTL byte via its containing 16-bit word (shared with
+// the immutable Protocol byte). The TTL is not part of any pseudo-header, so
+// only the IP checksum moves.
+func (t *Template) patchTTL(ttl uint8) {
+	old := binary.BigEndian.Uint16(t.buf[tmplTTL:])
+	val := uint16(ttl)<<8 | old&0xff
+	if old == val {
+		return
+	}
+	CsumUpdate(t.buf, tmplIPCk, old, val)
+	binary.BigEndian.PutUint16(t.buf[tmplTTL:], val)
+}
+
+// patchDst rewrites the destination address. tck names the transport checksum
+// to co-update when the address is covered by a pseudo-header, or -1 for none.
+func (t *Template) patchDst(dst ipv4.Addr, tck int) {
+	o := dst.Octets()
+	hi := uint16(o[0])<<8 | uint16(o[1])
+	lo := uint16(o[2])<<8 | uint16(o[3])
+	if tck >= 0 {
+		t.patch16x2(tmplDst, tmplIPCk, tck, hi)
+		t.patch16x2(tmplDst+2, tmplIPCk, tck, lo)
+	} else {
+		t.patch16(tmplDst, tmplIPCk, hi)
+		t.patch16(tmplDst+2, tmplIPCk, lo)
+	}
+}
+
+// patch16 writes val at off, folding the change into the checksum at ck.
+func (t *Template) patch16(off, ck int, val uint16) {
+	old := binary.BigEndian.Uint16(t.buf[off:])
+	if old == val {
+		return
+	}
+	CsumUpdate(t.buf, ck, old, val)
+	binary.BigEndian.PutUint16(t.buf[off:], val)
+}
+
+// patch16x2 writes val at off, folding the change into two checksums (the IP
+// header's and a pseudo-header-covered transport's).
+func (t *Template) patch16x2(off, ck1, ck2 int, val uint16) {
+	old := binary.BigEndian.Uint16(t.buf[off:])
+	if old == val {
+		return
+	}
+	CsumUpdate(t.buf, ck1, old, val)
+	CsumUpdate(t.buf, ck2, old, val)
+	binary.BigEndian.PutUint16(t.buf[off:], val)
+}
+
+// CsumUpdate folds the change of one 16-bit field (old→val) into the Internet
+// checksum stored at b[ck:ck+2], per RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m').
+// Exported for the simulator's quote fast path, which patches a decremented
+// TTL into as-sent probe bytes instead of re-encoding the packet.
+func CsumUpdate(b []byte, ck int, old, val uint16) {
+	sum := uint32(^binary.BigEndian.Uint16(b[ck:])) + uint32(^old) + uint32(val)
+	sum = (sum >> 16) + (sum & 0xffff)
+	sum += sum >> 16
+	binary.BigEndian.PutUint16(b[ck:], ^uint16(sum))
+}

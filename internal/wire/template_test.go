@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"tracenet/internal/ipv4"
+)
+
+// TestTemplateICMPMatchesEncode patches an echo template through a sequence of
+// (ttl, seq, dst) values and demands byte identity with a fresh full encode at
+// every step — the incremental checksum must track the recomputed one exactly.
+func TestTemplateICMPMatchesEncode(t *testing.T) {
+	tmpl, err := NewTemplate(NewEchoRequest(testSrc, testDst, 1, 0x7a7a, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsts := []ipv4.Addr{testDst, ipv4.MustParseAddr("10.255.0.9"), ipv4.MustParseAddr("0.0.0.1"), testDst}
+	for i := 0; i < 64; i++ {
+		ttl := uint8(i%32 + 1)
+		seq := uint16(i * 2654435761)
+		dst := dsts[i%len(dsts)]
+		tmpl.PatchICMPProbe(ttl, seq, dst, 0x7a7a, seq)
+		want, _ := NewEchoRequest(testSrc, dst, ttl, 0x7a7a, seq).Encode()
+		if !bytes.Equal(tmpl.Bytes(), want) {
+			t.Fatalf("step %d: template bytes diverge from fresh encode\n got %x\nwant %x", i, tmpl.Bytes(), want)
+		}
+	}
+}
+
+func TestTemplateUDPMatchesEncode(t *testing.T) {
+	tmpl, err := NewTemplate(NewUDPProbe(testSrc, testDst, 1, 40000, 33434))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ttl uint8, dstRaw uint32, srcPort, dstPort uint16) bool {
+		dst := ipv4.Addr(dstRaw)
+		tmpl.PatchUDPProbe(ttl, srcPort, dst, srcPort, dstPort)
+		want, _ := NewUDPProbe(testSrc, dst, ttl, srcPort, dstPort).Encode()
+		return bytes.Equal(tmpl.Bytes(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTemplateTCPMatchesEncode(t *testing.T) {
+	tmpl, err := NewTemplate(NewTCPProbe(testSrc, testDst, 1, 55000, 80, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ttl uint8, dstRaw uint32, srcPort uint16, seq uint32) bool {
+		dst := ipv4.Addr(dstRaw)
+		tmpl.PatchTCPProbe(ttl, srcPort, dst, srcPort, seq)
+		want, _ := NewTCPProbe(testSrc, dst, ttl, srcPort, 80, seq).Encode()
+		return bytes.Equal(tmpl.Bytes(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTemplateUDPZeroChecksum drives the patched UDP checksum through the
+// 0x0000/0xffff boundary: whatever values land there, the template must stay
+// byte-identical to a fresh Marshal (which transmits a zero sum as all ones).
+func TestTemplateUDPZeroChecksum(t *testing.T) {
+	tmpl, err := NewTemplate(NewUDPProbe(testSrc, testDst, 1, 40000, 33434))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep source ports exhaustively at a fixed destination: the 64k sweep
+	// crosses every checksum residue, including the all-ones normalization.
+	sawAllOnes := false
+	for sp := 0; sp < 1<<16; sp++ {
+		tmpl.PatchUDPProbe(3, uint16(sp), testDst, uint16(sp), 33434)
+		if tmpl.buf[tmplUDPCk] == 0xff && tmpl.buf[tmplUDPCk+1] == 0xff {
+			sawAllOnes = true
+		}
+		if tmpl.buf[tmplUDPCk] == 0 && tmpl.buf[tmplUDPCk+1] == 0 {
+			t.Fatalf("srcPort %d: UDP checksum left at 0x0000 (means 'disabled' on the wire)", sp)
+		}
+	}
+	if !sawAllOnes {
+		t.Fatal("sweep never produced the all-ones checksum; boundary not exercised")
+	}
+}
+
+func TestTemplateRejectsOptions(t *testing.T) {
+	p := NewEchoRequest(testSrc, testDst, 9, 1, 2)
+	p.IP.Options = MakeRecordRoute(9)
+	if _, err := NewTemplate(p); err == nil {
+		t.Fatal("NewTemplate must reject IP options")
+	}
+}
+
+func TestTemplateBytesDecode(t *testing.T) {
+	tmpl, err := NewTemplate(NewEchoRequest(testSrc, testDst, 1, 7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl.PatchICMPProbe(12, 345, testDst, 7, 345)
+	got, err := Decode(tmpl.Bytes())
+	if err != nil {
+		t.Fatalf("patched template does not decode: %v", err)
+	}
+	if got.IP.TTL != 12 || got.ICMP.Seq != 345 {
+		t.Fatalf("decoded template fields = ttl %d seq %d", got.IP.TTL, got.ICMP.Seq)
+	}
+}
+
+func TestTemplatePatchZeroAlloc(t *testing.T) {
+	tmpl, err := NewTemplate(NewEchoRequest(testSrc, testDst, 1, 7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := uint16(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		seq++
+		tmpl.PatchICMPProbe(uint8(seq%30+1), seq, testDst, 7, seq)
+	})
+	if allocs != 0 {
+		t.Fatalf("PatchICMPProbe allocates %.1f/op, want 0", allocs)
+	}
+}

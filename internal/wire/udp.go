@@ -39,6 +39,12 @@ func (u *UDP) Marshal(dst []byte, srcAddr, dstAddr ipv4.Addr) []byte {
 
 // Unmarshal decodes a UDP datagram from b, verifying length and checksum.
 func (u *UDP) Unmarshal(b []byte, srcAddr, dstAddr ipv4.Addr) error {
+	return u.unmarshal(b, srcAddr, dstAddr, nil)
+}
+
+// unmarshal is the shared decoder behind Unmarshal and DecodeInto. payloadBuf,
+// when non-nil, is the reused backing store the Payload copy lands in.
+func (u *UDP) unmarshal(b []byte, srcAddr, dstAddr ipv4.Addr, payloadBuf *[]byte) error {
 	if len(b) < UDPHeaderLen {
 		return ErrTruncated
 	}
@@ -55,6 +61,11 @@ func (u *UDP) Unmarshal(b []byte, srcAddr, dstAddr ipv4.Addr) error {
 	u.DstPort = binary.BigEndian.Uint16(b[2:])
 	// Copy the payload out of the decode buffer (see ICMP.Unmarshal; enforced
 	// by tracenetlint's ipalias).
-	u.Payload = append([]byte(nil), b[UDPHeaderLen:length]...)
+	if payloadBuf != nil {
+		*payloadBuf = append((*payloadBuf)[:0], b[UDPHeaderLen:length]...)
+		u.Payload = *payloadBuf
+	} else {
+		u.Payload = append([]byte(nil), b[UDPHeaderLen:length]...)
+	}
 	return nil
 }
